@@ -1,0 +1,74 @@
+// Shared output helpers for the figure-reproduction benches: fixed-width
+// tables plus paper-reference annotations, so every binary prints the
+// series the paper plots next to what this reproduction measured.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pd::bench {
+
+inline void print_title(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_note(const std::string& note) {
+  std::printf("  %s\n", note.c_str());
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+    for (const auto& row : rows_) {
+      for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      std::printf("  ");
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        std::printf("%-*s  ", static_cast<int>(widths[i]), row[i].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::string sep;
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      sep += std::string(widths[i], '-') + "  ";
+    }
+    std::printf("  %s\n", sep.c_str());
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int decimals = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+inline std::string fmt_k(double v) {
+  char buf[64];
+  if (v >= 1000) {
+    std::snprintf(buf, sizeof buf, "%.1fK", v / 1000.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  }
+  return buf;
+}
+
+}  // namespace pd::bench

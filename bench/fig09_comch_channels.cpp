@@ -1,0 +1,151 @@
+// Figure 9 (§3.5.4): viable DPU<->host communication channels. Multiple
+// host functions issue back-to-back 16 B descriptor echoes against a
+// single-core DNE; we compare loopback TCP, Comch-E (event-driven) and
+// Comch-P (busy-polled producer/consumer ring).
+// Output: (1) round-trip latency; (2) descriptor transfer rate.
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dpu/comch.hpp"
+#include "ipc/channel.hpp"
+#include "proto/cost_model.hpp"
+
+namespace {
+
+using namespace pd;
+
+struct Result {
+  double mean_rtt_us = 0;
+  double rps = 0;
+};
+
+/// Comch variants: descriptor echo against a 1-core DNE.
+Result run_comch(dpu::ComchVariant variant, int functions,
+                 sim::Duration duration) {
+  sim::Scheduler sched;
+  sim::Core dne(sched, "dne", cost::kDpuCoreSpeed);
+  std::vector<std::unique_ptr<sim::Core>> fn_cores;
+
+  dpu::ComchServer* srv_ptr = nullptr;
+  dpu::ComchServer server(sched, dne, variant,
+                          [&](FunctionId from, const mem::BufferDescriptor& d) {
+                            srv_ptr->send_to_client(from, d);  // echo
+                          });
+  srv_ptr = &server;
+
+  std::uint64_t completed = 0;
+  double total_rtt = 0;
+  const sim::TimePoint t_end = duration;
+  std::vector<sim::TimePoint> sent_at(static_cast<std::size_t>(functions));
+
+  std::function<void(int)> issue = [&](int idx) {
+    sent_at[static_cast<std::size_t>(idx)] = sched.now();
+    server.send_to_server(FunctionId{static_cast<std::uint32_t>(idx + 1)},
+                          {PoolId{1}, static_cast<std::uint32_t>(idx), 16,
+                           TenantId{1}});
+  };
+
+  for (int i = 0; i < functions; ++i) {
+    fn_cores.push_back(std::make_unique<sim::Core>(sched, "fn"));
+    server.connect(FunctionId{static_cast<std::uint32_t>(i + 1)},
+                   *fn_cores.back(), [&, i](const mem::BufferDescriptor&) {
+                     ++completed;
+                     total_rtt += static_cast<double>(
+                         sched.now() - sent_at[static_cast<std::size_t>(i)]);
+                     if (sched.now() < t_end) issue(i);
+                   });
+  }
+  for (int i = 0; i < functions; ++i) issue(i);
+  sched.run_until(t_end);
+  sched.run();
+
+  return {completed == 0 ? 0 : total_rtt / static_cast<double>(completed) / 1e3,
+          static_cast<double>(completed) / sim::to_sec(duration)};
+}
+
+/// Loopback-TCP baseline: same echo via the kernel path.
+Result run_tcp(int functions, sim::Duration duration) {
+  sim::Scheduler sched;
+  sim::Core dne(sched, "dne", cost::kDpuCoreSpeed);
+  std::vector<std::unique_ptr<sim::Core>> fn_cores;
+  std::vector<std::unique_ptr<ipc::DescriptorHop>> up, down;
+
+  std::uint64_t completed = 0;
+  double total_rtt = 0;
+  const sim::TimePoint t_end = duration;
+  std::vector<sim::TimePoint> sent_at(static_cast<std::size_t>(functions));
+
+  std::function<void(int)> issue = [&](int idx) {
+    sent_at[static_cast<std::size_t>(idx)] = sched.now();
+    up[static_cast<std::size_t>(idx)]->send(
+        {PoolId{1}, static_cast<std::uint32_t>(idx), 16, TenantId{1}});
+  };
+
+  const ipc::HopParams tcp_hop{.sender_cost = cost::kTcpChanPerMsgNs,
+                               .receiver_cost = cost::kTcpChanPerMsgNs,
+                               .latency = cost::kTcpChanLatencyNs};
+  for (int i = 0; i < functions; ++i) {
+    fn_cores.push_back(std::make_unique<sim::Core>(sched, "fn"));
+    down.push_back(std::make_unique<ipc::DescriptorHop>(
+        sched, tcp_hop, &dne, fn_cores.back().get(),
+        [&, i](const mem::BufferDescriptor&) {
+          ++completed;
+          total_rtt += static_cast<double>(
+              sched.now() - sent_at[static_cast<std::size_t>(i)]);
+          if (sched.now() < t_end) issue(i);
+        }));
+    up.push_back(std::make_unique<ipc::DescriptorHop>(
+        sched, tcp_hop, fn_cores.back().get(), &dne,
+        [&, i](const mem::BufferDescriptor& d) {
+          down[static_cast<std::size_t>(i)]->send(d);  // echo
+        }));
+  }
+  for (int i = 0; i < functions; ++i) issue(i);
+  sched.run_until(t_end);
+  sched.run();
+
+  return {completed == 0 ? 0 : total_rtt / static_cast<double>(completed) / 1e3,
+          static_cast<double>(completed) / sim::to_sec(duration)};
+}
+
+}  // namespace
+
+int main() {
+  using namespace pd::bench;
+  constexpr pd::sim::Duration kRun = 2'000'000'000;  // 2 s virtual
+
+  print_title(
+      "Figure 9 (1): DPU<->host descriptor channels — round-trip latency (us)\n"
+      "Paper reference: TCP highest; Comch-P >8x lower than TCP; Comch-E "
+      "2.7-3.8x better than TCP, stable");
+  {
+    Table t({"#functions", "TCP", "Comch-E", "Comch-P"});
+    for (int fns : {1, 2, 4, 6, 8}) {
+      t.add_row({std::to_string(fns),
+                 fmt(run_tcp(fns, kRun).mean_rtt_us),
+                 fmt(run_comch(pd::dpu::ComchVariant::kEvent, fns, kRun).mean_rtt_us),
+                 fmt(run_comch(pd::dpu::ComchVariant::kPolling, fns, kRun).mean_rtt_us)});
+    }
+    t.print();
+  }
+
+  print_title(
+      "Figure 9 (2): DPU<->host descriptor channels — transfer rate (RPS)\n"
+      "Paper reference: Comch-P overloads beyond ~6 functions (per-endpoint "
+      "epoll cost) while Comch-E keeps scaling");
+  {
+    Table t({"#functions", "TCP", "Comch-E", "Comch-P"});
+    for (int fns : {1, 2, 4, 6, 8}) {
+      t.add_row({std::to_string(fns),
+                 fmt_k(run_tcp(fns, kRun).rps),
+                 fmt_k(run_comch(pd::dpu::ComchVariant::kEvent, fns, kRun).rps),
+                 fmt_k(run_comch(pd::dpu::ComchVariant::kPolling, fns, kRun).rps)});
+    }
+    t.print();
+    print_note("Comch-E is PALLADIUM's choice: no pinned host cores, stable "
+               "latency at function density (§3.5.4)");
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Figure 11 (§4.1.1): off-path DNE (cross-processor shared memory) vs
+// on-path DNE (payloads staged through SoC memory by the slow SoC DMA).
+// An echo server/client function pair is deployed on different nodes.
+// Output: (1) RPS vs payload size on a single connection; (2) RPS vs
+// concurrency at 1 KB payloads — plus the mean-latency deltas behind the
+// paper's "up to 1.54x degradation / >20% latency reduction" claims.
+#include <memory>
+
+#include "bench_common.hpp"
+#include "runtime/cluster.hpp"
+#include "runtime/function.hpp"
+#include "workload/driver.hpp"
+
+namespace {
+
+using namespace pd;
+
+constexpr NodeId kNode1{1};
+constexpr NodeId kNode2{2};
+constexpr TenantId kTenant{1};
+constexpr FunctionId kEcho{1};
+constexpr sim::Duration kRun = 3'000'000'000;  // 3 s virtual
+
+struct Result {
+  double rps = 0;
+  double mean_us = 0;
+};
+
+Result run(runtime::SystemKind system, std::uint32_t payload, int clients) {
+  sim::Scheduler sched;
+  runtime::ClusterConfig cfg;
+  cfg.system = system;
+  cfg.cpu_cores_per_node = 8;
+  cfg.pool_buffers = 1024;
+  cfg.buffer_bytes = 32 * 1024;
+  auto cluster = std::make_unique<runtime::Cluster>(sched, cfg);
+  cluster->add_worker(kNode1);
+  cluster->add_worker(kNode2);
+  cluster->add_tenant(kTenant, 1);
+  cluster->deploy(runtime::FunctionSpec{kEcho, "echo", kTenant}, kNode2);
+  cluster->add_chain(runtime::Chain{1, "echo", kTenant, payload,
+                                    {{kEcho, 2'000, payload}}});
+  workload::ChainDriver driver(*cluster, FunctionId{100}, kNode1, 1);
+  cluster->finish_setup();
+
+  driver.start(clients);
+  const auto start = sched.now();
+  sched.run_until(start + kRun);
+  driver.stop();
+  sched.run();
+
+  return {static_cast<double>(driver.completed()) / sim::to_sec(kRun),
+          driver.latencies().mean_ns() / 1e3};
+}
+
+}  // namespace
+
+int main() {
+  using namespace pd::bench;
+
+  print_title(
+      "Figure 11 (1): off-path vs on-path DNE — RPS, single connection, by "
+      "payload size\nPaper reference: off-path up to ~1.3x RPS; gap grows "
+      "with payload (SoC DMA per-byte cost)");
+  {
+    Table t({"payload", "off-path RPS", "on-path RPS", "off/on", "off-path us",
+             "on-path us"});
+    for (std::uint32_t payload : {64u, 256u, 1024u, 4096u}) {
+      const auto off = run(runtime::SystemKind::kPalladiumDne, payload, 1);
+      const auto on = run(runtime::SystemKind::kPalladiumOnPath, payload, 1);
+      t.add_row({std::to_string(payload) + "B", fmt_k(off.rps), fmt_k(on.rps),
+                 "x" + fmt(off.rps / on.rps, 2), fmt(off.mean_us),
+                 fmt(on.mean_us)});
+    }
+    t.print();
+  }
+
+  print_title(
+      "Figure 11 (2): off-path vs on-path DNE — RPS under concurrency (1KB "
+      "payload)\nPaper reference: near-parity at low concurrency; on-path "
+      "collapses as the serial SoC DMA engine saturates (up to 1.54x)");
+  {
+    Table t({"connections", "off-path RPS", "on-path RPS", "off/on",
+             "off-path us", "on-path us"});
+    for (int clients : {1, 2, 4, 8, 16, 32}) {
+      const auto off = run(runtime::SystemKind::kPalladiumDne, 1024, clients);
+      const auto on = run(runtime::SystemKind::kPalladiumOnPath, 1024, clients);
+      t.add_row({std::to_string(clients), fmt_k(off.rps), fmt_k(on.rps),
+                 "x" + fmt(off.rps / on.rps, 2), fmt(off.mean_us),
+                 fmt(on.mean_us)});
+    }
+    t.print();
+    print_note("off-path wins because the RNIC DMAs straight into host "
+               "memory via the cross-processor mmap (Fig. 3 (2))");
+  }
+  return 0;
+}

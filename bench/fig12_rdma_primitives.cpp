@@ -1,0 +1,178 @@
+// Figure 12 (§4.1.2): selection of RDMA primitives for the lock-free
+// zero-copy data plane. Two DNEs on different worker nodes act as an echo
+// client/server pair, one core each, over four designs:
+//   two-sided (Palladium), OWRC-Best (one-sided write + cache-hot receiver
+//   copy), OWRC-Worst (TLB-flushed copy), OWDL (one-sided write +
+//   distributed RDMA-CAS locks).
+// Output: (1) mean end-to-end echo latency per message size; (2) RPS at
+// concurrency 8.
+#include <functional>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "core/onesided.hpp"
+#include "proto/cost_model.hpp"
+#include "rdma/rnic.hpp"
+
+namespace {
+
+using namespace pd;
+
+constexpr TenantId kTenant{1};
+constexpr NodeId kNode1{1};
+constexpr NodeId kNode2{2};
+
+struct Result {
+  double mean_us = 0;
+  double rps = 0;
+};
+
+/// One fully assembled two-node echo world; `variant`: 0=two-sided,
+/// 1=OWRC-Best, 2=OWRC-Worst, 3=OWDL.
+Result run_variant(int variant, std::uint32_t payload, int concurrency,
+                   sim::Duration duration) {
+  sim::Scheduler sched;
+  rdma::RdmaNetwork net(sched);
+  mem::MemoryDomain mem1(kNode1), mem2(kNode2);
+  rdma::Rnic rnic1(net, kNode1, mem1), rnic2(net, kNode2, mem2);
+  sim::Core core1(sched, "dne1", cost::kDpuCoreSpeed);
+  sim::Core core2(sched, "dne2", cost::kDpuCoreSpeed);
+
+  for (auto* dom : {&mem1, &mem2}) {
+    auto& tm = dom->create_tenant_pool(kTenant, "tenant_1", 256, 8192);
+    tm.export_to_rdma();
+  }
+  rnic1.register_memory(mem1.by_tenant(kTenant).pool_id());
+  rnic2.register_memory(mem2.by_tenant(kTenant).pool_id());
+
+  rdma::QueuePair& qa = rnic1.create_qp(kTenant);
+  rdma::QueuePair& qb = rnic2.create_qp(kTenant);
+  rdma::connect_qps(qa, qb, nullptr);
+  sched.run();
+  qa.activate(nullptr);
+  qb.activate(nullptr);
+  sched.run();
+
+  std::uint64_t completed = 0;
+  double total_rtt_ns = 0;
+  const sim::TimePoint t_end = sched.now() + duration;
+
+  std::function<void()> issue;  // per-slot request loop
+
+  std::unique_ptr<core::TwoSidedEchoPeer> ts_client, ts_server;
+  std::unique_ptr<core::OwrcEchoPeer> rc_client, rc_server;
+  std::unique_ptr<core::OwdlEchoPeer> dl_client, dl_server;
+  mem::TenantMemory* stage1 = nullptr;
+  mem::TenantMemory* stage2 = nullptr;
+
+  auto on_done = [&](sim::Duration rtt) {
+    ++completed;
+    total_rtt_ns += static_cast<double>(rtt);
+    if (sched.now() < t_end) issue();
+  };
+
+  switch (variant) {
+    case 0: {
+      ts_client = std::make_unique<core::TwoSidedEchoPeer>(core1, rnic1,
+                                                           kTenant, false);
+      ts_server = std::make_unique<core::TwoSidedEchoPeer>(core2, rnic2,
+                                                           kTenant, true);
+      ts_client->start(qa, 64);
+      ts_server->start(qb, 64);
+      issue = [&] { ts_client->send_request(payload, on_done); };
+      break;
+    }
+    case 1:
+    case 2: {
+      const bool cold = variant == 2;
+      stage1 = &mem1.create_tenant_pool(TenantId{900}, "rdma_only_1", 64, 8192);
+      stage2 = &mem2.create_tenant_pool(TenantId{900}, "rdma_only_2", 64, 8192);
+      stage1->export_to_rdma();
+      stage2->export_to_rdma();
+      rnic1.register_memory(stage1->pool_id());
+      rnic2.register_memory(stage2->pool_id());
+      rc_client = std::make_unique<core::OwrcEchoPeer>(core1, rnic1, kTenant,
+                                                       false, cold);
+      rc_server = std::make_unique<core::OwrcEchoPeer>(core2, rnic2, kTenant,
+                                                       true, cold);
+      rc_client->start(qa, *stage1, 32);
+      rc_server->start(qb, *stage2, 32);
+      rc_client->set_remote_pool(stage2->pool_id());
+      rc_server->set_remote_pool(stage1->pool_id());
+      issue = [&] { rc_client->send_request(payload, on_done); };
+      break;
+    }
+    case 3: {
+      dl_client = std::make_unique<core::OwdlEchoPeer>(core1, rnic1, kTenant,
+                                                       false);
+      dl_server = std::make_unique<core::OwdlEchoPeer>(core2, rnic2, kTenant,
+                                                       true);
+      dl_client->start(qa, 32);
+      dl_server->start(qb, 32);
+      dl_client->set_remote_pool(mem2.by_tenant(kTenant).pool_id());
+      dl_server->set_remote_pool(mem1.by_tenant(kTenant).pool_id());
+      issue = [&] { dl_client->send_request(payload, on_done); };
+      break;
+    }
+  }
+
+  for (int i = 0; i < concurrency; ++i) issue();
+  sched.run_until(t_end);
+  sched.run();  // drain in-flight echoes
+
+  Result r;
+  r.mean_us = completed == 0 ? 0 : total_rtt_ns / static_cast<double>(completed) / 1e3;
+  r.rps = static_cast<double>(completed) / sim::to_sec(duration);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pd::bench;
+  constexpr pd::sim::Duration kRun = 2'000'000'000;  // 2 s virtual
+  const char* names[] = {"Two-sided (PALLADIUM)", "OWRC-Best", "OWRC-Worst",
+                         "OWDL"};
+
+  print_title(
+      "Figure 12 (1): RDMA primitive selection — mean echo latency (us)\n"
+      "Paper reference @4KB: two-sided 11.6, OWRC-Best 15.0, OWRC-Worst 16.7,"
+      " OWDL 26.1; @64B two-sided 8.4");
+  {
+    Table t({"design", "64B", "512B", "1KB", "4KB"});
+    for (int v = 0; v < 4; ++v) {
+      std::vector<std::string> row{names[v]};
+      for (std::uint32_t size : {64u, 512u, 1024u, 4096u}) {
+        row.push_back(fmt(run_variant(v, size, 1, kRun).mean_us));
+      }
+      t.add_row(row);
+    }
+    t.print();
+  }
+
+  print_title(
+      "Figure 12 (2): RDMA primitive selection — RPS (concurrency 8)\n"
+      "Paper reference: two-sided up to 1.3x OWRC-Best, 1.4x OWRC-Worst, "
+      ">2.1x OWDL");
+  {
+    Table t({"design", "64B", "1KB", "4KB"});
+    std::vector<double> rps_4k(4);
+    for (int v = 0; v < 4; ++v) {
+      std::vector<std::string> row{names[v]};
+      for (std::uint32_t size : {64u, 1024u, 4096u}) {
+        const auto r = run_variant(v, size, 8, kRun);
+        row.push_back(fmt_k(r.rps));
+        if (size == 4096u) rps_4k[static_cast<std::size_t>(v)] = r.rps;
+      }
+      t.add_row(row);
+    }
+    t.print();
+    print_note("speedup of two-sided over OWRC-Best @4KB: x" +
+               fmt(rps_4k[0] / rps_4k[1], 2));
+    print_note("speedup of two-sided over OWRC-Worst @4KB: x" +
+               fmt(rps_4k[0] / rps_4k[2], 2));
+    print_note("speedup of two-sided over OWDL @4KB: x" +
+               fmt(rps_4k[0] / rps_4k[3], 2));
+  }
+  return 0;
+}

@@ -1,0 +1,160 @@
+// Figure 14 (§4.1.3): horizontal scaling of the cluster ingress. Load
+// grows by one saturating client every 10 s; PALLADIUM's master scales
+// busy-polling workers with 60%/30% hysteresis (brief restart blip per
+// event), the adapted F-Ingress autoscaler does the same for the proxy,
+// and K-Ingress just burns cores until it falls over.
+// Output: per-second CPU usage and RPS time series for all three designs.
+#include <memory>
+
+#include "bench_common.hpp"
+#include "ingress/palladium_ingress.hpp"
+#include "ingress/proxy_ingress.hpp"
+#include "runtime/function.hpp"
+#include "workload/http_client.hpp"
+
+namespace {
+
+using namespace pd;
+
+constexpr NodeId kNode1{1};
+constexpr NodeId kNode2{2};
+constexpr TenantId kTenant{1};
+constexpr FunctionId kEcho{1};
+constexpr sim::Duration kSecond = 1'000'000'000;
+// Paper: 3 minutes, +1 client / 10 s. Compressed 3x for simulation cost:
+// 60 s with +1 saturating client every 5 s — the hysteresis dynamics are
+// identical, just denser in time.
+constexpr sim::TimePoint kExperiment = 60 * kSecond;
+constexpr int kMaxClients = 12;
+
+struct Series {
+  std::vector<double> rps;        // per second
+  std::vector<double> cpu;        // cores of useful work per second
+  std::vector<double> workers;    // active (pinned) workers
+};
+
+enum class Design { kPalladium, kFIngress, kKIngress };
+
+Series run(Design design) {
+  sim::Scheduler sched;
+  runtime::ClusterConfig cfg;
+  cfg.system = design == Design::kPalladium ? runtime::SystemKind::kPalladiumDne
+                                            : runtime::SystemKind::kSpright;
+  cfg.cpu_cores_per_node = 8;
+  cfg.pool_buffers = 2048;
+  auto cluster = std::make_unique<runtime::Cluster>(sched, cfg);
+  cluster->add_worker(kNode1);
+  cluster->add_worker(kNode2);
+  cluster->add_tenant(kTenant, 1);
+  cluster->deploy(runtime::FunctionSpec{kEcho, "http-echo", kTenant}, kNode1);
+  cluster->add_chain(runtime::Chain{1, "echo", kTenant, 256,
+                                    {{kEcho, 1'000, 256}}});
+
+  std::unique_ptr<ingress::IngressFrontend> ing;
+  ingress::PalladiumIngress* pal = nullptr;
+  ingress::ProxyIngress* proxy = nullptr;
+  if (design == Design::kPalladium) {
+    ingress::PalladiumIngress::Config icfg;
+    icfg.initial_workers = 1;
+    icfg.max_workers = 8;
+    icfg.autoscale = true;
+    auto p = std::make_unique<ingress::PalladiumIngress>(*cluster, icfg);
+    p->expose_chain("/echo", 1);
+    p->finish_setup();
+    pal = p.get();
+    ing = std::move(p);
+  } else {
+    ingress::ProxyIngress::Config icfg;
+    icfg.stack = design == Design::kFIngress ? proto::StackKind::kFstack
+                                             : proto::StackKind::kKernel;
+    icfg.cores = design == Design::kFIngress ? 1 : 8;  // kernel RSS over 8
+    icfg.autoscale = design == Design::kFIngress;
+    icfg.max_workers = 8;
+    auto p = std::make_unique<ingress::ProxyIngress>(*cluster, icfg);
+    p->expose_chain("/echo", 1);
+    p->finish_setup();
+    proxy = p.get();
+    ing = std::move(p);
+  }
+  cluster->finish_setup();
+
+  // wrk ramp: +1 client every 10 s, each client pinned to its own core and
+  // driving as hard as it can (closed loop, zero think time).
+  workload::HttpLoadGen::Config wcfg;
+  wcfg.target = "/echo";
+  wcfg.body = std::string(128, 'x');
+  wcfg.client_cores = kMaxClients;
+  workload::HttpLoadGen wrk(sched, *ing, wcfg);
+  const sim::TimePoint t0 = sched.now();  // connection setup already ran
+  for (int c = 0; c < kMaxClients; ++c) {
+    sched.schedule_at(t0 + static_cast<sim::TimePoint>(c) * 5 * kSecond,
+                      [&wrk] { wrk.add_clients(1); });
+  }
+  sched.run_until(t0 + kExperiment);
+  wrk.stop();
+  sched.run();
+
+  Series out;
+  auto& rps_series = design == Design::kPalladium ? pal->response_series()
+                                                  : proxy->response_series();
+  auto& cpu_series = design == Design::kPalladium ? pal->useful_cpu_series()
+                                                  : proxy->useful_cpu_series();
+  auto& wrk_series = design == Design::kPalladium ? pal->worker_series()
+                                                  : proxy->worker_series();
+  for (int s = 0; s < 60; ++s) {
+    out.rps.push_back(rps_series.bucket_value(static_cast<std::size_t>(s)));
+    out.cpu.push_back(cpu_series.bucket_value(static_cast<std::size_t>(s)));
+    out.workers.push_back(wrk_series.bucket_value(static_cast<std::size_t>(s)));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pd::bench;
+  const auto pal = run(Design::kPalladium);
+  const auto fin = run(Design::kFIngress);
+  const auto kin = run(Design::kKIngress);
+
+  print_title(
+      "Figure 14 (1): ingress CPU usage over time (+1 client / 10 s)\n"
+      "Paper reference: PALLADIUM scales workers to match load and uses far "
+      "less CPU than interrupt-driven K-Ingress; K-Ingress exhausts all "
+      "cores around the 2.5 min mark");
+  {
+    Table t({"t(s)", "PAL workers", "PAL useful-CPU", "F-Ing workers",
+             "F-Ing useful-CPU", "K-Ing useful-CPU"});
+    for (int s = 2; s < 60; s += 4) {
+      t.add_row({std::to_string(s), fmt(pal.workers[static_cast<std::size_t>(s)], 0),
+                 fmt(pal.cpu[static_cast<std::size_t>(s)], 2),
+                 fmt(fin.workers[static_cast<std::size_t>(s)], 0),
+                 fmt(fin.cpu[static_cast<std::size_t>(s)], 2),
+                 fmt(kin.cpu[static_cast<std::size_t>(s)], 2)});
+    }
+    t.print();
+  }
+
+  print_title(
+      "Figure 14 (2): ingress RPS over time\n"
+      "Paper reference: >5x RPS vs K-Ingress; brief dips at PALLADIUM "
+      "scale events (worker restart)");
+  {
+    Table t({"t(s)", "PALLADIUM", "F-Ingress", "K-Ingress"});
+    for (int s = 2; s < 60; s += 4) {
+      t.add_row({std::to_string(s), fmt_k(pal.rps[static_cast<std::size_t>(s)]),
+                 fmt_k(fin.rps[static_cast<std::size_t>(s)]),
+                 fmt_k(kin.rps[static_cast<std::size_t>(s)])});
+    }
+    t.print();
+  }
+
+  double pal_total = 0, kin_total = 0;
+  for (int s = 48; s < 60; ++s) {
+    pal_total += pal.rps[static_cast<std::size_t>(s)];
+    kin_total += kin.rps[static_cast<std::size_t>(s)];
+  }
+  print_note("steady-state (last 30 s) RPS ratio PALLADIUM/K-Ingress: x" +
+             fmt(pal_total / kin_total, 1) + " (paper: >5x)");
+  return 0;
+}

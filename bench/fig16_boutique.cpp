@@ -1,0 +1,244 @@
+// Figure 16 + Table 2 (§4.3): Online Boutique end to end. Six data planes
+// serve the three measured chains (Home Query, View Cart, Product Query)
+// behind their respective ingresses:
+//   PALLADIUM (DNE)  — DPU engine + HTTP/TCP-to-RDMA gateway
+//   PALLADIUM (CNE)  — same engine on a host core (apples-to-apples)
+//   FUYAO-F / FUYAO-K — one-sided + receiver copy, F-/K-Ingress proxy
+//   SPRIGHT          — shared memory + kernel TCP inter-node, F-Ingress
+//   NightCore        — single node, kernel ingress
+// Output: RPS per chain at 20/60/80 clients (Fig. 16 (1)-(3)), mean
+// latency (Table 2), and data-plane CPU/DPU core usage (Fig. 16 (4)-(6)).
+#include <memory>
+
+#include "bench_common.hpp"
+#include "ingress/palladium_ingress.hpp"
+#include "ingress/proxy_ingress.hpp"
+#include "runtime/boutique.hpp"
+#include "runtime/function.hpp"
+#include "workload/http_client.hpp"
+
+namespace {
+
+using namespace pd;
+
+constexpr NodeId kNode1{1};
+constexpr NodeId kNode2{2};
+constexpr sim::Duration kRun = 2'000'000'000;  // 2 s virtual measured window
+
+enum class System {
+  kPalladiumDne,
+  kPalladiumCne,
+  kFuyaoF,
+  kFuyaoK,
+  kSpright,
+  kNightcore,
+};
+
+const char* name_of(System s) {
+  switch (s) {
+    case System::kPalladiumDne: return "PALLADIUM (DNE)";
+    case System::kPalladiumCne: return "PALLADIUM (CNE)";
+    case System::kFuyaoF: return "FUYAO-F";
+    case System::kFuyaoK: return "FUYAO-K";
+    case System::kSpright: return "SPRIGHT";
+    case System::kNightcore: return "NightCore";
+  }
+  return "?";
+}
+
+struct Result {
+  double rps = 0;
+  double mean_ms = 0;
+  double cpu_cores = 0;  ///< data-plane CPU cores (worker nodes, useful)
+  double dpu_cores = 0;  ///< pinned DPU cores (DNE only)
+  double pinned_cpu = 0; ///< busy-poll host cores (FUYAO/CNE engines)
+};
+
+Result run(System system, std::uint32_t chain, int clients) {
+  sim::Scheduler sched;
+  runtime::ClusterConfig cfg;
+  cfg.cpu_cores_per_node = 16;
+  cfg.pool_buffers = 2048;
+  switch (system) {
+    case System::kPalladiumDne: cfg.system = runtime::SystemKind::kPalladiumDne; break;
+    case System::kPalladiumCne: cfg.system = runtime::SystemKind::kPalladiumCne; break;
+    case System::kFuyaoF:
+    case System::kFuyaoK: cfg.system = runtime::SystemKind::kFuyao; break;
+    case System::kSpright: cfg.system = runtime::SystemKind::kSpright; break;
+    case System::kNightcore: cfg.system = runtime::SystemKind::kNightcore; break;
+  }
+
+  auto cluster = std::make_unique<runtime::Cluster>(sched, cfg);
+  cluster->add_worker(kNode1);
+  const bool single_node = system == System::kNightcore;
+  if (!single_node) cluster->add_worker(kNode2);
+  runtime::OnlineBoutique::deploy(*cluster, kNode1,
+                                  single_node ? kNode1 : kNode2);
+
+  std::unique_ptr<ingress::IngressFrontend> ing;
+  if (system == System::kPalladiumDne || system == System::kPalladiumCne) {
+    ingress::PalladiumIngress::Config icfg;
+    icfg.initial_workers = 2;
+    auto p = std::make_unique<ingress::PalladiumIngress>(*cluster, icfg);
+    p->expose_chain("/run", chain);
+    p->finish_setup();
+    ing = std::move(p);
+  } else {
+    ingress::ProxyIngress::Config icfg;
+    icfg.stack = (system == System::kFuyaoF || system == System::kSpright)
+                     ? proto::StackKind::kFstack
+                     : proto::StackKind::kKernel;
+    // NightCore ships a simple built-in kernel ingress (single worker).
+    icfg.cores = system == System::kNightcore ? 1 : 2;
+    auto p = std::make_unique<ingress::ProxyIngress>(*cluster, icfg);
+    p->expose_chain("/run", chain);
+    p->finish_setup();
+    ing = std::move(p);
+  }
+  cluster->finish_setup();
+
+  // Snapshot CPU counters at the start of the measured window.
+  const auto snapshot = [&] {
+    sim::Duration cpu = 0;
+    for (NodeId n : {kNode1, kNode2}) {
+      if (!cluster->has_worker(n)) continue;
+      cpu += cluster->worker(n).cpu().total_busy_ns();
+    }
+    return cpu;
+  };
+  const auto fn_compute = [&] {
+    sim::Duration total = 0;
+    for (std::uint32_t f = 1; f <= 10; ++f) {
+      total += cluster->instance(FunctionId{f}).compute_ns_total();
+    }
+    return total;
+  };
+
+  workload::HttpLoadGen::Config wcfg;
+  wcfg.target = "/run";
+  wcfg.body = std::string(128, 'x');
+  wcfg.client_cores = clients;
+  workload::HttpLoadGen wrk(sched, *ing, wcfg);
+  wrk.add_clients(clients);
+
+  // Warm up 1 s, then measure.
+  sched.run_until(sched.now() + 1'000'000'000);
+  const auto cpu0 = snapshot();
+  const auto fn0 = fn_compute();
+  const auto start = sched.now();
+  sched.run_until(start + kRun);
+  const auto cpu1 = snapshot();
+  const auto fn1 = fn_compute();
+  const auto measured_rps = wrk.rps(start, start + kRun);
+  wrk.stop();
+  sched.run();
+
+  Result r;
+  r.rps = measured_rps;
+  r.mean_ms = wrk.latencies().mean_ns() / 1e6;
+  const double wall = sim::to_sec(kRun);
+  r.cpu_cores = (sim::to_sec(cpu1 - cpu0) - sim::to_sec(fn1 - fn0)) / wall;
+
+  // Pinned cores: busy-polling engines occupy their core outright.
+  for (NodeId n : {kNode1, kNode2}) {
+    if (!cluster->has_worker(n)) continue;
+    auto& node = cluster->worker(n);
+    if (node.engine_core().busy_poll()) {
+      if (system == System::kPalladiumDne) {
+        r.dpu_cores += 1.0;  // a wimpy DPU core, not a host core
+      } else {
+        r.pinned_cpu += 1.0;
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pd::bench;
+  const System systems[] = {System::kPalladiumDne, System::kPalladiumCne,
+                            System::kFuyaoF,       System::kFuyaoK,
+                            System::kSpright,      System::kNightcore};
+  const std::uint32_t chains[] = {runtime::OnlineBoutique::kHomeQuery,
+                                  runtime::OnlineBoutique::kViewCart,
+                                  runtime::OnlineBoutique::kProductQuery};
+  const int loads[] = {20, 60, 80};
+
+  // results[system][chain][load]
+  Result results[6][3][3];
+  for (int s = 0; s < 6; ++s) {
+    for (int c = 0; c < 3; ++c) {
+      for (int l = 0; l < 3; ++l) {
+        results[s][c][l] = run(systems[s], chains[c], loads[l]);
+      }
+    }
+  }
+
+  for (int c = 0; c < 3; ++c) {
+    print_title(std::string("Figure 16 (") + std::to_string(c + 1) +
+                "): Online Boutique RPS — " +
+                runtime::OnlineBoutique::chain_name(chains[c]) +
+                "\nPaper reference: DNE 2.1-4.1x FUYAO-F, 2.4-4.1x SPRIGHT, "
+                "5.1-20.9x NightCore; DNE 1.3-1.8x CNE beyond 20 clients");
+    Table t({"system", "20 clients", "60 clients", "80 clients"});
+    for (int s = 0; s < 6; ++s) {
+      t.add_row({name_of(systems[s]), fmt_k(results[s][c][0].rps),
+                 fmt_k(results[s][c][1].rps), fmt_k(results[s][c][2].rps)});
+    }
+    t.print();
+    const double dne80 = results[0][c][2].rps;
+    print_note("DNE speedups @80 clients: vs CNE x" +
+               fmt(dne80 / results[1][c][2].rps, 2) + ", vs FUYAO-F x" +
+               fmt(dne80 / results[2][c][2].rps, 2) + ", vs SPRIGHT x" +
+               fmt(dne80 / results[4][c][2].rps, 2) + ", vs NightCore x" +
+               fmt(dne80 / results[5][c][2].rps, 2));
+  }
+
+  print_title(
+      "Table 2: average latency (ms) of Online Boutique chains\n"
+      "Paper reference @Home Query: DNE 1.12/2.55/3.19, CNE 1.43/4.39/5.62, "
+      "FUYAO-F 3.53/5.96/7.53, SPRIGHT 2.66/7.78/10.4, NightCore 10.77/32.4/42.8");
+  {
+    Table t({"system", "HomeQ 20", "HomeQ 60", "HomeQ 80", "Cart 20", "Cart 60",
+             "Cart 80", "Prod 20", "Prod 60", "Prod 80"});
+    for (int s = 0; s < 6; ++s) {
+      std::vector<std::string> row{name_of(systems[s])};
+      for (int c = 0; c < 3; ++c) {
+        for (int l = 0; l < 3; ++l) {
+          row.push_back(fmt(results[s][c][l].mean_ms, 2));
+        }
+      }
+      t.add_row(row);
+    }
+    t.print();
+  }
+
+  print_title(
+      "Figure 16 (4)-(6): efficiency of offloading — data-plane core usage "
+      "at 80 clients\nPaper reference: FUYAO saturates >5 CPU cores; "
+      "PALLADIUM (DNE) holds 2 wimpy DPU cores at 100% and frees up to 7 "
+      "CPU cores");
+  {
+    Table t({"system", "chain", "CPU cores (useful)", "pinned CPU cores",
+             "DPU cores"});
+    for (int s = 0; s < 6; ++s) {
+      for (int c = 0; c < 3; ++c) {
+        const auto& r = results[s][c][2];
+        t.add_row({name_of(systems[s]),
+                   runtime::OnlineBoutique::chain_name(chains[c]),
+                   fmt(r.cpu_cores, 2), fmt(r.pinned_cpu, 1),
+                   fmt(r.dpu_cores, 1)});
+      }
+    }
+    t.print();
+    const double dne_cpu = results[0][0][2].cpu_cores;
+    const double fuyao_cpu =
+        results[3][0][2].cpu_cores + results[3][0][2].pinned_cpu;
+    print_note("Home Query @80: FUYAO-K worker-side CPU vs DNE: " +
+               fmt(fuyao_cpu, 2) + " vs " + fmt(dne_cpu, 2) + " cores (x" +
+               fmt(fuyao_cpu / dne_cpu, 1) + "), DNE offloads to 2 DPU cores");
+  }
+  return 0;
+}

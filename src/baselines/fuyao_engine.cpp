@@ -1,0 +1,223 @@
+#include "baselines/fuyao_engine.hpp"
+
+#include <cstring>
+
+#include "proto/cost_model.hpp"
+
+namespace pd::baselines {
+namespace {
+
+/// Infra tenant owning the staging pool and the engine's QPs.
+TenantId staging_tenant(NodeId node) { return TenantId{0xFFF00000u | node.value()}; }
+
+constexpr std::size_t kStagingPoolBuffers = 1024;
+constexpr Bytes kStagingBufferBytes = 16 * 1024;
+constexpr std::uint64_t kWriteIdBase = 1'000'000'000ULL;
+
+}  // namespace
+
+FuyaoEngine::FuyaoEngine(sim::Scheduler& sched, NodeId node,
+                         sim::Core& engine_core, mem::MemoryDomain& host_mem,
+                         rdma::Rnic& rnic,
+                         std::shared_ptr<FuyaoDirectory> directory,
+                         int staging_slots)
+    : sched_(sched),
+      node_(node),
+      engine_core_(engine_core),
+      host_mem_(host_mem),
+      rnic_(rnic),
+      directory_(std::move(directory)),
+      staging_slots_(staging_slots),
+      sockmap_(sched) {
+  PD_CHECK(directory_ != nullptr, "FUYAO engine needs a directory");
+  PD_CHECK(staging_slots_ > 0, "need at least one staging slot");
+  PD_CHECK(directory_->engines.emplace(node_, this).second,
+           "node " << node_ << " already has a FUYAO engine");
+
+  staging_ = &host_mem_.create_tenant_pool(
+      staging_tenant(node_), "fuyao_staging_" + std::to_string(node_.value()),
+      kStagingPoolBuffers, kStagingBufferBytes);
+  staging_->export_to_rdma();
+  rnic_.register_memory(staging_->pool_id());
+  rnic_.set_write_monitor(staging_->pool_id(),
+                          [this](const mem::BufferDescriptor& slot,
+                                 std::uint32_t len) {
+                            on_write_arrival(slot, len);
+                          });
+  rnic_.cq().set_notify([this] { on_cq_event(); });
+
+  sockmap_.register_socket(core::kEngineSocket, engine_core_,
+                           [this](const mem::BufferDescriptor& d) {
+                             on_ingest(d);
+                           });
+  // FUYAO's receiver continuously polls for one-sided write arrivals: the
+  // engine core is pinned and 100% occupied (§4.3.1).
+  engine_core_.set_busy_poll(true);
+}
+
+FuyaoEngine::~FuyaoEngine() { directory_->engines.erase(node_); }
+
+mem::BufferPool& FuyaoEngine::pool_of(const mem::BufferDescriptor& d) {
+  return host_mem_.by_pool(d.pool).pool();
+}
+
+void FuyaoEngine::add_tenant(TenantId tenant, std::uint32_t) {
+  auto& tm = host_mem_.by_tenant(tenant);
+  PD_CHECK(tm.exported_to_rdma(), "tenant pool lacks RDMA export grant");
+  rnic_.register_memory(tm.pool_id());
+}
+
+void FuyaoEngine::connect_peer(NodeId remote) {
+  if (peers_.find(remote) != peers_.end()) return;
+  auto it = directory_->engines.find(remote);
+  PD_CHECK(it != directory_->engines.end(), "no FUYAO engine on node " << remote);
+  FuyaoEngine& peer = *it->second;
+
+  // One RC QP per direction, kept active (FUYAO engines are trusted infra).
+  rdma::QueuePair& here = rnic_.create_qp(staging_tenant(node_));
+  rdma::QueuePair& there = peer.rnic_.create_qp(staging_tenant(remote));
+  rdma::connect_qps(here, there, [&here, &there, this, remote, &peer] {
+    here.activate([this, remote] { try_drain(remote); });
+    there.activate([&peer, self = node_] { peer.try_drain(self); });
+  });
+
+  PeerState mine;
+  mine.qp = &here;
+  mine.remote_staging = peer.staging_->pool_id();
+  PeerState theirs;
+  theirs.qp = &there;
+  theirs.remote_staging = staging_->pool_id();
+
+  // Carve my inbound slots for this peer and hand the indices over as the
+  // peer's initial credit window (and vice versa).
+  for (int i = 0; i < staging_slots_; ++i) {
+    auto slot = staging_->pool().allocate(mem::actor_rnic(node_));
+    PD_CHECK(slot.has_value(), "staging pool exhausted while carving slots");
+    slot_owner_[slot->index] = remote;
+    mine.qp = &here;
+    theirs.free_slots.push_back(slot->index);
+
+    auto peer_slot = peer.staging_->pool().allocate(mem::actor_rnic(remote));
+    PD_CHECK(peer_slot.has_value(), "peer staging pool exhausted");
+    peer.slot_owner_[peer_slot->index] = node_;
+    mine.free_slots.push_back(peer_slot->index);
+  }
+
+  peers_.emplace(remote, std::move(mine));
+  peer.peers_.emplace(node_, std::move(theirs));
+}
+
+void FuyaoEngine::register_local_function(FunctionId fn, TenantId tenant,
+                                          sim::Core& host_core,
+                                          ipc::DescriptorHandler deliver) {
+  fn_tenant_[fn] = tenant;
+  sockmap_.register_socket(fn, host_core, std::move(deliver));
+}
+
+sim::Duration FuyaoEngine::ingest_cost() const { return cost::kSkMsgSendNs; }
+
+void FuyaoEngine::submit(FunctionId src, sim::Core& src_core,
+                         const mem::BufferDescriptor& d, bool precharged) {
+  pool_of(d).transfer(d, mem::actor_function(src), actor());
+  sockmap_.send(core::kEngineSocket, d, precharged ? nullptr : &src_core);
+}
+
+void FuyaoEngine::on_ingest(const mem::BufferDescriptor& d) {
+  const core::MessageHeader h = core::read_header(pool_of(d).access(d, actor()));
+  const NodeId dest = routes_.lookup(h.dst());
+  PD_CHECK(dest != node_, "FUYAO ingest for a local destination");
+  auto it = peers_.find(dest);
+  PD_CHECK(it != peers_.end(), "peer " << dest << " not connected");
+  it->second.backlog.push_back(d);
+  try_drain(dest);
+}
+
+void FuyaoEngine::try_drain(NodeId peer_node) {
+  auto it = peers_.find(peer_node);
+  if (it == peers_.end()) return;
+  PeerState& peer = it->second;
+  while (!peer.backlog.empty() && !peer.free_slots.empty() &&
+         peer.qp->state() == rdma::QpState::kActive) {
+    const mem::BufferDescriptor d = peer.backlog.front();
+    peer.backlog.pop_front();
+    post_write(peer, d);
+  }
+}
+
+void FuyaoEngine::post_write(PeerState& peer, const mem::BufferDescriptor& d) {
+  const std::uint32_t slot = peer.free_slots.front();
+  peer.free_slots.pop_front();
+  ++relayed_;
+
+  engine_core_.submit(cost::kDneSchedNs + cost::kDneTxStageNs,
+                      [this, &peer, d, slot] {
+                        pool_of(d).transfer(d, actor(), mem::actor_rnic(node_));
+                        rdma::WorkRequest wr;
+                        wr.wr_id = kWriteIdBase + d.index;
+                        wr.opcode = rdma::Opcode::kWrite;
+                        wr.local = d;
+                        wr.remote_pool = peer.remote_staging;
+                        wr.remote_index = slot;
+                        peer.qp->post_send(wr);
+                      });
+}
+
+void FuyaoEngine::on_cq_event() {
+  // Only write completions arrive here: recycle source buffers.
+  for (const auto& c : rnic_.cq().poll(16)) {
+    PD_CHECK(!c.is_recv && c.opcode == rdma::Opcode::kWrite,
+             "unexpected completion in FUYAO engine");
+    pool_of(c.buffer).transfer(c.buffer, mem::actor_rnic(node_), actor());
+    pool_of(c.buffer).release(c.buffer, actor());
+  }
+}
+
+void FuyaoEngine::on_write_arrival(const mem::BufferDescriptor& slot,
+                                   std::uint32_t len) {
+  // Busy-polling receiver: detection at the next poll tick, then the
+  // receiver-side copy into the destination tenant's pool.
+  sched_.schedule_after(cost::kOneSidedPollIntervalNs / 2, [this, slot, len] {
+    const auto copy_ns =
+        cost::kOneSidedPollWorkNs + cost::kCopyBaseNs +
+        static_cast<sim::Duration>(static_cast<double>(len) *
+                                   cost::kCopyColdPerByteNs);
+    engine_core_.submit(copy_ns, [this, slot, len] {
+      auto& spool = staging_->pool();
+      spool.transfer(slot, mem::actor_rnic(node_), actor());
+      const core::MessageHeader h = core::read_header(spool.access(slot, actor()));
+
+      const auto ft = fn_tenant_.find(h.dst());
+      PD_CHECK(ft != fn_tenant_.end(),
+               "FUYAO arrival for unknown function " << h.dst());
+      auto& tpool = host_mem_.by_tenant(ft->second).pool();
+      auto d = tpool.allocate(actor());
+      PD_CHECK(d.has_value(), "tenant pool exhausted on FUYAO receive");
+      auto dst_span = tpool.access(*d, actor());
+      auto src_span = spool.access(slot, actor());
+      PD_CHECK(len <= dst_span.size(), "FUYAO frame exceeds tenant buffer");
+      std::memcpy(dst_span.data(), src_span.data(), len);
+      const auto sized = tpool.resize(*d, actor(), len);
+
+      // Slot drained: hand it back to the RNIC and return the credit.
+      spool.transfer(slot, actor(), mem::actor_rnic(node_));
+      const auto owner = slot_owner_.find(slot.index);
+      PD_CHECK(owner != slot_owner_.end(), "arrival in uncarved slot");
+      return_credit(owner->second, slot.index);
+
+      tpool.transfer(sized, actor(), mem::actor_function(h.dst()));
+      sockmap_.send(h.dst(), sized, &engine_core_);
+    });
+  });
+}
+
+void FuyaoEngine::return_credit(NodeId to_peer, std::uint32_t slot) {
+  auto it = directory_->engines.find(to_peer);
+  PD_CHECK(it != directory_->engines.end(), "credit to unknown peer");
+  FuyaoEngine& peer = *it->second;
+  auto ps = peer.peers_.find(node_);
+  PD_CHECK(ps != peer.peers_.end(), "credit for unlinked peer");
+  ps->second.free_slots.push_back(slot);
+  peer.try_drain(node_);
+}
+
+}  // namespace pd::baselines

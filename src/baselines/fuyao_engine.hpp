@@ -1,0 +1,89 @@
+// FUYAO-style data plane (§2.2, §4.3 baseline): DPU-assisted coordination
+// but *one-sided* RDMA writes for inter-node transfers, with a dedicated
+// staging pool on each receiver and a receiver-side copy into the tenant
+// pool (the Fig. 2 (2) design). The receiving engine busy-polls a host
+// core for write arrivals — the always-100% CPU core Fig. 16 (4)-(6)
+// charges against FUYAO.
+//
+// Slot flow control: the sender consumes a credit per in-flight slot and
+// the receiver returns it once the staging slot is copied out. The credit
+// return itself is modeled as free (FUYAO piggybacks credits; their cost
+// is negligible next to the copy), which if anything flatters FUYAO.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "core/dataplane.hpp"
+#include "core/message.hpp"
+#include "ipc/skmsg.hpp"
+#include "rdma/connection.hpp"
+
+namespace pd::baselines {
+
+class FuyaoEngine;
+
+struct FuyaoDirectory {
+  std::unordered_map<NodeId, FuyaoEngine*> engines;
+};
+
+class FuyaoEngine : public core::DataPlane {
+ public:
+  /// `staging_slots`: per-peer inbound slot count (credit window).
+  FuyaoEngine(sim::Scheduler& sched, NodeId node, sim::Core& engine_core,
+              mem::MemoryDomain& host_mem, rdma::Rnic& rnic,
+              std::shared_ptr<FuyaoDirectory> directory,
+              int staging_slots = 64);
+  ~FuyaoEngine() override;
+
+  void submit(FunctionId src, sim::Core& src_core,
+              const mem::BufferDescriptor& d,
+              bool precharged = false) override;
+  [[nodiscard]] sim::Duration ingest_cost() const override;
+  void register_local_function(FunctionId fn, TenantId tenant,
+                               sim::Core& host_core,
+                               ipc::DescriptorHandler deliver) override;
+  core::InterNodeRoutingTable& routes() override { return routes_; }
+  void add_tenant(TenantId tenant, std::uint32_t weight) override;
+  void connect_peer(NodeId remote) override;
+  [[nodiscard]] NodeId node() const override { return node_; }
+
+  [[nodiscard]] sim::Core& core() { return engine_core_; }
+  [[nodiscard]] std::uint64_t relayed() const { return relayed_; }
+
+ private:
+  struct PeerState {
+    rdma::QueuePair* qp = nullptr;          // established + activated
+    PoolId remote_staging{};                // peer's staging pool
+    std::deque<std::uint32_t> free_slots;   // credits for peer's slots
+    std::deque<mem::BufferDescriptor> backlog;  // waiting for credits
+  };
+
+  void on_ingest(const mem::BufferDescriptor& d);
+  void try_drain(NodeId peer);
+  void post_write(PeerState& peer, const mem::BufferDescriptor& d);
+  void on_write_arrival(const mem::BufferDescriptor& slot, std::uint32_t len);
+  void return_credit(NodeId to_peer, std::uint32_t slot);
+  void on_cq_event();
+  mem::BufferPool& pool_of(const mem::BufferDescriptor& d);
+  [[nodiscard]] mem::Actor actor() const { return mem::actor_engine(node_); }
+
+  sim::Scheduler& sched_;
+  NodeId node_;
+  sim::Core& engine_core_;
+  mem::MemoryDomain& host_mem_;
+  rdma::Rnic& rnic_;
+  std::shared_ptr<FuyaoDirectory> directory_;
+  int staging_slots_;
+  core::InterNodeRoutingTable routes_;
+  ipc::SockMap sockmap_;
+  mem::TenantMemory* staging_ = nullptr;  // my inbound staging pool
+  std::unordered_map<FunctionId, TenantId> fn_tenant_;
+  std::unordered_map<NodeId, PeerState> peers_;
+  /// staging slot index -> node that writes into it (for credit returns).
+  std::unordered_map<std::uint32_t, NodeId> slot_owner_;
+  std::uint64_t relayed_ = 0;
+};
+
+}  // namespace pd::baselines

@@ -1,0 +1,173 @@
+#include "baselines/tcp_engine.hpp"
+
+#include <cstring>
+
+#include "proto/cost_model.hpp"
+
+namespace pd::baselines {
+namespace {
+
+/// Wire format between relay engines: 4-byte tenant id, then the message
+/// (header + payload) verbatim.
+std::string wire_encode(TenantId tenant, std::span<const std::byte> msg) {
+  std::string out;
+  out.resize(sizeof(std::uint32_t) + msg.size());
+  const std::uint32_t t = tenant.value();
+  std::memcpy(out.data(), &t, sizeof t);
+  std::memcpy(out.data() + sizeof t, msg.data(), msg.size());
+  return out;
+}
+
+}  // namespace
+
+TcpRelayEngine::TcpRelayEngine(sim::Scheduler& sched, NodeId node,
+                               sim::Core& engine_core,
+                               mem::MemoryDomain& host_mem,
+                               fabric::Switch& eth,
+                               std::shared_ptr<TcpRelayDirectory> directory,
+                               proto::StackKind stack, bool broker_local)
+    : sched_(sched),
+      node_(node),
+      engine_core_(engine_core),
+      host_mem_(host_mem),
+      eth_(eth),
+      directory_(std::move(directory)),
+      stack_(stack),
+      broker_local_(broker_local),
+      sockmap_(sched) {
+  PD_CHECK(directory_ != nullptr, "relay engine needs a directory");
+  PD_CHECK(directory_->engines.emplace(node_, this).second,
+           "node " << node_ << " already has a relay engine");
+  sockmap_.register_socket(core::kEngineSocket, engine_core_,
+                           [this](const mem::BufferDescriptor& d) {
+                             on_ingest(d);
+                           });
+}
+
+TcpRelayEngine::~TcpRelayEngine() { directory_->engines.erase(node_); }
+
+mem::BufferPool& TcpRelayEngine::pool_of(const mem::BufferDescriptor& d) {
+  return host_mem_.by_pool(d.pool).pool();
+}
+
+void TcpRelayEngine::add_tenant(TenantId, std::uint32_t) {
+  // No RDMA resources to provision; tenant pools attach lazily.
+}
+
+void TcpRelayEngine::connect_peer(NodeId remote) {
+  if (shared_conns_a_.find(remote) != shared_conns_a_.end() ||
+      shared_conns_b_.find(remote) != shared_conns_b_.end()) {
+    return;  // peer already linked (from either side)
+  }
+  auto it = directory_->engines.find(remote);
+  PD_CHECK(it != directory_->engines.end(),
+           "no relay engine on node " << remote);
+  TcpRelayEngine& peer = *it->second;
+
+  // Engine-to-engine relay sockets are long-lived and batched.
+  proto::TcpEndpoint a;
+  a.node = node_;
+  a.stack = stack_ == proto::StackKind::kKernel
+                ? proto::StackKind::kKernelPersistent
+                : stack_;
+  a.core = &engine_core_;
+  a.on_message = [this](std::string_view bytes) { on_peer_bytes(bytes); };
+  proto::TcpEndpoint b;
+  b.node = remote;
+  b.stack = peer.stack_ == proto::StackKind::kKernel
+                ? proto::StackKind::kKernelPersistent
+                : peer.stack_;
+  b.core = &peer.engine_core_;
+  b.on_message = [&peer](std::string_view bytes) { peer.on_peer_bytes(bytes); };
+
+  auto conn = std::make_shared<proto::TcpConnection>(sched_, eth_, a, b);
+  conn->connect(nullptr);
+  // Both sides reference the same connection; A is this engine.
+  shared_conns_a_[remote] = conn;
+  peer.shared_conns_b_[node_] = conn;
+}
+
+void TcpRelayEngine::register_local_function(FunctionId fn, TenantId,
+                                             sim::Core& host_core,
+                                             ipc::DescriptorHandler deliver) {
+  sockmap_.register_socket(fn, host_core, std::move(deliver));
+}
+
+sim::Duration TcpRelayEngine::ingest_cost() const { return cost::kSkMsgSendNs; }
+
+void TcpRelayEngine::submit(FunctionId src, sim::Core& src_core,
+                            const mem::BufferDescriptor& d, bool precharged) {
+  pool_of(d).transfer(d, mem::actor_function(src), actor());
+  sockmap_.send(core::kEngineSocket, d, precharged ? nullptr : &src_core);
+}
+
+void TcpRelayEngine::on_ingest(const mem::BufferDescriptor& d) {
+  auto& pool = pool_of(d);
+  const auto span = pool.access(d, actor());
+  const core::MessageHeader h = core::read_header(span);
+
+  if (broker_local_ && !routes_.has_route(h.dst())) {
+    // NightCore dispatcher: local invocation brokered by the engine with
+    // HTTP-based invocation framing.
+    engine_core_.submit(cost::kDispatcherPerInvocationNs, [this, d,
+                                                           dst = h.dst()] {
+      pool_of(d).transfer(d, actor(), mem::actor_function(dst));
+      sockmap_.send(dst, d, &engine_core_);
+    });
+    return;
+  }
+  const NodeId dest = routes_.lookup(h.dst());
+  PD_CHECK(dest != node_, "relay ingest for a local destination");
+
+  // Serialization: the payload is copied out of the shared-memory pool
+  // into a socket buffer — the cost distributed zero-copy avoids.
+  const std::uint32_t msg_len = core::message_bytes(h.payload_len);
+  const auto copy_ns =
+      cost::kCopyBaseNs + static_cast<sim::Duration>(
+                              static_cast<double>(msg_len) *
+                              cost::kKernelCopyPerByteNs);
+  std::string bytes = wire_encode(d.tenant, span.subspan(0, msg_len));
+  pool.release(d, actor());
+  ++relayed_;
+
+  engine_core_.submit(copy_ns, [this, dest, bytes = std::move(bytes)]() mutable {
+    auto it_a = shared_conns_a_.find(dest);
+    if (it_a != shared_conns_a_.end()) {
+      it_a->second->send_a_to_b(std::move(bytes));
+      return;
+    }
+    auto it_b = shared_conns_b_.find(dest);
+    PD_CHECK(it_b != shared_conns_b_.end(), "no TCP path to node " << dest);
+    it_b->second->send_b_to_a(std::move(bytes));
+  });
+}
+
+void TcpRelayEngine::on_peer_bytes(std::string_view bytes) {
+  PD_CHECK(bytes.size() > sizeof(std::uint32_t), "short relay frame");
+  std::uint32_t t = 0;
+  std::memcpy(&t, bytes.data(), sizeof t);
+  const TenantId tenant{t};
+  const std::string_view msg = bytes.substr(sizeof t);
+
+  // Deserialization: copy from the socket buffer into a pool buffer.
+  auto& pool = host_mem_.by_tenant(tenant).pool();
+  auto d = pool.allocate(actor());
+  PD_CHECK(d.has_value(), "tenant pool exhausted on relay receive");
+  auto span = pool.access(*d, actor());
+  PD_CHECK(msg.size() <= span.size(), "relay frame exceeds buffer");
+  std::memcpy(span.data(), msg.data(), msg.size());
+  const auto sized =
+      pool.resize(*d, actor(), static_cast<std::uint32_t>(msg.size()));
+
+  const core::MessageHeader h = core::read_header(span);
+  const auto copy_ns =
+      cost::kCopyBaseNs + static_cast<sim::Duration>(
+                              static_cast<double>(msg.size()) *
+                              cost::kKernelCopyPerByteNs);
+  engine_core_.submit(copy_ns, [this, sized, dst = h.dst()] {
+    pool_of(sized).transfer(sized, actor(), mem::actor_function(dst));
+    sockmap_.send(dst, sized, &engine_core_);
+  });
+}
+
+}  // namespace pd::baselines

@@ -1,0 +1,15 @@
+#include "common/check.hpp"
+
+namespace pd::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+  std::ostringstream oss;
+  oss << "PD_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) {
+    oss << " — " << msg;
+  }
+  throw CheckFailure(oss.str());
+}
+
+}  // namespace pd::detail

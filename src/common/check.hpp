@@ -1,0 +1,39 @@
+// Invariant-checking macros used throughout the Palladium code base.
+//
+// PD_CHECK is always on (release and debug): data-plane invariants such as
+// buffer-ownership exclusivity are part of the library's contract, and
+// violating them must fail loudly rather than corrupt a simulation result.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pd {
+
+/// Thrown when a PD_CHECK fails. Deriving from std::logic_error: a failed
+/// check is always a programming error, never an environmental condition.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+}  // namespace detail
+
+}  // namespace pd
+
+#define PD_CHECK(expr, ...)                                              \
+  do {                                                                   \
+    if (!(expr)) [[unlikely]] {                                          \
+      ::std::ostringstream pd_check_oss;                                 \
+      pd_check_oss << "" __VA_ARGS__;                                    \
+      ::pd::detail::check_failed(#expr, __FILE__, __LINE__,              \
+                                 pd_check_oss.str());                    \
+    }                                                                    \
+  } while (false)
+
+#define PD_UNREACHABLE(msg) \
+  ::pd::detail::check_failed("unreachable", __FILE__, __LINE__, (msg))

@@ -1,0 +1,58 @@
+// Strongly-typed identifiers for the Palladium data plane.
+//
+// Every entity that crosses a module boundary (nodes, tenants, functions,
+// queue pairs, memory pools, ...) gets its own ID type so that mixing them
+// up is a compile-time error rather than a silent routing bug.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace pd {
+
+/// CRTP-free strong integer ID. `Tag` only disambiguates the type.
+template <typename Tag, typename Rep = std::uint32_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != invalid_rep; }
+
+  friend constexpr bool operator==(StrongId, StrongId) = default;
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    return os << id.value_;
+  }
+
+  static constexpr Rep invalid_rep = static_cast<Rep>(-1);
+  static constexpr StrongId invalid() { return StrongId{invalid_rep}; }
+
+ private:
+  Rep value_ = invalid_rep;
+};
+
+using NodeId = StrongId<struct NodeTag>;
+using TenantId = StrongId<struct TenantTag>;
+using FunctionId = StrongId<struct FunctionTag>;
+using PoolId = StrongId<struct PoolTag>;
+using QpId = StrongId<struct QpTag>;
+using ConnectionId = StrongId<struct ConnectionTag, std::uint64_t>;
+using RequestId = StrongId<struct RequestTag, std::uint64_t>;
+using ChannelId = StrongId<struct ChannelTag>;
+
+}  // namespace pd
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<pd::StrongId<Tag, Rep>> {
+  size_t operator()(pd::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+}  // namespace std

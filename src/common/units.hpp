@@ -1,0 +1,29 @@
+// Size and rate units used across the data plane.
+#pragma once
+
+#include <cstdint>
+
+namespace pd {
+
+using Bytes = std::uint64_t;
+
+constexpr Bytes operator""_B(unsigned long long v) { return v; }
+constexpr Bytes operator""_KiB(unsigned long long v) { return v * 1024ULL; }
+constexpr Bytes operator""_MiB(unsigned long long v) {
+  return v * 1024ULL * 1024ULL;
+}
+constexpr Bytes operator""_GiB(unsigned long long v) {
+  return v * 1024ULL * 1024ULL * 1024ULL;
+}
+
+/// Bits per second (link speeds quoted the networking way).
+using BitsPerSec = double;
+
+constexpr BitsPerSec operator""_Gbps(unsigned long long v) {
+  return static_cast<double>(v) * 1e9;
+}
+constexpr BitsPerSec operator""_Mbps(unsigned long long v) {
+  return static_cast<double>(v) * 1e6;
+}
+
+}  // namespace pd

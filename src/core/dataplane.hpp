@@ -1,0 +1,49 @@
+// The inter-node data-plane interface shared by Palladium's network
+// engines and the baseline systems (SPRIGHT, NightCore, FUYAO). The
+// function runtime's I/O library talks to whichever implementation the
+// cluster was assembled with — the experiments in §4.3 swap these.
+#pragma once
+
+#include "ipc/channel.hpp"
+#include "core/routing.hpp"
+
+namespace pd::core {
+
+/// Reserved function id for an engine's own ingest socket (the SK_MSG /
+/// Comch endpoint functions redirect descriptors to).
+inline constexpr FunctionId kEngineSocket{0xFFFF0000};
+
+class DataPlane {
+ public:
+  virtual ~DataPlane() = default;
+
+  /// Hand a message (ownership included) to the engine for transmission to
+  /// a function on another node. `src_core` is the calling function's core
+  /// and is charged `ingest_cost()` for the channel enqueue; pass
+  /// `precharged = true` when the caller already folded that cost into its
+  /// own run-to-completion job.
+  virtual void submit(FunctionId src, sim::Core& src_core,
+                      const mem::BufferDescriptor& d,
+                      bool precharged = false) = 0;
+
+  /// Host-side CPU cost of handing one descriptor to this engine.
+  [[nodiscard]] virtual sim::Duration ingest_cost() const = 0;
+
+  /// Register a local function (of `tenant`) for inbound delivery.
+  virtual void register_local_function(FunctionId fn, TenantId tenant,
+                                       sim::Core& host_core,
+                                       ipc::DescriptorHandler deliver) = 0;
+
+  /// Remote-function placement, synchronized by the coordinator.
+  virtual InterNodeRoutingTable& routes() = 0;
+
+  /// Tenant admission (weight only meaningful where the engine schedules).
+  virtual void add_tenant(TenantId tenant, std::uint32_t weight) = 0;
+
+  /// Make a peer node reachable.
+  virtual void connect_peer(NodeId remote) = 0;
+
+  [[nodiscard]] virtual NodeId node() const = 0;
+};
+
+}  // namespace pd::core

@@ -1,0 +1,162 @@
+// Deficit Weighted Round Robin scheduler (Shreedhar & Varghese [79]),
+// used by the DNE to share RNIC bandwidth between tenants (§3.3).
+//
+// Real algorithm, not a model: per-tenant FIFO queues, a quantum
+// proportional to the tenant's weight credited on each round-robin visit,
+// and a deficit counter spent per dequeued item. With unit item cost this
+// yields throughput shares proportional to weights whenever tenants are
+// backlogged — exactly Fig. 15's property.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/ids.hpp"
+
+namespace pd::core {
+
+template <typename Item>
+class DwrrScheduler {
+ public:
+  /// `quantum_base`: credit per weight unit per round (in the same cost
+  /// units used by enqueue; use 1 for request-count fairness).
+  explicit DwrrScheduler(std::uint32_t quantum_base = 1)
+      : quantum_base_(quantum_base) {
+    PD_CHECK(quantum_base_ > 0, "quantum must be positive");
+  }
+
+  /// Register a tenant with its weight. Must precede enqueue.
+  void add_tenant(TenantId tenant, std::uint32_t weight) {
+    PD_CHECK(weight > 0, "tenant weight must be positive");
+    PD_CHECK(queues_.find(tenant) == queues_.end(),
+             "tenant " << tenant << " already registered");
+    queues_.emplace(tenant, Queue{weight, 0, {}});
+    order_.push_back(tenant);
+  }
+
+  void remove_tenant(TenantId tenant) {
+    auto it = queues_.find(tenant);
+    PD_CHECK(it != queues_.end(), "unknown tenant " << tenant);
+    PD_CHECK(it->second.items.empty(), "removing tenant with queued items");
+    queues_.erase(it);
+    std::erase(order_, tenant);
+    if (cursor_ >= order_.size()) cursor_ = 0;
+  }
+
+  [[nodiscard]] bool has_tenant(TenantId tenant) const {
+    return queues_.find(tenant) != queues_.end();
+  }
+
+  /// Enqueue an item with `size` cost units (1 = per-request fairness).
+  void enqueue(TenantId tenant, Item item, std::uint32_t size = 1) {
+    auto it = queues_.find(tenant);
+    PD_CHECK(it != queues_.end(), "enqueue for unknown tenant " << tenant);
+    PD_CHECK(size > 0, "item size must be positive");
+    it->second.items.push_back(Entry{std::move(item), size});
+    ++pending_;
+  }
+
+  /// Dequeue the next item per DWRR order; nullopt when all queues empty.
+  std::optional<Item> dequeue() {
+    if (pending_ == 0) return std::nullopt;
+    // At most two passes over the tenants are needed when every queue's
+    // head exceeds its deficit (each pass tops deficits up by one quantum).
+    for (std::size_t scanned = 0; scanned < 2 * order_.size(); ++scanned) {
+      Queue& q = queues_.at(order_[cursor_]);
+      if (q.items.empty()) {
+        q.deficit = 0;  // empty queues hold no credit (standard DRR)
+        advance();
+        continue;
+      }
+      if (!q.visited_this_round) {
+        q.deficit += q.weight * quantum_base_;
+        q.visited_this_round = true;
+      }
+      if (q.items.front().size <= q.deficit) {
+        Entry e = std::move(q.items.front());
+        q.items.pop_front();
+        q.deficit -= e.size;
+        --pending_;
+        if (q.items.empty()) q.deficit = 0;
+        return std::move(e.item);
+      }
+      // Head too expensive this round: move on, credit persists.
+      q.visited_this_round = false;
+      advance();
+    }
+    // All heads exceeded even a fresh quantum (oversized items): serve the
+    // current head anyway to guarantee progress.
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+      Queue& q = queues_.at(order_[cursor_]);
+      if (!q.items.empty()) {
+        Entry e = std::move(q.items.front());
+        q.items.pop_front();
+        q.deficit = 0;
+        --pending_;
+        return std::move(e.item);
+      }
+      advance();
+    }
+    PD_UNREACHABLE("pending_ > 0 but no queued items");
+  }
+
+  [[nodiscard]] std::size_t pending() const { return pending_; }
+  [[nodiscard]] std::size_t pending_for(TenantId tenant) const {
+    auto it = queues_.find(tenant);
+    return it == queues_.end() ? 0 : it->second.items.size();
+  }
+  [[nodiscard]] std::uint32_t weight_of(TenantId tenant) const {
+    return queues_.at(tenant).weight;
+  }
+
+ private:
+  struct Entry {
+    Item item;
+    std::uint32_t size;
+  };
+  struct Queue {
+    std::uint32_t weight;
+    std::uint64_t deficit;
+    std::deque<Entry> items;
+    bool visited_this_round = false;
+  };
+
+  void advance() {
+    if (order_.empty()) return;
+    queues_.at(order_[cursor_]).visited_this_round = false;
+    cursor_ = (cursor_ + 1) % order_.size();
+  }
+
+  std::uint32_t quantum_base_;
+  std::unordered_map<TenantId, Queue> queues_;
+  std::vector<TenantId> order_;
+  std::size_t cursor_ = 0;
+  std::size_t pending_ = 0;
+};
+
+/// FCFS queue with the same interface — the no-isolation baseline the
+/// paper contrasts in Fig. 15 (1).
+template <typename Item>
+class FcfsScheduler {
+ public:
+  void add_tenant(TenantId, std::uint32_t) {}
+  void enqueue(TenantId, Item item, std::uint32_t = 1) {
+    items_.push_back(std::move(item));
+  }
+  std::optional<Item> dequeue() {
+    if (items_.empty()) return std::nullopt;
+    Item item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+  [[nodiscard]] std::size_t pending() const { return items_.size(); }
+
+ private:
+  std::deque<Item> items_;
+};
+
+}  // namespace pd::core

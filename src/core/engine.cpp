@@ -1,0 +1,318 @@
+#include "core/engine.hpp"
+
+#include "dpu/mmap.hpp"
+#include "proto/cost_model.hpp"
+
+namespace pd::core {
+
+const char* to_string(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kDneOffPath: return "DNE (off-path)";
+    case EngineKind::kDneOnPath: return "DNE (on-path)";
+    case EngineKind::kCne: return "CNE";
+  }
+  return "?";
+}
+
+NetworkEngine::NetworkEngine(sim::Scheduler& sched, EngineKind kind,
+                             EngineConfig config, sim::Core& engine_core,
+                             rdma::Rnic& rnic, mem::MemoryDomain& host_mem,
+                             dpu::Dpu* dpu)
+    : sched_(sched),
+      kind_(kind),
+      config_(config),
+      engine_core_(engine_core),
+      rnic_(rnic),
+      host_mem_(host_mem),
+      dpu_(dpu),
+      conn_mgr_(rnic, config.max_active_qps) {
+  PD_CHECK(kind_ == EngineKind::kCne || dpu_ != nullptr,
+           "DNE flavours require a DPU");
+  PD_CHECK(config_.srq_fill > 0 && config_.rc_connections > 0,
+           "bad engine config");
+
+  if (kind_ == EngineKind::kCne) {
+    sockmap_ = std::make_unique<ipc::SockMap>(sched_);
+    // The engine's own socket: functions redirect descriptors here for
+    // inter-node sends.
+    sockmap_->register_socket(kEngineSocket, engine_core_,
+                              [this](const mem::BufferDescriptor& d) {
+                                on_ingest(d);
+                              });
+  } else {
+    comch_ = std::make_unique<dpu::ComchServer>(
+        sched_, engine_core_, dpu::ComchVariant::kEvent,
+        [this](FunctionId, const mem::BufferDescriptor& d) { on_ingest(d); });
+    engine_core_.set_busy_poll(true);  // run-to-completion busy loop
+  }
+
+  rnic_.cq().set_notify([this] { kick_rx(); });
+  sched_.schedule_background_after(config_.replenish_period,
+                                   [this] { replenish_tick(); });
+}
+
+mem::BufferPool& NetworkEngine::pool_of(const mem::BufferDescriptor& d) {
+  return host_mem_.by_pool(d.pool).pool();
+}
+
+// ---------------------------------------------------------------------------
+// Control plane
+// ---------------------------------------------------------------------------
+
+void NetworkEngine::add_tenant(TenantId tenant, std::uint32_t weight) {
+  PD_CHECK(tenants_.find(tenant) == tenants_.end(),
+           "tenant " << tenant << " already registered with engine");
+  auto& tm = host_mem_.by_tenant(tenant);
+
+  if (kind_ != EngineKind::kCne) {
+    // Cross-processor mapping: import the host pool on the DPU, then
+    // register it with the RNIC (§3.4.2 steps 1-3).
+    auto mmap = dpu::CrossProcessorMmap::import_export_descriptor(tm);
+    PD_CHECK(mmap.rnic_registrable(),
+             "tenant pool lacks RDMA export grant for DNE registration");
+  } else {
+    PD_CHECK(tm.exported_to_rdma(), "tenant pool lacks RDMA export grant");
+  }
+  rnic_.register_memory(tm.pool_id());
+
+  tenants_.emplace(tenant, TenantState{weight});
+  dwrr_.add_tenant(tenant, weight);
+
+  fill_srq(tenant, static_cast<std::uint64_t>(config_.srq_fill));
+  for (NodeId peer : peers_) {
+    conn_mgr_.establish(peer, tenant, config_.rc_connections, nullptr);
+  }
+}
+
+void NetworkEngine::connect_peer(NodeId remote) {
+  PD_CHECK(remote != node(), "peer must be a different node");
+  for (NodeId p : peers_) PD_CHECK(p != remote, "peer already connected");
+  peers_.push_back(remote);
+  for (const auto& [tenant, state] : tenants_) {
+    conn_mgr_.establish(remote, tenant, config_.rc_connections, nullptr);
+  }
+}
+
+void NetworkEngine::register_local_function(FunctionId fn, TenantId tenant,
+                                            sim::Core& host_core,
+                                            ipc::DescriptorHandler deliver) {
+  PD_CHECK(tenants_.find(tenant) != tenants_.end(),
+           "register function of unknown tenant " << tenant);
+  PD_CHECK(local_fns_.emplace(fn, &host_core).second,
+           "function " << fn << " already registered");
+  if (comch_) {
+    comch_->connect(fn, host_core, std::move(deliver));
+  } else {
+    sockmap_->register_socket(fn, host_core, std::move(deliver));
+  }
+}
+
+void NetworkEngine::unregister_local_function(FunctionId fn) {
+  PD_CHECK(local_fns_.erase(fn) == 1, "function " << fn << " not registered");
+  if (comch_) {
+    comch_->disconnect(fn);
+  } else {
+    sockmap_->unregister_socket(fn);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TX path
+// ---------------------------------------------------------------------------
+
+sim::Duration NetworkEngine::ingest_cost() const {
+  return comch_ ? comch_->host_enqueue_cost() : cost::kSkMsgSendNs;
+}
+
+void NetworkEngine::submit(FunctionId src, sim::Core& src_core,
+                           const mem::BufferDescriptor& d, bool precharged) {
+  // The function hands its ownership token to the engine along with the
+  // descriptor (token passing, §3.5.1).
+  pool_of(d).transfer(d, mem::actor_function(src), actor());
+  if (comch_) {
+    comch_->send_to_server(src, d, /*charge_host=*/!precharged);
+  } else {
+    sockmap_->send(kEngineSocket, d, precharged ? nullptr : &src_core);
+  }
+}
+
+void NetworkEngine::on_ingest(const mem::BufferDescriptor& d) {
+  // Runs on the engine core (charged by the channel). Queue under the
+  // tenant and kick the TX stage.
+  PD_CHECK(tenants_.find(d.tenant) != tenants_.end(),
+           "message from unknown tenant " << d.tenant);
+  if (config_.use_dwrr) {
+    dwrr_.enqueue(d.tenant, d);
+  } else {
+    fcfs_.enqueue(d.tenant, d);
+  }
+  kick_tx();
+}
+
+std::size_t NetworkEngine::tx_backlog() const {
+  return config_.use_dwrr ? dwrr_.pending() : fcfs_.pending();
+}
+
+void NetworkEngine::kick_tx() {
+  if (tx_busy_ || tx_backlog() == 0) return;
+  tx_busy_ = true;
+  tx_iteration();
+}
+
+void NetworkEngine::tx_iteration() {
+  // One run-to-completion TX stage: scheduling decision + routing lookup +
+  // WR wrap + doorbell (§3.2).
+  const sim::Duration work =
+      cost::kDneSchedNs + cost::kDneTxStageNs + config_.extra_per_msg_ns;
+  engine_core_.submit(work, [this] {
+    auto item = config_.use_dwrr ? dwrr_.dequeue() : fcfs_.dequeue();
+    PD_CHECK(item.has_value(), "TX iteration with empty queues");
+    if (kind_ == EngineKind::kDneOnPath) {
+      // On-path: stage the payload through SoC memory first (slow DMA).
+      const auto bytes = item->length;
+      dpu_->dma().transfer(bytes, [this, d = *item] { transmit(d); });
+    } else {
+      transmit(*item);
+    }
+    if (tx_backlog() > 0) {
+      tx_iteration();
+    } else {
+      tx_busy_ = false;
+    }
+  });
+}
+
+void NetworkEngine::transmit(const mem::BufferDescriptor& d) {
+  const MessageHeader h = read_header(pool_of(d).access(d, actor()));
+  if (!routes_.has_route(h.dst())) {
+    ++counters_.drops_no_route;
+    pool_of(d).release(d, actor());
+    return;
+  }
+  const NodeId dest = routes_.lookup(h.dst());
+
+  pool_of(d).transfer(d, actor(), mem::actor_rnic(node()));
+  rdma::WorkRequest wr;
+  wr.wr_id = next_wr_id_++;
+  wr.opcode = rdma::Opcode::kSend;
+  wr.local = d;
+  conn_mgr_.send(dest, d.tenant, wr);
+  ++counters_.tx_msgs;
+}
+
+// ---------------------------------------------------------------------------
+// RX path
+// ---------------------------------------------------------------------------
+
+void NetworkEngine::kick_rx() {
+  if (rx_busy_) return;
+  rx_busy_ = true;
+  rx_iteration();
+}
+
+void NetworkEngine::rx_iteration() {
+  auto completions = rnic_.cq().poll(static_cast<std::size_t>(config_.rx_batch));
+  if (completions.empty()) {
+    rx_busy_ = false;
+    return;
+  }
+  sim::Duration work = 0;
+  for (const auto& c : completions) {
+    work += (c.is_recv ? cost::kDneRxStageNs : cost::kDneRxStageNs / 2) +
+            config_.extra_per_msg_ns;
+  }
+  engine_core_.submit(work, [this, completions = std::move(completions)] {
+    for (const auto& c : completions) {
+      if (c.is_recv) {
+        handle_recv(c);
+      } else {
+        handle_send_done(c);
+      }
+    }
+    rx_iteration();
+  });
+}
+
+void NetworkEngine::handle_recv(const rdma::Completion& c) {
+  rbr_.on_consumed(c.tenant, c.buffer);
+  auto& pool = pool_of(c.buffer);
+  pool.transfer(c.buffer, mem::actor_rnic(node()), actor());
+  ++counters_.rx_msgs;
+
+  const MessageHeader h = read_header(pool.access(c.buffer, actor()));
+  const FunctionId dst = h.dst();
+  if (local_fns_.find(dst) == local_fns_.end()) {
+    ++counters_.drops_no_route;
+    pool.release(c.buffer, actor());
+    return;
+  }
+  if (kind_ == EngineKind::kDneOnPath) {
+    // On-path: the payload was staged in SoC memory and must be DMA'd down
+    // to the host pool before the function can touch it.
+    dpu_->dma().transfer(c.byte_len,
+                         [this, buffer = c.buffer, dst] {
+                           deliver_local(buffer, dst);
+                         });
+  } else {
+    deliver_local(c.buffer, dst);
+  }
+}
+
+void NetworkEngine::deliver_local(const mem::BufferDescriptor& d,
+                                  FunctionId dst) {
+  // Ownership moves to the destination function together with the
+  // descriptor.
+  pool_of(d).transfer(d, actor(), mem::actor_function(dst));
+  if (comch_) {
+    comch_->send_to_client(dst, d);
+  } else {
+    sockmap_->send(dst, d, &engine_core_);
+  }
+}
+
+void NetworkEngine::handle_send_done(const rdma::Completion& c) {
+  // Sender-side buffer recycling: the WR left the NIC, reclaim the buffer
+  // into the tenant pool.
+  auto& pool = pool_of(c.buffer);
+  pool.transfer(c.buffer, mem::actor_rnic(node()), actor());
+  pool.release(c.buffer, actor());
+  ++counters_.recycled;
+}
+
+// ---------------------------------------------------------------------------
+// Core thread: SRQ replenishment
+// ---------------------------------------------------------------------------
+
+void NetworkEngine::replenish_tick() {
+  // Top each tenant's SRQ back up to its provisioned depth. (Posting only
+  // "as many as consumed" — the literal shared-counter reading — has a
+  // ratchet-down failure: a tenant whose deliveries dip to zero during a
+  // burst would never be replenished again. Keeping `outstanding` pinned
+  // at srq_fill is the fixpoint the paper's core thread maintains.)
+  for (auto& [tenant, state] : tenants_) {
+    (void)rbr_.take_consumed(tenant);  // reset the shared counter
+    const std::uint64_t outstanding = rbr_.outstanding(tenant);
+    const auto target = static_cast<std::uint64_t>(config_.srq_fill);
+    if (outstanding < target) fill_srq(tenant, target - outstanding);
+  }
+  sched_.schedule_background_after(config_.replenish_period,
+                                   [this] { replenish_tick(); });
+}
+
+void NetworkEngine::fill_srq(TenantId tenant, std::uint64_t n) {
+  auto& pool = host_mem_.by_tenant(tenant).pool();
+  std::uint64_t posted = 0;
+  for (; posted < n; ++posted) {
+    auto d = pool.allocate(mem::actor_rnic(node()));
+    if (!d.has_value()) break;  // pool pressure: retry next tick
+    rnic_.post_srq_recv(tenant, *d);
+    rbr_.on_posted(tenant, *d);
+  }
+  counters_.replenished += posted;
+  if (posted > 0) {
+    engine_core_.submit(static_cast<sim::Duration>(posted) *
+                        cost::kDneReplenishNs);
+  }
+}
+
+}  // namespace pd::core

@@ -1,0 +1,180 @@
+// Palladium's network engine: the node-wide reverse proxy that owns the
+// RDMA resources on behalf of tenant functions (§3.1–§3.5).
+//
+// Three build flavours share this implementation:
+//  - kDneOffPath — the paper's DNE: runs on a wimpy DPU core, reaches
+//    tenant buffers through cross-processor shared memory (off-path), and
+//    talks to host functions over Comch-E.
+//  - kDneOnPath  — ablation for Fig. 11: also on the DPU, but stages every
+//    payload through SoC memory with the slow SoC DMA engine.
+//  - kCne        — apples-to-apples CPU variant (§4.3): same logic on a
+//    host core, SK_MSG instead of Comch.
+//
+// Data plane: a non-blocking run-to-completion loop (§3.2). TX consumes
+// descriptors from tenant queues under DWRR (§3.3), resolves the
+// destination node, and posts two-sided SENDs on the least-congested RC
+// connection. RX polls CQEs, resolves the destination function via the
+// receive-buffer registry and message header, and forwards descriptors
+// over the cross-processor channel. A core-thread task replenishes each
+// tenant's shared RQ to match consumption (§3.5.2).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dataplane.hpp"
+#include "core/dwrr.hpp"
+#include "core/message.hpp"
+#include "core/rbr.hpp"
+#include "core/routing.hpp"
+#include "dpu/comch.hpp"
+#include "dpu/dpu.hpp"
+#include "ipc/skmsg.hpp"
+#include "rdma/connection.hpp"
+
+namespace pd::core {
+
+enum class EngineKind : std::uint8_t { kDneOffPath, kDneOnPath, kCne };
+
+const char* to_string(EngineKind kind);
+
+struct EngineConfig {
+  /// DWRR (true) or FCFS (false) tenant scheduling — Fig. 15's contrast.
+  bool use_dwrr = true;
+  /// Extra per-message work on the engine core, for experiments that pin
+  /// the engine's capacity to a target rate (§4.2 configures ~110K RPS).
+  sim::Duration extra_per_msg_ns = 0;
+  /// Receive buffers kept posted per tenant SRQ.
+  int srq_fill = 64;
+  /// Pre-established RC connections per (peer node, tenant).
+  int rc_connections = 2;
+  /// Core-thread replenish period.
+  sim::Duration replenish_period = 20'000;  // 20 µs
+  /// CQEs drained per RX iteration (batching in the event loop).
+  int rx_batch = 8;
+  /// Cap on simultaneously active (RNIC-cache-resident) QPs; shadow QPs
+  /// beyond this stay inactive until needed (§3.3 / [52]).
+  int max_active_qps = cost::kRnicQpCacheSlots;
+};
+
+struct EngineCounters {
+  std::uint64_t tx_msgs = 0;
+  std::uint64_t rx_msgs = 0;
+  std::uint64_t recycled = 0;
+  std::uint64_t replenished = 0;
+  std::uint64_t drops_no_route = 0;
+};
+
+class NetworkEngine : public DataPlane {
+ public:
+  /// `engine_core`: the DPU core (kDne*) or host core (kCne) running the
+  /// worker loop. `dpu` required for kDneOnPath (SoC DMA) and used for
+  /// Comch by both DNE flavours; pass nullptr for kCne.
+  NetworkEngine(sim::Scheduler& sched, EngineKind kind, EngineConfig config,
+                sim::Core& engine_core, rdma::Rnic& rnic,
+                mem::MemoryDomain& host_mem, dpu::Dpu* dpu);
+
+  NetworkEngine(const NetworkEngine&) = delete;
+  NetworkEngine& operator=(const NetworkEngine&) = delete;
+
+  // --- control plane -------------------------------------------------------
+
+  /// Register a tenant (weight used by DWRR). Imports its memory pool
+  /// cross-processor, registers it with the RNIC, fills its SRQ, and
+  /// establishes RC connections to all known peers.
+  void add_tenant(TenantId tenant, std::uint32_t weight) override;
+
+  /// Make `remote` reachable (establishes per-tenant RC connection pools).
+  void connect_peer(NodeId remote) override;
+
+  /// Register a local function: `deliver` runs on `host_core` when a
+  /// message for `fn` arrives from the fabric.
+  void register_local_function(FunctionId fn, TenantId tenant,
+                               sim::Core& host_core,
+                               ipc::DescriptorHandler deliver) override;
+  void unregister_local_function(FunctionId fn);
+
+  /// Coordinator-synchronized placement of remote functions.
+  InterNodeRoutingTable& routes() override { return routes_; }
+
+  // --- data plane (called from the function runtime / ingress) ------------
+
+  /// Hand a message to the engine for inter-node transmission. The caller
+  /// (function `src` on `src_core`) must have written the MessageHeader
+  /// and must still own the buffer; ownership moves to the engine here.
+  void submit(FunctionId src, sim::Core& src_core,
+              const mem::BufferDescriptor& d,
+              bool precharged = false) override;
+
+  [[nodiscard]] sim::Duration ingest_cost() const override;
+
+  // --- introspection -------------------------------------------------------
+
+  [[nodiscard]] EngineKind kind() const { return kind_; }
+  [[nodiscard]] NodeId node() const override { return rnic_.node(); }
+  [[nodiscard]] sim::Core& core() { return engine_core_; }
+  [[nodiscard]] const EngineCounters& counters() const { return counters_; }
+  [[nodiscard]] rdma::ConnectionManager& connections() { return conn_mgr_; }
+  [[nodiscard]] std::size_t tx_backlog() const;
+  [[nodiscard]] std::uint64_t rx_consumed(TenantId t) const {
+    return rbr_outstanding_lookup(t);
+  }
+
+  [[nodiscard]] mem::Actor actor() const {
+    return mem::actor_engine(rnic_.node());
+  }
+
+ private:
+  struct TenantState {
+    std::uint32_t weight = 1;
+  };
+
+  void on_ingest(const mem::BufferDescriptor& d);
+  void kick_tx();
+  void tx_iteration();
+  void transmit(const mem::BufferDescriptor& d);
+  void kick_rx();
+  void rx_iteration();
+  void handle_recv(const rdma::Completion& c);
+  void handle_send_done(const rdma::Completion& c);
+  void deliver_local(const mem::BufferDescriptor& d, FunctionId dst);
+  void replenish_tick();
+  void fill_srq(TenantId tenant, std::uint64_t n);
+  std::uint64_t rbr_outstanding_lookup(TenantId t) const {
+    return rbr_.outstanding(t);
+  }
+
+  mem::BufferPool& pool_of(const mem::BufferDescriptor& d);
+
+  sim::Scheduler& sched_;
+  EngineKind kind_;
+  EngineConfig config_;
+  sim::Core& engine_core_;
+  rdma::Rnic& rnic_;
+  mem::MemoryDomain& host_mem_;
+  dpu::Dpu* dpu_;
+  rdma::ConnectionManager conn_mgr_;
+
+  InterNodeRoutingTable routes_;
+  ReceiveBufferRegistry rbr_;
+  DwrrScheduler<mem::BufferDescriptor> dwrr_;
+  FcfsScheduler<mem::BufferDescriptor> fcfs_;
+  std::unordered_map<TenantId, TenantState> tenants_;
+  std::vector<NodeId> peers_;
+
+  /// DNE flavours: the Comch server towards host functions.
+  std::unique_ptr<dpu::ComchServer> comch_;
+  /// CNE: SK_MSG sockets towards host functions.
+  std::unique_ptr<ipc::SockMap> sockmap_;
+  /// Local delivery endpoints (needed for both flavours' bookkeeping).
+  std::unordered_map<FunctionId, sim::Core*> local_fns_;
+
+  bool tx_busy_ = false;
+  bool rx_busy_ = false;
+  std::uint64_t next_wr_id_ = 1;
+  EngineCounters counters_;
+};
+
+}  // namespace pd::core

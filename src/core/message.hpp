@@ -1,0 +1,65 @@
+// In-buffer message header for Palladium's data plane.
+//
+// The 16-byte descriptor that travels through IPC identifies the buffer;
+// this header, written at the *front of the buffer payload*, carries the
+// invocation metadata (request id, destination function, chain position).
+// Engines read only the header — payloads stay opaque (zero-copy).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "common/check.hpp"
+#include "common/ids.hpp"
+
+namespace pd::core {
+
+struct MessageHeader {
+  std::uint64_t request_id = 0;
+  std::uint32_t src_fn = FunctionId::invalid_rep;
+  std::uint32_t dst_fn = FunctionId::invalid_rep;
+  std::uint32_t chain_id = 0;
+  std::uint16_t hop_index = 0;
+  std::uint16_t flags = 0;
+  std::uint32_t client_id = 0;    ///< originating client connection
+  std::uint32_t payload_len = 0;  ///< application bytes after the header
+
+  static constexpr std::uint16_t kFlagResponse = 1u << 0;
+
+  [[nodiscard]] FunctionId src() const { return FunctionId{src_fn}; }
+  [[nodiscard]] FunctionId dst() const { return FunctionId{dst_fn}; }
+  [[nodiscard]] bool is_response() const { return flags & kFlagResponse; }
+};
+
+static_assert(sizeof(MessageHeader) == 32, "header layout is part of the ABI");
+static_assert(std::is_trivially_copyable_v<MessageHeader>);
+
+/// Write the header at the start of a buffer span.
+inline void write_header(std::span<std::byte> buffer, const MessageHeader& h) {
+  PD_CHECK(buffer.size() >= sizeof(MessageHeader), "buffer too small for header");
+  std::memcpy(buffer.data(), &h, sizeof h);
+}
+
+/// Read the header from the start of a buffer span.
+inline MessageHeader read_header(std::span<const std::byte> buffer) {
+  PD_CHECK(buffer.size() >= sizeof(MessageHeader), "buffer too small for header");
+  MessageHeader h;
+  std::memcpy(&h, buffer.data(), sizeof h);
+  return h;
+}
+
+/// Total message bytes (header + payload) for a given payload size.
+constexpr std::uint32_t message_bytes(std::uint32_t payload_len) {
+  return static_cast<std::uint32_t>(sizeof(MessageHeader)) + payload_len;
+}
+
+/// Payload region of a buffer holding a message.
+inline std::span<std::byte> payload_of(std::span<std::byte> buffer,
+                                       const MessageHeader& h) {
+  PD_CHECK(buffer.size() >= sizeof(MessageHeader) + h.payload_len,
+           "buffer smaller than declared payload");
+  return buffer.subspan(sizeof(MessageHeader), h.payload_len);
+}
+
+}  // namespace pd::core

@@ -1,0 +1,70 @@
+// Receive Buffer Registry (§3.5.2): maps posted receive WRs to the tenant
+// buffers handed to the RNIC, and tracks per-tenant CQE consumption so the
+// DNE core thread can replenish the shared RQs.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "common/ids.hpp"
+#include "mem/descriptor.hpp"
+
+namespace pd::core {
+
+class ReceiveBufferRegistry {
+ public:
+  /// Record a buffer posted to a tenant's SRQ.
+  void on_posted(TenantId tenant, const mem::BufferDescriptor& buffer) {
+    const Key key{buffer.pool, buffer.index};
+    PD_CHECK(posted_.emplace(key, tenant).second,
+             "buffer " << buffer.index << " already registered");
+    ++outstanding_[tenant];
+  }
+
+  /// A receive CQE consumed this buffer: validate and account it.
+  void on_consumed(TenantId tenant, const mem::BufferDescriptor& buffer) {
+    const Key key{buffer.pool, buffer.index};
+    auto it = posted_.find(key);
+    PD_CHECK(it != posted_.end(),
+             "CQE for unregistered receive buffer " << buffer.index);
+    PD_CHECK(it->second == tenant, "CQE tenant mismatch in RBR");
+    posted_.erase(it);
+    --outstanding_[tenant];
+    ++consumed_[tenant];
+  }
+
+  /// Buffers consumed since the last replenish cycle for `tenant` — the
+  /// count the core thread reposts (shared-counter scheme, Fig. 7 red
+  /// arrows). Resets the counter.
+  std::uint64_t take_consumed(TenantId tenant) {
+    auto it = consumed_.find(tenant);
+    if (it == consumed_.end()) return 0;
+    const std::uint64_t n = it->second;
+    it->second = 0;
+    return n;
+  }
+
+  [[nodiscard]] std::uint64_t outstanding(TenantId tenant) const {
+    auto it = outstanding_.find(tenant);
+    return it == outstanding_.end() ? 0 : it->second;
+  }
+
+ private:
+  struct Key {
+    PoolId pool;
+    std::uint32_t index;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<PoolId>{}(k.pool) * 31 + k.index;
+    }
+  };
+
+  std::unordered_map<Key, TenantId, KeyHash> posted_;
+  std::unordered_map<TenantId, std::uint64_t> outstanding_;
+  std::unordered_map<TenantId, std::uint64_t> consumed_;
+};
+
+}  // namespace pd::core

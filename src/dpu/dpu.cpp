@@ -1,0 +1,32 @@
+#include "dpu/dpu.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace pd::dpu {
+
+void SocDmaEngine::transfer(Bytes bytes, std::function<void()> done) {
+  PD_CHECK(done != nullptr, "DMA completion callback required");
+  const auto op_ns =
+      cost::kSocDmaBaseNs +
+      static_cast<sim::Duration>(static_cast<double>(bytes) *
+                                 cost::kSocDmaPerByteNs);
+  busy_until_ = std::max(busy_until_, sched_.now()) + op_ns;
+  ++transfers_;
+  bytes_moved_ += bytes;
+  sched_.schedule_at(busy_until_, std::move(done));
+}
+
+sim::Duration SocDmaEngine::backlog() const {
+  return std::max<sim::Duration>(0, busy_until_ - sched_.now());
+}
+
+Dpu::Dpu(sim::Scheduler& sched, NodeId node, std::size_t arm_cores,
+         double core_speed)
+    : node_(node),
+      cores_(sched, "dpu" + std::to_string(node.value()) + "/arm", arm_cores,
+             core_speed),
+      dma_(sched) {}
+
+}  // namespace pd::dpu

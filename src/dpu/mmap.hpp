@@ -1,0 +1,38 @@
+// Cross-processor shared memory: the DOCA-mmap analog (§3.4.2).
+//
+// The host-side shared-memory agent exports a tenant's unified memory pool
+// (doca_mmap_export_pci / doca_mmap_export_rdma); the DNE imports the
+// export descriptor (doca_mmap_create_from_export) and may then register
+// the memory with the RNIC. This object is the DPU-side import handle.
+#pragma once
+
+#include "common/check.hpp"
+#include "mem/memory_domain.hpp"
+
+namespace pd::dpu {
+
+class CrossProcessorMmap {
+ public:
+  /// Import a host pool on the DPU. Requires the host agent to have
+  /// exported it for PCI (DPU core) access first.
+  static CrossProcessorMmap import_export_descriptor(mem::TenantMemory& tm) {
+    PD_CHECK(tm.exported_to_dpu(),
+             "pool " << tm.pool_id()
+                     << " not exported to DPU (doca_mmap_export_pci missing)");
+    return CrossProcessorMmap(tm);
+  }
+
+  [[nodiscard]] PoolId pool_id() const { return tm_->pool_id(); }
+  [[nodiscard]] TenantId tenant() const { return tm_->tenant(); }
+  /// RNIC registration additionally requires the RDMA export grant.
+  [[nodiscard]] bool rnic_registrable() const {
+    return tm_->exported_to_rdma();
+  }
+  [[nodiscard]] mem::BufferPool& pool() { return tm_->pool(); }
+
+ private:
+  explicit CrossProcessorMmap(mem::TenantMemory& tm) : tm_(&tm) {}
+  mem::TenantMemory* tm_;
+};
+
+}  // namespace pd::dpu

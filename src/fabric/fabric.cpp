@@ -1,0 +1,66 @@
+#include "fabric/fabric.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace pd::fabric {
+
+Link::Link(sim::Scheduler& sched, BitsPerSec bandwidth,
+           sim::Duration propagation)
+    : sched_(sched), bandwidth_(bandwidth), propagation_(propagation) {
+  PD_CHECK(bandwidth_ > 0, "link bandwidth must be positive");
+  PD_CHECK(propagation_ >= 0, "negative propagation");
+}
+
+sim::Duration Link::backlog() const {
+  return std::max<sim::Duration>(0, busy_until_ - sched_.now());
+}
+
+void Link::transmit(Bytes bytes, std::function<void()> delivered) {
+  PD_CHECK(delivered != nullptr, "link delivery callback required");
+  const sim::Duration serialization = sim::transfer_time(bytes, bandwidth_);
+  busy_until_ = std::max(busy_until_, sched_.now()) + serialization;
+  bytes_sent_ += bytes;
+  sched_.schedule_at(busy_until_ + propagation_, std::move(delivered));
+}
+
+void Switch::attach(NodeId node) {
+  PD_CHECK(!attached(node), "node " << node << " already attached");
+  Port p;
+  p.tx = std::make_unique<Link>(sched_, port_bandwidth_,
+                                cost::kFabricPropagationNs / 2);
+  p.rx = std::make_unique<Link>(sched_, port_bandwidth_,
+                                cost::kFabricPropagationNs / 2);
+  ports_.emplace(node, std::move(p));
+}
+
+bool Switch::attached(NodeId node) const {
+  return ports_.find(node) != ports_.end();
+}
+
+Switch::Port& Switch::port(NodeId node) {
+  auto it = ports_.find(node);
+  PD_CHECK(it != ports_.end(), "node " << node << " not attached to fabric");
+  return it->second;
+}
+
+void Switch::send(NodeId from, NodeId to, Bytes bytes,
+                  std::function<void()> delivered) {
+  PD_CHECK(from != to, "fabric send to self (use intra-node IPC)");
+  Port& src = port(from);
+  Port& dst = port(to);
+  const Bytes wire_bytes = bytes + kWireOverheadBytes;
+  ++frames_;
+  // Egress serialization -> switch hop -> ingress serialization.
+  src.tx->transmit(wire_bytes, [this, &dst, wire_bytes,
+                                delivered = std::move(delivered)]() mutable {
+    sched_.schedule_after(cost::kSwitchLatencyNs, [&dst, wire_bytes,
+                                                   delivered =
+                                                       std::move(delivered)]() mutable {
+      dst.rx->transmit(wire_bytes, std::move(delivered));
+    });
+  });
+}
+
+}  // namespace pd::fabric

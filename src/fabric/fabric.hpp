@@ -1,0 +1,77 @@
+// Simulated switched fabric: full-duplex node ports connected through a
+// cut-through switch (the testbed's 200 Gbps network, §4).
+//
+// Serialization happens on the sender's egress link and the receiver's
+// ingress link (so incast contention shows up where it would on hardware);
+// propagation + switch hop latency are constants from the cost model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "proto/cost_model.hpp"
+#include "sim/scheduler.hpp"
+
+namespace pd::fabric {
+
+/// A unidirectional serializing link: frames queue behind each other at
+/// `bandwidth` and arrive `propagation` later.
+class Link {
+ public:
+  Link(sim::Scheduler& sched, BitsPerSec bandwidth, sim::Duration propagation);
+
+  /// Transmit `bytes`; `delivered` fires when the last bit exits the far
+  /// end of the link.
+  void transmit(Bytes bytes, std::function<void()> delivered);
+
+  [[nodiscard]] Bytes bytes_sent() const { return bytes_sent_; }
+  /// Backlog currently queued on the link, in ns of serialization time.
+  [[nodiscard]] sim::Duration backlog() const;
+
+ private:
+  sim::Scheduler& sched_;
+  BitsPerSec bandwidth_;
+  sim::Duration propagation_;
+  sim::TimePoint busy_until_ = 0;
+  Bytes bytes_sent_ = 0;
+};
+
+/// Per-frame wire overhead (Ethernet + IB/RoCE headers).
+inline constexpr Bytes kWireOverheadBytes = 90;
+
+class Switch {
+ public:
+  explicit Switch(sim::Scheduler& sched,
+                  BitsPerSec port_bandwidth = cost::kFabricBandwidthBps)
+      : sched_(sched), port_bandwidth_(port_bandwidth) {}
+
+  /// Attach a node; creates its full-duplex port.
+  void attach(NodeId node);
+  [[nodiscard]] bool attached(NodeId node) const;
+
+  /// Deliver `bytes` (payload; wire overhead added internally) from one
+  /// attached node to another. `delivered` fires at the receiver.
+  void send(NodeId from, NodeId to, Bytes bytes,
+            std::function<void()> delivered);
+
+  [[nodiscard]] std::uint64_t frames() const { return frames_; }
+
+ private:
+  struct Port {
+    std::unique_ptr<Link> tx;
+    std::unique_ptr<Link> rx;
+  };
+
+  Port& port(NodeId node);
+
+  sim::Scheduler& sched_;
+  BitsPerSec port_bandwidth_;
+  std::unordered_map<NodeId, Port> ports_;
+  std::uint64_t frames_ = 0;
+};
+
+}  // namespace pd::fabric

@@ -1,0 +1,347 @@
+#include "ingress/palladium_ingress.hpp"
+
+#include <cstring>
+
+#include "core/message.hpp"
+#include "proto/cost_model.hpp"
+
+namespace pd::ingress {
+namespace {
+
+constexpr sim::Duration kSeriesBucket = 1'000'000'000;  // 1 s
+
+}  // namespace
+
+PalladiumIngress::PalladiumIngress(runtime::Cluster& cluster, Config config)
+    : cluster_(cluster),
+      config_(config),
+      sched_(cluster.scheduler()),
+      mem_(config.node),
+      cores_(sched_, "ingress/worker",
+             static_cast<std::size_t>(config.max_workers)),
+      response_series_(kSeriesBucket, "ingress-rps"),
+      worker_series_(kSeriesBucket, "ingress-workers"),
+      useful_cpu_series_(kSeriesBucket, "ingress-useful-cpu") {
+  PD_CHECK(cluster_.rdma_net() != nullptr,
+           "Palladium ingress requires an RDMA-capable cluster");
+  PD_CHECK(config_.initial_workers >= 1 &&
+               config_.initial_workers <= config_.max_workers,
+           "bad worker bounds");
+  rnic_ = std::make_unique<rdma::Rnic>(*cluster_.rdma_net(), config_.node, mem_);
+  conn_mgr_ = std::make_unique<rdma::ConnectionManager>(*rnic_);
+  rnic_->cq().set_notify([this] { on_cq_event(); });
+  active_workers_ = config_.initial_workers;
+  last_busy_.assign(static_cast<std::size_t>(config_.max_workers), 0);
+}
+
+void PalladiumIngress::expose_chain(std::string target,
+                                    std::uint32_t chain_id) {
+  PD_CHECK(cluster_.chains().has(chain_id), "unknown chain " << chain_id);
+  PD_CHECK(targets_.emplace(std::move(target), chain_id).second,
+           "target already exposed");
+}
+
+void PalladiumIngress::finish_setup() {
+  PD_CHECK(!setup_done_, "ingress setup done twice");
+  PD_CHECK(!targets_.empty(), "no chains exposed");
+  setup_done_ = true;
+
+  // Collect the tenants behind exposed chains and the worker nodes that
+  // host their first hops / can send us responses.
+  std::unordered_map<TenantId, bool> tenants;
+  for (const auto& [target, chain_id] : targets_) {
+    tenants[cluster_.chains().by_id(chain_id).tenant] = true;
+  }
+
+  for (const auto& [tenant, unused] : tenants) {
+    auto& tm = mem_.create_tenant_pool(
+        tenant, "ingress_tenant_" + std::to_string(tenant.value()),
+        cluster_.config().pool_buffers, cluster_.config().buffer_bytes);
+    tm.export_to_rdma();
+    rnic_->register_memory(tm.pool_id());
+    post_receives(tenant, config_.srq_fill);
+  }
+
+  // Make the gateway reachable from every worker's data plane and
+  // establish our outbound RC pools per (worker node, tenant).
+  cluster_.register_external_entry(kIngressEntry, config_.node);
+  for (const auto& [target, chain_id] : targets_) {
+    const auto& chain = cluster_.chains().by_id(chain_id);
+    const NodeId first_node = cluster_.placement_of(chain.hops.front().fn);
+    if (conn_mgr_->pool_size(first_node, chain.tenant) == 0) {
+      conn_mgr_->establish(first_node, chain.tenant, config_.rc_connections,
+                           nullptr);
+    }
+  }
+  // Every worker node's data plane learns the ingress as a peer so chain
+  // tails can send responses back over RDMA.
+  for (const auto& [target, chain_id] : targets_) {
+    (void)target;
+    const auto& chain = cluster_.chains().by_id(chain_id);
+    for (const auto& hop : chain.hops) {
+      const NodeId n = cluster_.placement_of(hop.fn);
+      if (!connected_workers_.insert(n).second) continue;
+      cluster_.worker(n).dataplane().connect_peer(config_.node);
+    }
+  }
+
+  autoscale_busy_.assign(static_cast<std::size_t>(config_.max_workers), 0);
+  if (config_.autoscale) {
+    sched_.schedule_background_after(config_.scale_check_period,
+                                     [this] { autoscale_tick(); });
+  }
+  sched_.schedule_background_after(kSeriesBucket, [this] { sample_tick(); });
+}
+
+void PalladiumIngress::sample_tick() {
+  // Per-second series for Fig. 14: active worker count (each pinned to a
+  // full busy-polling core) and aggregate *useful* CPU seconds.
+  worker_series_.add(sched_.now() - 1, active_workers_);
+  double useful = 0;
+  for (int w = 0; w < config_.max_workers; ++w) {
+    const auto busy = worker_core(w).busy_ns();
+    if (w < active_workers_) {
+      useful += sim::to_sec(busy - last_busy_[static_cast<std::size_t>(w)]);
+    }
+    last_busy_[static_cast<std::size_t>(w)] = busy;
+  }
+  useful_cpu_series_.add(sched_.now() - 1, useful);
+  sched_.schedule_background_after(kSeriesBucket, [this] { sample_tick(); });
+}
+
+void PalladiumIngress::post_receives(TenantId tenant, int n) {
+  auto& pool = mem_.by_tenant(tenant).pool();
+  for (int i = 0; i < n; ++i) {
+    auto d = pool.allocate(mem::actor_rnic(config_.node));
+    if (!d.has_value()) return;  // pool pressure: responses will RNR-retry
+    rnic_->post_srq_recv(tenant, *d);
+  }
+}
+
+int PalladiumIngress::attach_client(
+    NodeId client_node, sim::Core& client_core,
+    std::function<void(std::string_view)> to_client) {
+  PD_CHECK(setup_done_, "attach_client before finish_setup");
+  const int id = static_cast<int>(clients_.size());
+  auto conn = std::make_unique<ClientConn>();
+  conn->to_client = std::move(to_client);
+  conn->worker = next_worker_rr_++ % active_workers_;  // RSS spread
+
+  if (!cluster_.ethernet().attached(client_node)) {
+    cluster_.ethernet().attach(client_node);
+  }
+  if (!cluster_.ethernet().attached(config_.node)) {
+    cluster_.ethernet().attach(config_.node);
+  }
+
+  proto::TcpEndpoint a;  // client side
+  a.node = client_node;
+  a.stack = proto::StackKind::kKernel;
+  a.core = &client_core;
+  a.on_message = [this, id](std::string_view bytes) {
+    clients_[static_cast<std::size_t>(id)]->to_client(bytes);
+  };
+  proto::TcpEndpoint b;  // gateway side: batched F-stack on the worker core
+  b.node = config_.node;
+  b.stack = proto::StackKind::kFstackBatched;
+  b.core = &worker_core(conn->worker);
+  b.on_message = [this, id](std::string_view bytes) {
+    on_client_bytes(id, bytes);
+  };
+  conn->tcp = std::make_unique<proto::TcpConnection>(sched_, cluster_.ethernet(),
+                                                     std::move(a), std::move(b));
+  ClientConn* raw = conn.get();
+  clients_.push_back(std::move(conn));
+  raw->tcp->connect([this, id] {
+    ClientConn& c = *clients_[static_cast<std::size_t>(id)];
+    c.established = true;
+    while (!c.pending.empty()) {
+      c.tcp->send_a_to_b(std::move(c.pending.front()));
+      c.pending.pop_front();
+    }
+  });
+  return id;
+}
+
+void PalladiumIngress::client_send(int client, std::string bytes) {
+  ClientConn& c = *clients_.at(static_cast<std::size_t>(client));
+  if (!c.established) {
+    c.pending.push_back(std::move(bytes));
+    return;
+  }
+  c.tcp->send_a_to_b(std::move(bytes));
+}
+
+void PalladiumIngress::on_client_bytes(int client, std::string_view bytes) {
+  // HTTP processing on the worker's core (NGINX-grade parser).
+  ClientConn& c = *clients_.at(static_cast<std::size_t>(client));
+  const auto parse_ns =
+      cost::kHttpParseBaseNs +
+      static_cast<sim::Duration>(static_cast<double>(bytes.size()) *
+                                 cost::kHttpParsePerByteNs);
+  auto parser = std::make_shared<proto::HttpRequestParser>();
+  auto data = std::make_shared<std::string>(bytes);
+  worker_core(c.worker).submit(parse_ns, [this, client, parser, data] {
+    auto [status, consumed] = parser->feed(*data);
+    PD_CHECK(status == proto::ParseStatus::kComplete,
+             "ingress received malformed/partial HTTP: " << parser->error());
+    forward_to_chain(client, parser->message());
+  });
+}
+
+void PalladiumIngress::forward_to_chain(int client,
+                                        const proto::HttpRequest& req) {
+  auto it = targets_.find(req.target);
+  if (it == targets_.end()) {
+    // 404: respond immediately.
+    proto::HttpResponse resp;
+    resp.status = 404;
+    resp.reason = "Not Found";
+    ClientConn& c = *clients_.at(static_cast<std::size_t>(client));
+    c.tcp->send_b_to_a(proto::serialize(resp));
+    return;
+  }
+  const auto& chain = cluster_.chains().by_id(it->second);
+  auto& pool = mem_.by_tenant(chain.tenant).pool();
+  const auto actor = mem::actor_engine(config_.node);
+
+  auto d = pool.allocate(actor);
+  if (!d.has_value()) {
+    proto::HttpResponse resp;
+    resp.status = 503;
+    resp.reason = "Overloaded";
+    ClientConn& c = *clients_.at(static_cast<std::size_t>(client));
+    c.tcp->send_b_to_a(proto::serialize(resp));
+    return;
+  }
+
+  const std::uint64_t request_id = next_request_++;
+  core::MessageHeader h;
+  h.request_id = request_id;
+  h.src_fn = kIngressEntry.value();
+  h.dst_fn = chain.hops.front().fn.value();
+  h.chain_id = chain.id;
+  h.hop_index = 0;
+  h.client_id = kIngressEntry.value();
+  h.payload_len = chain.request_payload;
+  auto span = pool.access(*d, actor);
+  core::write_header(span, h);
+  // Carry the real request body into the payload region (zero-copy from
+  // here on: these bytes ride RDMA to the functions untouched).
+  const auto body_len = std::min<std::size_t>(
+      req.body.size(), span.size() - sizeof(core::MessageHeader));
+  std::memcpy(span.data() + sizeof(core::MessageHeader), req.body.data(),
+              body_len);
+  const auto sized =
+      pool.resize(*d, actor, core::message_bytes(chain.request_payload));
+
+  ClientConn& c = *clients_.at(static_cast<std::size_t>(client));
+  pending_.emplace(request_id, PendingRequest{client, sched_.now()});
+
+  // RDMA transmission from the worker's run-to-completion loop.
+  worker_core(c.worker).submit(
+      cost::kDneSchedNs + cost::kDneTxStageNs,
+      [this, sized, first_node = cluster_.placement_of(chain.hops.front().fn),
+       tenant = chain.tenant, request_id] {
+        auto& p = mem_.by_tenant(tenant).pool();
+        p.transfer(sized, mem::actor_engine(config_.node),
+                   mem::actor_rnic(config_.node));
+        rdma::WorkRequest wr;
+        wr.wr_id = request_id;
+        wr.opcode = rdma::Opcode::kSend;
+        wr.local = sized;
+        conn_mgr_->send(first_node, tenant, wr);
+      });
+}
+
+void PalladiumIngress::on_cq_event() {
+  for (const auto& c : rnic_->cq().poll(64)) {
+    if (!c.is_recv) {
+      // Send completion: recycle the request buffer.
+      auto& pool = mem_.by_pool(c.buffer.pool).pool();
+      pool.transfer(c.buffer, mem::actor_rnic(config_.node),
+                    mem::actor_engine(config_.node));
+      pool.release(c.buffer, mem::actor_engine(config_.node));
+      continue;
+    }
+    handle_response(c);
+  }
+}
+
+void PalladiumIngress::handle_response(const rdma::Completion& c) {
+  auto& pool = mem_.by_pool(c.buffer.pool).pool();
+  const auto actor = mem::actor_engine(config_.node);
+  pool.transfer(c.buffer, mem::actor_rnic(config_.node), actor);
+  const auto span = pool.access(c.buffer, actor);
+  const core::MessageHeader h = core::read_header(span);
+
+  auto it = pending_.find(h.request_id);
+  PD_CHECK(it != pending_.end(), "response for unknown request " << h.request_id);
+  const PendingRequest req = it->second;
+  pending_.erase(it);
+
+  // Extract the payload before recycling the buffer + replenishing.
+  std::string body(reinterpret_cast<const char*>(span.data()) +
+                       sizeof(core::MessageHeader),
+                   h.payload_len);
+  const TenantId tenant = c.tenant;
+  pool.release(c.buffer, actor);
+  post_receives(tenant, 1);
+
+  ClientConn& conn = *clients_.at(static_cast<std::size_t>(req.client));
+  const auto serialize_ns = cost::kDneRxStageNs + cost::kHttpSerializeNs;
+  worker_core(conn.worker).submit(serialize_ns, [this, client = req.client,
+                                                 body = std::move(body)] {
+    proto::HttpResponse resp;
+    resp.body = body;
+    ClientConn& c2 = *clients_.at(static_cast<std::size_t>(client));
+    c2.tcp->send_b_to_a(proto::serialize(resp));
+    ++responses_;
+    response_series_.increment(sched_.now());
+  });
+}
+
+void PalladiumIngress::autoscale_tick() {
+  // Average *useful* utilization across active workers over the last
+  // period (busy-polling time is excluded by construction: we track
+  // accumulated work, not occupancy).
+  double util_sum = 0;
+  for (int w = 0; w < active_workers_; ++w) {
+    const auto busy = worker_core(w).busy_ns();
+    util_sum += static_cast<double>(busy - autoscale_busy_[static_cast<std::size_t>(w)]) /
+                static_cast<double>(config_.scale_check_period);
+  }
+  for (int w = 0; w < config_.max_workers; ++w) {
+    autoscale_busy_[static_cast<std::size_t>(w)] = worker_core(w).busy_ns();
+  }
+  const double avg = util_sum / active_workers_;
+
+  if (avg > config_.scale_up_util && active_workers_ < config_.max_workers) {
+    apply_scaling(active_workers_ + 1);
+  } else if (avg < config_.scale_down_util && active_workers_ > 1) {
+    apply_scaling(active_workers_ - 1);
+  }
+  sched_.schedule_background_after(config_.scale_check_period,
+                                   [this] { autoscale_tick(); });
+}
+
+void PalladiumIngress::apply_scaling(int new_count) {
+  ++scale_events_;
+  active_workers_ = new_count;
+  rebalance_connections();
+  // Worker-process restart: a brief interruption while the pool respawns
+  // (§3.6 / Fig. 14 (2)) — queued work waits behind the restart.
+  for (int w = 0; w < active_workers_; ++w) {
+    worker_core(w).submit(cost::kIngressWorkerRestartNs);
+  }
+}
+
+void PalladiumIngress::rebalance_connections() {
+  int rr = 0;
+  for (auto& c : clients_) {
+    c->worker = rr++ % active_workers_;
+    c->tcp->endpoint_b().core = &worker_core(c->worker);
+  }
+}
+
+}  // namespace pd::ingress

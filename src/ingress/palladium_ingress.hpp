@@ -1,0 +1,116 @@
+// Palladium's cluster-wide ingress gateway (§3.6): early HTTP/TCP-to-RDMA
+// transport conversion at the cloud edge.
+//
+// Master/worker model: worker processes run a run-to-completion busy loop
+// on dedicated cores, each handling F-stack TCP termination, NGINX-grade
+// HTTP processing (a real parser), and RDMA transmission of the payload
+// into the serverless fabric. The master horizontally scales workers with
+// a 60%/30% hysteresis on *useful* CPU time and RSS-rebalances client
+// connections; each scaling event restarts the worker pool, causing the
+// brief service blip visible in Fig. 14 (2).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ingress/ingress.hpp"
+#include "proto/http.hpp"
+#include "proto/tcp.hpp"
+#include "rdma/connection.hpp"
+#include "runtime/cluster.hpp"
+#include "sim/stats.hpp"
+
+namespace pd::ingress {
+
+/// Entry function id representing the gateway in chain headers.
+inline constexpr FunctionId kIngressEntry{0xFFFF1000};
+
+class PalladiumIngress : public IngressFrontend {
+ public:
+  struct Config {
+    NodeId node{200};
+    int initial_workers = 1;
+    int max_workers = 8;
+    bool autoscale = false;
+    double scale_up_util = 0.60;
+    double scale_down_util = 0.30;
+    sim::Duration scale_check_period = 1'000'000'000;  // 1 s
+    int srq_fill = 256;
+    int rc_connections = 2;
+  };
+
+  PalladiumIngress(runtime::Cluster& cluster, Config config);
+
+  /// Provision tenants' pools on the ingress node, establish RC
+  /// connections (both directions), post SRQs, and sync routes. Call
+  /// before Cluster::finish_setup().
+  void finish_setup();
+
+  // IngressFrontend:
+  int attach_client(NodeId client_node, sim::Core& client_core,
+                    std::function<void(std::string_view)> to_client) override;
+  void client_send(int client, std::string bytes) override;
+  void expose_chain(std::string target, std::uint32_t chain_id) override;
+
+  // Introspection for Figs. 13/14.
+  [[nodiscard]] int active_workers() const { return active_workers_; }
+  [[nodiscard]] std::uint64_t responses() const { return responses_; }
+  [[nodiscard]] sim::TimeSeries& response_series() { return response_series_; }
+  [[nodiscard]] sim::TimeSeries& worker_series() { return worker_series_; }
+  [[nodiscard]] sim::TimeSeries& useful_cpu_series() { return useful_cpu_series_; }
+  [[nodiscard]] std::uint64_t scale_events() const { return scale_events_; }
+
+ private:
+  struct ClientConn {
+    std::unique_ptr<proto::TcpConnection> tcp;
+    std::function<void(std::string_view)> to_client;
+    int worker = 0;
+    bool established = false;
+    std::deque<std::string> pending;  // sends queued before the handshake
+  };
+  struct PendingRequest {
+    int client = -1;
+    sim::TimePoint start = 0;
+  };
+
+  void on_client_bytes(int client, std::string_view bytes);
+  void forward_to_chain(int client, const proto::HttpRequest& req);
+  void on_cq_event();
+  void handle_response(const rdma::Completion& c);
+  void post_receives(TenantId tenant, int n);
+  void autoscale_tick();
+  void apply_scaling(int new_count);
+  void rebalance_connections();
+  void sample_tick();
+  sim::Core& worker_core(int w) { return cores_.core(static_cast<std::size_t>(w)); }
+
+  runtime::Cluster& cluster_;
+  Config config_;
+  sim::Scheduler& sched_;
+  mem::MemoryDomain mem_;
+  std::unique_ptr<rdma::Rnic> rnic_;
+  std::unique_ptr<rdma::ConnectionManager> conn_mgr_;
+  sim::CoreSet cores_;
+  int active_workers_ = 0;
+  int next_worker_rr_ = 0;
+  std::vector<sim::Duration> last_busy_;       // per worker, 1 s sampling
+  std::vector<sim::Duration> autoscale_busy_;  // per worker, scaler window
+  std::unordered_set<NodeId> connected_workers_;
+
+  std::unordered_map<std::string, std::uint32_t> targets_;
+  std::vector<std::unique_ptr<ClientConn>> clients_;
+  std::unordered_map<std::uint64_t, PendingRequest> pending_;
+  std::uint64_t next_request_ = 1;
+  std::uint64_t responses_ = 0;
+  std::uint64_t scale_events_ = 0;
+  bool setup_done_ = false;
+
+  sim::TimeSeries response_series_;
+  sim::TimeSeries worker_series_;
+  sim::TimeSeries useful_cpu_series_;
+};
+
+}  // namespace pd::ingress

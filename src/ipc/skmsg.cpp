@@ -1,0 +1,51 @@
+#include "ipc/skmsg.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace pd::ipc {
+
+void SockMap::register_socket(FunctionId fn, sim::Core& rx_core,
+                              DescriptorHandler handler) {
+  PD_CHECK(handler != nullptr, "socket needs a handler");
+  PD_CHECK(sockets_.find(fn) == sockets_.end(),
+           "function " << fn << " already in sockmap");
+  sockets_.emplace(fn, Socket{&rx_core, std::move(handler)});
+}
+
+void SockMap::unregister_socket(FunctionId fn) {
+  PD_CHECK(sockets_.erase(fn) == 1, "function " << fn << " not in sockmap");
+}
+
+void SockMap::send(FunctionId dest, const mem::BufferDescriptor& d,
+                   sim::Core* tx_core) {
+  auto it = sockets_.find(dest);
+  PD_CHECK(it != sockets_.end(), "sockmap miss for function " << dest);
+  Socket& sock = it->second;
+  ++messages_;
+
+  auto deliver = [this, &sock, d] {
+    sched_.schedule_after(cost::kSkMsgLatencyNs, [&sock, d] {
+      // Interrupt-style wakeup on the receiver core, then the handler.
+      // Under a backlog the per-event cost inflates (interrupt storms,
+      // cache pollution — the receive-livelock regime of Mogul &
+      // Ramakrishnan [68] that throttles a CPU-resident network engine
+      // shared by many functions, §4.3).
+      const sim::Duration backlog = sock.rx_core->backlog();
+      const sim::Duration penalty = std::min<sim::Duration>(
+          cost::kSkMsgWakeupNs * backlog / 50'000,
+          4 * cost::kSkMsgWakeupNs);
+      sock.rx_core->submit(cost::kSkMsgWakeupNs + penalty,
+                           [&sock, d] { sock.handler(d); });
+    });
+  };
+
+  if (tx_core != nullptr) {
+    tx_core->submit(cost::kSkMsgSendNs, deliver);
+  } else {
+    deliver();
+  }
+}
+
+}  // namespace pd::ipc

@@ -1,0 +1,72 @@
+// Single-producer single-consumer lock-free ring buffer.
+//
+// This is the real concurrency primitive underlying the paper's
+// token-passing IPC (§3.5.1): descriptor handoff between exactly one
+// producer and one consumer needs no locks, only acquire/release ordering.
+// Used directly by the Comch-P model and benchmarked in micro_dataplane.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace pd::ipc {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two; usable slots = capacity - 1.
+  explicit SpscRing(std::size_t min_capacity) {
+    std::size_t cap = 2;
+    while (cap < min_capacity + 1) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false when full (caller decides: drop or retry).
+  bool try_push(T value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t next = (head + 1) & mask_;
+    if (next == tail_.load(std::memory_order_acquire)) {
+      return false;  // full
+    }
+    slots_[head] = std::move(value);
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Empty optional when the ring is drained.
+  std::optional<T> try_pop() {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == head_.load(std::memory_order_acquire)) {
+      return std::nullopt;  // empty
+    }
+    T value = std::move(slots_[tail]);
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return value;
+  }
+
+  /// Approximate size (exact when called from either endpoint's thread).
+  [[nodiscard]] std::size_t size() const {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return (head - tail) & mask_;
+  }
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] std::size_t capacity() const { return mask_; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};  // producer cursor
+  alignas(64) std::atomic<std::size_t> tail_{0};  // consumer cursor
+};
+
+}  // namespace pd::ipc

@@ -1,0 +1,63 @@
+#include "mem/memory_domain.hpp"
+
+#include "common/check.hpp"
+
+namespace pd::mem {
+
+TenantMemory::TenantMemory(PoolId pool_id, TenantId tenant,
+                           std::string file_prefix, std::size_t buf_count,
+                           Bytes buf_size)
+    : file_prefix_(std::move(file_prefix)),
+      pool_(pool_id, tenant, buf_count, buf_size) {
+  PD_CHECK(!file_prefix_.empty(), "file prefix must be non-empty");
+}
+
+TenantMemory& MemoryDomain::create_tenant_pool(TenantId tenant,
+                                               std::string file_prefix,
+                                               std::size_t buf_count,
+                                               Bytes buf_size) {
+  PD_CHECK(by_prefix_.find(file_prefix) == by_prefix_.end(),
+           "file prefix '" << file_prefix << "' already in use");
+  PD_CHECK(by_tenant_.find(tenant) == by_tenant_.end(),
+           "tenant " << tenant << " already has a pool on node " << node_);
+  const PoolId pool_id{(node_.value() << 16) | next_pool_id_++};
+  auto mem = std::make_unique<TenantMemory>(pool_id, tenant,
+                                            std::move(file_prefix), buf_count,
+                                            buf_size);
+  TenantMemory* raw = mem.get();
+  pools_.push_back(std::move(mem));
+  by_prefix_[raw->file_prefix()] = raw;
+  by_tenant_[tenant] = raw;
+  by_pool_[pool_id] = raw;
+  return *raw;
+}
+
+TenantMemory* MemoryDomain::attach(const std::string& file_prefix) {
+  auto it = by_prefix_.find(file_prefix);
+  return it == by_prefix_.end() ? nullptr : it->second;
+}
+
+TenantMemory& MemoryDomain::by_tenant(TenantId tenant) {
+  auto it = by_tenant_.find(tenant);
+  PD_CHECK(it != by_tenant_.end(), "no pool for tenant " << tenant
+                                                         << " on node " << node_);
+  return *it->second;
+}
+
+TenantMemory& MemoryDomain::by_pool(PoolId pool) {
+  auto it = by_pool_.find(pool);
+  PD_CHECK(it != by_pool_.end(), "unknown pool " << pool << " on node " << node_);
+  return *it->second;
+}
+
+bool MemoryDomain::has_tenant(TenantId tenant) const {
+  return by_tenant_.find(tenant) != by_tenant_.end();
+}
+
+Bytes MemoryDomain::footprint() const {
+  Bytes total = 0;
+  for (const auto& p : pools_) total += p->pool().footprint();
+  return total;
+}
+
+}  // namespace pd::mem

@@ -1,0 +1,232 @@
+#include "proto/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace pd::proto {
+namespace {
+
+bool iequals(std::string_view a, std::string_view b) {
+  return a.size() == b.size() &&
+         std::equal(a.begin(), a.end(), b.begin(), [](char x, char y) {
+           return std::tolower(static_cast<unsigned char>(x)) ==
+                  std::tolower(static_cast<unsigned char>(y));
+         });
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+bool valid_version(std::string_view v) {
+  return v == "HTTP/1.1" || v == "HTTP/1.0";
+}
+
+}  // namespace
+
+std::optional<std::string_view> HttpHeaders::get(std::string_view name) const {
+  for (const auto& [key, value] : fields) {
+    if (iequals(key, name)) return std::string_view{value};
+  }
+  return std::nullopt;
+}
+
+template <typename Message>
+void HttpParser<Message>::reset() {
+  state_ = State::kStartLine;
+  pending_.clear();
+  msg_ = Message{};
+  body_remaining_ = 0;
+  error_.clear();
+}
+
+template <typename Message>
+ParseStatus HttpParser<Message>::fail(std::string why) {
+  state_ = State::kError;
+  error_ = std::move(why);
+  return ParseStatus::kError;
+}
+
+template <>
+bool HttpParser<HttpRequest>::parse_start_line(std::string_view line) {
+  const auto sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return false;
+  const auto sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) return false;
+  msg_.method = std::string(line.substr(0, sp1));
+  msg_.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  msg_.version = std::string(line.substr(sp2 + 1));
+  return !msg_.method.empty() && !msg_.target.empty() &&
+         valid_version(msg_.version);
+}
+
+template <>
+bool HttpParser<HttpResponse>::parse_start_line(std::string_view line) {
+  const auto sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return false;
+  msg_.version = std::string(line.substr(0, sp1));
+  if (!valid_version(msg_.version)) return false;
+  const auto sp2 = line.find(' ', sp1 + 1);
+  const std::string_view code =
+      line.substr(sp1 + 1, sp2 == std::string_view::npos ? std::string_view::npos
+                                                         : sp2 - sp1 - 1);
+  auto [ptr, ec] = std::from_chars(code.data(), code.data() + code.size(),
+                                   msg_.status);
+  if (ec != std::errc{} || ptr != code.data() + code.size()) return false;
+  if (msg_.status < 100 || msg_.status > 599) return false;
+  msg_.reason = sp2 == std::string_view::npos
+                    ? std::string{}
+                    : std::string(line.substr(sp2 + 1));
+  return true;
+}
+
+template <typename Message>
+bool HttpParser<Message>::parse_header_line(std::string_view line) {
+  const auto colon = line.find(':');
+  if (colon == std::string_view::npos || colon == 0) return false;
+  msg_.headers.add(std::string(trim(line.substr(0, colon))),
+                   std::string(trim(line.substr(colon + 1))));
+  return true;
+}
+
+template <typename Message>
+bool HttpParser<Message>::on_headers_complete() {
+  if (auto te = msg_.headers.get("Transfer-Encoding"); te.has_value()) {
+    return false;  // chunked unsupported by design
+  }
+  body_remaining_ = 0;
+  if (auto cl = msg_.headers.get("Content-Length"); cl.has_value()) {
+    std::size_t len = 0;
+    auto [ptr, ec] = std::from_chars(cl->data(), cl->data() + cl->size(), len);
+    if (ec != std::errc{} || ptr != cl->data() + cl->size()) return false;
+    body_remaining_ = len;
+  }
+  return true;
+}
+
+template <typename Message>
+std::pair<ParseStatus, std::size_t> HttpParser<Message>::feed(
+    std::string_view data) {
+  if (state_ == State::kError) return {ParseStatus::kError, 0};
+  if (state_ == State::kComplete) return {ParseStatus::kComplete, 0};
+
+  std::size_t consumed = 0;
+  while (consumed < data.size() || state_ == State::kBody) {
+    if (state_ == State::kBody) {
+      const std::size_t take =
+          std::min(body_remaining_, data.size() - consumed);
+      msg_.body.append(data.substr(consumed, take));
+      consumed += take;
+      body_remaining_ -= take;
+      if (body_remaining_ == 0) {
+        state_ = State::kComplete;
+        return {ParseStatus::kComplete, consumed};
+      }
+      return {ParseStatus::kNeedMore, consumed};
+    }
+
+    // Line-oriented states: accumulate until CRLF (or bare LF, accepted
+    // leniently).
+    const auto nl = data.find('\n', consumed);
+    if (nl == std::string_view::npos) {
+      pending_.append(data.substr(consumed));
+      if (pending_.size() > 64 * 1024) {
+        return {fail("header line exceeds 64 KiB"), consumed};
+      }
+      return {ParseStatus::kNeedMore, data.size()};
+    }
+    pending_.append(data.substr(consumed, nl - consumed));
+    consumed = nl + 1;
+    if (!pending_.empty() && pending_.back() == '\r') pending_.pop_back();
+    std::string line = std::move(pending_);
+    pending_.clear();
+
+    switch (state_) {
+      case State::kStartLine:
+        if (line.empty()) continue;  // tolerate leading blank lines
+        if (!parse_start_line(line)) {
+          return {fail("malformed start line: " + line), consumed};
+        }
+        state_ = State::kHeaders;
+        break;
+      case State::kHeaders:
+        if (line.empty()) {
+          if (!on_headers_complete()) {
+            return {fail("unsupported or malformed framing headers"), consumed};
+          }
+          if (body_remaining_ == 0) {
+            state_ = State::kComplete;
+            return {ParseStatus::kComplete, consumed};
+          }
+          state_ = State::kBody;
+          break;
+        }
+        if (!parse_header_line(line)) {
+          return {fail("malformed header: " + line), consumed};
+        }
+        if (msg_.headers.fields.size() > 256) {
+          return {fail("too many headers"), consumed};
+        }
+        break;
+      case State::kBody:
+      case State::kComplete:
+      case State::kError:
+        break;
+    }
+  }
+  return {ParseStatus::kNeedMore, consumed};
+}
+
+template class HttpParser<HttpRequest>;
+template class HttpParser<HttpResponse>;
+
+namespace {
+
+void append_headers(std::string& out, const HttpHeaders& headers,
+                    std::size_t body_size) {
+  for (const auto& [name, value] : headers.fields) {
+    if (iequals(name, "Content-Length")) continue;
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += "Content-Length: ";
+  out += std::to_string(body_size);
+  out += "\r\n\r\n";
+}
+
+}  // namespace
+
+std::string serialize(const HttpRequest& req) {
+  std::string out;
+  out.reserve(128 + req.body.size());
+  out += req.method;
+  out += ' ';
+  out += req.target;
+  out += ' ';
+  out += req.version;
+  out += "\r\n";
+  append_headers(out, req.headers, req.body.size());
+  out += req.body;
+  return out;
+}
+
+std::string serialize(const HttpResponse& resp) {
+  std::string out;
+  out.reserve(128 + resp.body.size());
+  out += resp.version;
+  out += ' ';
+  out += std::to_string(resp.status);
+  out += ' ';
+  out += resp.reason;
+  out += "\r\n";
+  append_headers(out, resp.headers, resp.body.size());
+  out += resp.body;
+  return out;
+}
+
+}  // namespace pd::proto

@@ -1,0 +1,91 @@
+// HTTP/1.1 message codec.
+//
+// A real (non-simulated) incremental parser/serializer: the ingress gateway
+// terminates client HTTP before converting to RDMA (§3.6), and the payload
+// bytes that cross the fabric in the examples are genuine HTTP messages.
+// Supports request/response lines, headers, and Content-Length bodies;
+// chunked transfer encoding is rejected as unsupported (the serverless
+// gateway controls both ends and never emits it).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pd::proto {
+
+struct HttpHeaders {
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  void add(std::string name, std::string value) {
+    fields.emplace_back(std::move(name), std::move(value));
+  }
+  /// Case-insensitive lookup of the first matching header.
+  [[nodiscard]] std::optional<std::string_view> get(std::string_view name) const;
+};
+
+struct HttpRequest {
+  std::string method;
+  std::string target;
+  std::string version = "HTTP/1.1";
+  HttpHeaders headers;
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  std::string version = "HTTP/1.1";
+  HttpHeaders headers;
+  std::string body;
+};
+
+enum class ParseStatus {
+  kNeedMore,   ///< message incomplete; feed more bytes
+  kComplete,   ///< one full message parsed; excess bytes not consumed
+  kError,      ///< malformed input
+};
+
+/// Incremental HTTP/1.1 parser. One instance parses one message at a time;
+/// call reset() to reuse it for the next message on the same connection.
+template <typename Message>
+class HttpParser {
+ public:
+  /// Consume bytes from `data`. Returns the status and the number of bytes
+  /// consumed (which may be < data.size() once the message completes).
+  std::pair<ParseStatus, std::size_t> feed(std::string_view data);
+
+  [[nodiscard]] const Message& message() const { return msg_; }
+  [[nodiscard]] Message take() { return std::move(msg_); }
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] bool done() const { return state_ == State::kComplete; }
+
+  void reset();
+
+ private:
+  enum class State { kStartLine, kHeaders, kBody, kComplete, kError };
+
+  ParseStatus fail(std::string why);
+  bool parse_start_line(std::string_view line);
+  bool parse_header_line(std::string_view line);
+  bool on_headers_complete();
+
+  State state_ = State::kStartLine;
+  std::string pending_;  // partial line buffer
+  Message msg_;
+  std::size_t body_remaining_ = 0;
+  std::string error_;
+};
+
+using HttpRequestParser = HttpParser<HttpRequest>;
+using HttpResponseParser = HttpParser<HttpResponse>;
+
+/// Serialize with an automatic Content-Length header (any explicit
+/// Content-Length in `headers` is ignored in favour of body.size()).
+std::string serialize(const HttpRequest& req);
+std::string serialize(const HttpResponse& resp);
+
+}  // namespace pd::proto

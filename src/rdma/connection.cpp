@@ -1,0 +1,147 @@
+#include "rdma/connection.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/check.hpp"
+
+namespace pd::rdma {
+
+ConnectionManager::ConnectionManager(Rnic& local, int max_active)
+    : net_(local.network()), local_(local), max_active_(max_active) {
+  PD_CHECK(max_active_ > 0, "active-QP cap must be positive");
+}
+
+void ConnectionManager::establish(NodeId remote, TenantId tenant, int count,
+                                  std::function<void()> ready) {
+  PD_CHECK(count > 0, "establish needs at least one connection");
+  Rnic& peer = net_.rnic(remote);
+  auto remaining = std::make_shared<int>(count);
+  auto done = std::make_shared<std::function<void()>>(std::move(ready));
+  for (int i = 0; i < count; ++i) {
+    QueuePair& a = local_.create_qp(tenant);
+    QueuePair& b = peer.create_qp(tenant);
+    pools_[PoolKey{remote, tenant}].push_back(&a);
+    ++stats_.establishments;
+    connect_qps(a, b, [remaining, done] {
+      if (--*remaining == 0 && *done) (*done)();
+    });
+  }
+}
+
+std::size_t ConnectionManager::pool_size(NodeId remote, TenantId tenant) const {
+  auto it = pools_.find(PoolKey{remote, tenant});
+  return it == pools_.end() ? 0 : it->second.size();
+}
+
+std::size_t ConnectionManager::healthy_count(NodeId remote,
+                                             TenantId tenant) const {
+  auto it = pools_.find(PoolKey{remote, tenant});
+  if (it == pools_.end()) return 0;
+  std::size_t n = 0;
+  for (const QueuePair* qp : it->second) {
+    if (qp->state() != QpState::kError) ++n;
+  }
+  return n;
+}
+
+int ConnectionManager::active_count() const { return local_.active_qps(); }
+
+void ConnectionManager::send(NodeId remote, TenantId tenant,
+                             const WorkRequest& wr) {
+  auto it = pools_.find(PoolKey{remote, tenant});
+  PD_CHECK(it != pools_.end() && !it->second.empty(),
+           "no RC connections to node " << remote << " for tenant " << tenant);
+  auto& pool = it->second;
+  ++stats_.sends;
+
+  // Least-congested active QP (§3.2 TX stage).
+  QueuePair* best_active = nullptr;
+  for (QueuePair* qp : pool) {
+    if (qp->state() == QpState::kActive &&
+        (best_active == nullptr || qp->outstanding() < best_active->outstanding())) {
+      best_active = qp;
+    }
+  }
+  if (best_active != nullptr) {
+    last_active_[best_active->id()] = ++activation_clock_;
+    best_active->post_send(wr);
+    return;
+  }
+
+  // A QP already mid-activation? Queue behind it.
+  for (QueuePair* qp : pool) {
+    auto pending = pending_.find(qp->id());
+    if (pending != pending_.end()) {
+      pending->second.push_back(wr);
+      return;
+    }
+  }
+
+  // Reactivate a shadow QP.
+  QueuePair* shadow = nullptr;
+  bool connecting = false;
+  for (QueuePair* qp : pool) {
+    if (qp->state() == QpState::kInactive) {
+      shadow = qp;
+      break;
+    }
+    if (qp->state() == QpState::kConnecting) connecting = true;
+  }
+  if (shadow == nullptr && !connecting) {
+    // Every connection in the pool is broken (fabric fault / remote QP
+    // errors): rebuild the pool and queue the WR behind the handshake.
+    ++stats_.reestablishments;
+    const int count = static_cast<int>(pool.size());
+    auto deferred = std::make_shared<WorkRequest>(wr);
+    establish(remote, tenant, count > 0 ? count : 1,
+              [this, remote, tenant, deferred] {
+                send(remote, tenant, *deferred);
+              });
+    return;
+  }
+  PD_CHECK(shadow != nullptr,
+           "no established QP available (pool still connecting)");
+  pending_[shadow->id()].push_back(wr);
+  activate(*shadow);
+}
+
+void ConnectionManager::activate(QueuePair& qp) {
+  ++stats_.activations;
+  qp.activate([this, &qp] {
+    last_active_[qp.id()] = ++activation_clock_;
+    enforce_active_cap();
+    auto it = pending_.find(qp.id());
+    if (it != pending_.end()) {
+      auto wrs = std::move(it->second);
+      pending_.erase(it);
+      for (const auto& wr : wrs) qp.post_send(wr);
+    }
+  });
+}
+
+void ConnectionManager::enforce_active_cap() {
+  while (local_.active_qps_ > max_active_) {
+    // Deactivate the least-recently-used idle active QP.
+    QueuePair* victim = nullptr;
+    std::uint64_t oldest = activation_clock_ + 1;
+    for (auto& [key, pool] : pools_) {
+      for (QueuePair* qp : pool) {
+        if (qp->state() == QpState::kActive && qp->outstanding() == 0) {
+          const auto stamp_it = last_active_.find(qp->id());
+          const std::uint64_t stamp =
+              stamp_it == last_active_.end() ? 0 : stamp_it->second;
+          if (stamp < oldest) {
+            oldest = stamp;
+            victim = qp;
+          }
+        }
+      }
+    }
+    if (victim == nullptr) return;  // everything busy: accept cache misses
+    victim->deactivate();
+    ++stats_.deactivations;
+  }
+}
+
+}  // namespace pd::rdma

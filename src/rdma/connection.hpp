@@ -1,0 +1,79 @@
+// RC connection pooling with shadow-QP activation (§3.3).
+//
+// Establishing an RC connection costs tens of milliseconds, so the DNE
+// keeps pools of pre-established connections per peer node. Within a pool,
+// QPs toggle between *active* (resident in the RNIC cache) and *inactive*
+// (shadow — zero RNIC footprint, reactivated locally without a handshake).
+// The manager bounds the node's active-QP count to avoid NIC cache
+// thrashing and picks the least-congested active QP per send.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "rdma/rnic.hpp"
+
+namespace pd::rdma {
+
+struct ConnectionStats {
+  std::uint64_t establishments = 0;
+  std::uint64_t activations = 0;
+  std::uint64_t deactivations = 0;
+  std::uint64_t sends = 0;
+  std::uint64_t reestablishments = 0;  ///< pools rebuilt after QP errors
+};
+
+class ConnectionManager {
+ public:
+  /// `max_active`: cap on simultaneously active QPs on this node
+  /// (defaults to the RNIC cache capacity).
+  explicit ConnectionManager(Rnic& local,
+                             int max_active = cost::kRnicQpCacheSlots);
+
+  /// Pre-establish `count` RC connections to `remote` for `tenant`
+  /// (creates QPs on both ends; `ready` fires when all are established).
+  void establish(NodeId remote, TenantId tenant, int count,
+                 std::function<void()> ready);
+
+  /// Number of established connections for (remote, tenant).
+  [[nodiscard]] std::size_t pool_size(NodeId remote, TenantId tenant) const;
+
+  /// Post a WR toward `remote` on behalf of `tenant`: selects the
+  /// least-congested active QP, transparently reactivating a shadow QP
+  /// when none is active (the WR waits out the activation latency).
+  void send(NodeId remote, TenantId tenant, const WorkRequest& wr);
+
+  [[nodiscard]] const ConnectionStats& stats() const { return stats_; }
+  [[nodiscard]] int active_count() const;
+
+  /// Number of usable (non-error) connections for (remote, tenant).
+  [[nodiscard]] std::size_t healthy_count(NodeId remote, TenantId tenant) const;
+
+ private:
+  struct PoolKey {
+    NodeId remote;
+    TenantId tenant;
+    bool operator<(const PoolKey& o) const {
+      if (remote != o.remote) return remote < o.remote;
+      return tenant < o.tenant;
+    }
+  };
+
+  void activate(QueuePair& qp);
+  void enforce_active_cap();
+
+  RdmaNetwork& net_;
+  Rnic& local_;
+  int max_active_;
+  std::map<PoolKey, std::vector<QueuePair*>> pools_;
+  /// WRs buffered while their QP finishes (re)activation.
+  std::unordered_map<QpId, std::vector<WorkRequest>> pending_;
+  /// Activation order for LRU-ish deactivation.
+  std::uint64_t activation_clock_ = 0;
+  std::unordered_map<QpId, std::uint64_t> last_active_;
+  ConnectionStats stats_;
+};
+
+}  // namespace pd::rdma

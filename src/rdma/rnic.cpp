@@ -1,0 +1,387 @@
+#include "rdma/rnic.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.hpp"
+#include "proto/cost_model.hpp"
+
+namespace pd::rdma {
+namespace {
+
+/// RNR retry delay once the receiver reposts buffers (abbreviated from the
+/// IB RNR-NAK timer range).
+constexpr sim::Duration kRnrRetryNs = 5'000;
+/// Bytes on the wire for a CAS request/response.
+constexpr Bytes kAtomicWireBytes = 32;
+
+}  // namespace
+
+const char* to_string(Opcode op) {
+  switch (op) {
+    case Opcode::kSend: return "SEND";
+    case Opcode::kWrite: return "WRITE";
+    case Opcode::kCompareSwap: return "CAS";
+  }
+  return "?";
+}
+
+const char* to_string(QpState s) {
+  switch (s) {
+    case QpState::kReset: return "reset";
+    case QpState::kConnecting: return "connecting";
+    case QpState::kInactive: return "inactive";
+    case QpState::kActive: return "active";
+    case QpState::kError: return "error";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// CompletionQueue
+// ---------------------------------------------------------------------------
+
+void CompletionQueue::push(Completion c) {
+  const bool was_empty = entries_.empty();
+  entries_.push_back(std::move(c));
+  ++total_;
+  if (was_empty && notify_) notify_();
+}
+
+std::vector<Completion> CompletionQueue::poll(std::size_t max) {
+  std::vector<Completion> out;
+  const std::size_t n = std::min(max, entries_.size());
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(std::move(entries_.front()));
+    entries_.pop_front();
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// RdmaNetwork
+// ---------------------------------------------------------------------------
+
+Rnic& RdmaNetwork::rnic(NodeId node) {
+  auto it = rnics_.find(node);
+  PD_CHECK(it != rnics_.end(), "no RNIC on node " << node);
+  return *it->second;
+}
+
+void RdmaNetwork::register_rnic(NodeId node, Rnic* rnic) {
+  PD_CHECK(rnics_.emplace(node, rnic).second,
+           "node " << node << " already has an RNIC");
+  switch_.attach(node);
+}
+
+void RdmaNetwork::unregister_rnic(NodeId node) { rnics_.erase(node); }
+
+// ---------------------------------------------------------------------------
+// QueuePair
+// ---------------------------------------------------------------------------
+
+QueuePair::QueuePair(Rnic& rnic, QpId id, TenantId tenant)
+    : rnic_(rnic), id_(id), tenant_(tenant) {}
+
+void QueuePair::post_send(const WorkRequest& wr) {
+  PD_CHECK(state_ == QpState::kActive,
+           "post_send on QP " << id_ << " in state " << to_string(state_));
+  ++outstanding_;
+  ++sends_posted_;
+  rnic_.execute(*this, wr);
+}
+
+void QueuePair::activate(std::function<void()> done) {
+  PD_CHECK(state_ == QpState::kInactive,
+           "activate QP in state " << to_string(state_));
+  rnic_.sched_.schedule_after(cost::kQpActivateNs,
+                              [this, done = std::move(done)] {
+                                state_ = QpState::kActive;
+                                ++rnic_.active_qps_;
+                                if (done) done();
+                              });
+}
+
+void QueuePair::deactivate() {
+  PD_CHECK(state_ == QpState::kActive,
+           "deactivate QP in state " << to_string(state_));
+  PD_CHECK(outstanding_ == 0, "deactivate QP with outstanding WRs");
+  state_ = QpState::kInactive;
+  --rnic_.active_qps_;
+}
+
+void QueuePair::fail() {
+  PD_CHECK(connected() || state_ == QpState::kConnecting,
+           "fail() on a QP that was never set up");
+  if (state_ == QpState::kActive) --rnic_.active_qps_;
+  state_ = QpState::kError;
+}
+
+// ---------------------------------------------------------------------------
+// Rnic
+// ---------------------------------------------------------------------------
+
+Rnic::Rnic(RdmaNetwork& net, NodeId node, mem::MemoryDomain& host_mem)
+    : sched_(net.scheduler()), net_(net), node_(node), host_mem_(host_mem) {
+  net_.register_rnic(node, this);
+}
+
+Rnic::~Rnic() { net_.unregister_rnic(node_); }
+
+void Rnic::register_memory(PoolId pool) {
+  auto& tm = host_mem_.by_pool(pool);
+  PD_CHECK(tm.exported_to_rdma(),
+           "pool " << pool << " not exported for RDMA before registration");
+  registered_[pool] = true;
+}
+
+bool Rnic::memory_registered(PoolId pool) const {
+  auto it = registered_.find(pool);
+  return it != registered_.end() && it->second;
+}
+
+QueuePair& Rnic::create_qp(TenantId tenant) {
+  const QpId id{(node_.value() << 20) | next_qp_++};
+  auto qp = std::make_unique<QueuePair>(*this, id, tenant);
+  QueuePair* raw = qp.get();
+  qps_.emplace(id, std::move(qp));
+  return *raw;
+}
+
+QueuePair& Rnic::qp(QpId id) {
+  auto it = qps_.find(id);
+  PD_CHECK(it != qps_.end(), "unknown QP " << id << " on node " << node_);
+  return *it->second;
+}
+
+void Rnic::post_srq_recv(TenantId tenant, const mem::BufferDescriptor& buffer) {
+  PD_CHECK(memory_registered(buffer.pool),
+           "SRQ buffer from unregistered pool " << buffer.pool);
+  PD_CHECK(buffer.tenant == tenant, "SRQ buffer tenant mismatch");
+  auto& pool = host_mem_.by_pool(buffer.pool).pool();
+  PD_CHECK(pool.owner_of(buffer) == mem::actor_rnic(node_),
+           "SRQ buffer not owned by the RNIC (transfer before posting)");
+
+  auto& rnr = rnr_queues_[tenant];
+  if (!rnr.empty()) {
+    // A sender is waiting in RNR state: reserve THIS buffer for it (if it
+    // went through the SRQ, a concurrent arrival could steal it before the
+    // retry timer fires) and deliver after the retry delay.
+    PendingRecv pending = std::move(rnr.front());
+    rnr.pop_front();
+    sched_.schedule_after(kRnrRetryNs, [this, tenant, buffer,
+                                        pending = std::move(pending)]() mutable {
+      deliver_into(buffer, pending.dest_qp, tenant, pending.len,
+                   std::move(pending.payload));
+    });
+    return;
+  }
+  srqs_[tenant].push_back(buffer);
+}
+
+std::size_t Rnic::srq_depth(TenantId tenant) const {
+  auto it = srqs_.find(tenant);
+  return it == srqs_.end() ? 0 : it->second.size();
+}
+
+void Rnic::set_write_monitor(PoolId pool, WriteMonitor monitor) {
+  write_monitors_[pool] = std::move(monitor);
+}
+
+void Rnic::set_atomic_word(std::uint64_t addr, std::uint64_t value) {
+  atomic_words_[addr] = value;
+}
+
+std::uint64_t Rnic::atomic_word(std::uint64_t addr) const {
+  auto it = atomic_words_.find(addr);
+  PD_CHECK(it != atomic_words_.end(), "unknown atomic word " << addr);
+  return it->second;
+}
+
+sim::Duration Rnic::wr_overhead() {
+  sim::Duration overhead = cost::kRnicPerWrNs;
+  if (active_qps_ > cost::kRnicQpCacheSlots) {
+    overhead += cost::kQpCacheMissPenaltyNs;
+    ++counters_.cache_miss_wrs;
+  }
+  return overhead;
+}
+
+void Rnic::execute(QueuePair& qp, const WorkRequest& wr) {
+  PD_CHECK(qp.remote_node_.valid(), "QP has no remote peer");
+  const NodeId dest = qp.remote_node_;
+
+  if (wr.opcode == Opcode::kCompareSwap) {
+    ++counters_.atomics;
+    const sim::Duration local = wr_overhead();
+    sched_.schedule_after(local, [this, dest, from_qp = qp.id_, wr] {
+      net_.fabric().send(node_, dest, kAtomicWireBytes, [this, dest, from_qp, wr] {
+        net_.rnic(dest).arrive_cas(node_, from_qp, wr);
+      });
+    });
+    return;
+  }
+
+  // SEND / WRITE carry payload out of a registered local buffer that the
+  // posting engine handed to the RNIC (ownership token moved on post).
+  PD_CHECK(memory_registered(wr.local.pool),
+           "WR uses unregistered pool " << wr.local.pool);
+  auto& pool = host_mem_.by_pool(wr.local.pool).pool();
+  const auto span = pool.access(wr.local, mem::actor_rnic(node_));
+  const std::uint32_t len = wr.local.length;
+  PD_CHECK(len <= span.size(), "WR length exceeds buffer");
+  std::vector<std::byte> payload(span.begin(), span.begin() + len);
+
+  counters_.payload_bytes += len;
+  if (wr.opcode == Opcode::kSend) {
+    ++counters_.sends;
+  } else {
+    ++counters_.writes;
+  }
+
+  // NIC processing + DMA read of the payload from host memory.
+  const sim::Duration local_ns =
+      wr_overhead() +
+      static_cast<sim::Duration>(static_cast<double>(len) * cost::kRnicPerByteNs);
+
+  sched_.schedule_after(local_ns, [this, &qp, wr, dest, len,
+                                   payload = std::move(payload)]() mutable {
+    // Local send completion: the WR left the NIC; the engine may recycle
+    // the buffer (payload already staged for the wire).
+    Completion done;
+    done.wr_id = wr.wr_id;
+    done.opcode = wr.opcode;
+    done.is_recv = false;
+    done.qp = qp.id_;
+    done.tenant = qp.tenant_;
+    done.buffer = wr.local;
+    done.byte_len = len;
+    --qp.outstanding_;
+    cq_.push(std::move(done));
+
+    net_.fabric().send(
+        node_, dest, len,
+        [this, dest, remote_qp = qp.remote_qp_, tenant = qp.tenant_, wr, len,
+         payload = std::move(payload)]() mutable {
+          Rnic& peer = net_.rnic(dest);
+          if (wr.opcode == Opcode::kSend) {
+            peer.arrive_send(remote_qp, tenant, len, std::move(payload));
+          } else {
+            peer.arrive_write(wr, len, std::move(payload));
+          }
+        });
+  });
+}
+
+void Rnic::arrive_send(QpId dest_qp, TenantId tenant, std::uint32_t len,
+                       std::vector<std::byte> payload) {
+  auto& srq = srqs_[tenant];
+  if (srq.empty()) {
+    ++counters_.rnr_events;
+    rnr_queues_[tenant].push_back(PendingRecv{dest_qp, len, std::move(payload)});
+    return;
+  }
+  deliver_to_srq(dest_qp, tenant, len, std::move(payload));
+}
+
+void Rnic::deliver_to_srq(QpId dest_qp, TenantId tenant, std::uint32_t len,
+                          std::vector<std::byte> payload) {
+  auto& srq = srqs_[tenant];
+  PD_CHECK(!srq.empty(), "deliver_to_srq on an empty SRQ");
+  mem::BufferDescriptor buffer = srq.front();
+  srq.pop_front();
+  deliver_into(buffer, dest_qp, tenant, len, std::move(payload));
+}
+
+void Rnic::deliver_into(mem::BufferDescriptor buffer, QpId dest_qp,
+                        TenantId tenant, std::uint32_t len,
+                        std::vector<std::byte> payload) {
+  auto& pool = host_mem_.by_pool(buffer.pool).pool();
+  auto span = pool.access(buffer, mem::actor_rnic(node_));
+  PD_CHECK(len <= span.size(), "incoming payload larger than receive buffer");
+  std::memcpy(span.data(), payload.data(), len);
+  buffer = pool.resize(buffer, mem::actor_rnic(node_), len);
+
+  ++counters_.recvs;
+  const sim::Duration ns =
+      cost::kRnicPerWrNs +
+      static_cast<sim::Duration>(static_cast<double>(len) * cost::kRnicPerByteNs) +
+      cost::kRnicCqeNs;
+  sched_.schedule_after(ns, [this, dest_qp, tenant, buffer, len] {
+    Completion c;
+    c.opcode = Opcode::kSend;
+    c.is_recv = true;
+    c.qp = dest_qp;
+    c.tenant = tenant;
+    c.buffer = buffer;
+    c.byte_len = len;
+    cq_.push(std::move(c));
+  });
+}
+
+void Rnic::arrive_write(const WorkRequest& wr, std::uint32_t len,
+                        std::vector<std::byte> payload) {
+  // One-sided: land directly in the addressed slot; no SRQ, no CQE on this
+  // side. The remote CPU is never involved — and never consulted.
+  auto& pool = host_mem_.by_pool(wr.remote_pool).pool();
+  mem::BufferDescriptor target{wr.remote_pool, wr.remote_index, len,
+                               pool.tenant()};
+  auto span = pool.access(target, mem::actor_rnic(node_));
+  PD_CHECK(len <= span.size(), "one-sided write larger than target slot");
+  std::memcpy(span.data(), payload.data(), len);
+
+  const sim::Duration ns =
+      cost::kRnicPerWrNs +
+      static_cast<sim::Duration>(static_cast<double>(len) * cost::kRnicPerByteNs);
+  sched_.schedule_after(ns, [this, target, len] {
+    auto it = write_monitors_.find(target.pool);
+    if (it != write_monitors_.end() && it->second) it->second(target, len);
+  });
+}
+
+void Rnic::arrive_cas(NodeId from, QpId from_qp, WorkRequest wr) {
+  auto it = atomic_words_.find(wr.atomic_addr);
+  PD_CHECK(it != atomic_words_.end(),
+           "CAS to unmapped atomic word " << wr.atomic_addr);
+  const std::uint64_t found = it->second;
+  if (found == wr.atomic_expect) it->second = wr.atomic_desired;
+
+  sched_.schedule_after(cost::kRdmaAtomicExtraNs, [this, from, from_qp, wr,
+                                                   found] {
+    net_.fabric().send(node_, from, kAtomicWireBytes, [this, from, from_qp, wr,
+                                                       found] {
+      Rnic& origin = net_.rnic(from);
+      QueuePair& qp = origin.qp(from_qp);
+      --qp.outstanding_;
+      Completion c;
+      c.wr_id = wr.wr_id;
+      c.opcode = Opcode::kCompareSwap;
+      c.is_recv = false;
+      c.qp = from_qp;
+      c.tenant = qp.tenant();
+      c.atomic_found = found;
+      origin.cq_.push(std::move(c));
+    });
+  });
+}
+
+void connect_qps(QueuePair& a, QueuePair& b, std::function<void()> done) {
+  PD_CHECK(a.state_ == QpState::kReset && b.state_ == QpState::kReset,
+           "connect_qps on non-fresh QPs");
+  PD_CHECK(&a.rnic_ != &b.rnic_, "RC connection must span two nodes");
+  a.remote_node_ = b.rnic_.node();
+  a.remote_qp_ = b.id();
+  b.remote_node_ = a.rnic_.node();
+  b.remote_qp_ = a.id();
+  a.state_ = QpState::kConnecting;
+  b.state_ = QpState::kConnecting;
+  a.rnic_.sched_.schedule_after(cost::kRcConnectNs,
+                                [&a, &b, done = std::move(done)] {
+                                  a.state_ = QpState::kInactive;
+                                  b.state_ = QpState::kInactive;
+                                  if (done) done();
+                                });
+}
+
+}  // namespace pd::rdma

@@ -1,0 +1,153 @@
+// RNIC model: the ConnectX-6-class NIC integrated into each Bluefield DPU.
+//
+// Executes WRs with per-WR processing cost, line-rate DMA (payload bytes
+// actually move between the two nodes' buffer pools — the "hardware copy"
+// that zero-copy permits), QP-cache thrashing beyond a bounded active set,
+// per-tenant shared receive queues, and RNR handling when a tenant's SRQ
+// underruns.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "fabric/fabric.hpp"
+#include "mem/memory_domain.hpp"
+#include "rdma/qp.hpp"
+#include "rdma/verbs.hpp"
+#include "sim/scheduler.hpp"
+
+namespace pd::rdma {
+
+class Rnic;
+
+/// The RDMA fabric: a switch plus the registry mapping node ids to RNICs
+/// (the simulation analog of the subnet manager). One per simulated
+/// cluster; owning it per-experiment keeps tests isolated.
+class RdmaNetwork {
+ public:
+  explicit RdmaNetwork(sim::Scheduler& sched) : sched_(sched), switch_(sched) {}
+
+  [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
+  [[nodiscard]] fabric::Switch& fabric() { return switch_; }
+  Rnic& rnic(NodeId node);
+
+ private:
+  friend class Rnic;
+  void register_rnic(NodeId node, Rnic* rnic);
+  void unregister_rnic(NodeId node);
+
+  sim::Scheduler& sched_;
+  fabric::Switch switch_;
+  std::unordered_map<NodeId, Rnic*> rnics_;
+};
+
+struct RnicCounters {
+  std::uint64_t sends = 0;
+  std::uint64_t recvs = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t atomics = 0;
+  std::uint64_t rnr_events = 0;      ///< receiver-not-ready stalls
+  std::uint64_t cache_miss_wrs = 0;  ///< WRs penalized by QP-cache overflow
+  Bytes payload_bytes = 0;
+};
+
+class Rnic {
+ public:
+  Rnic(RdmaNetwork& net, NodeId node, mem::MemoryDomain& host_mem);
+  ~Rnic();
+
+  Rnic(const Rnic&) = delete;
+  Rnic& operator=(const Rnic&) = delete;
+
+  /// Register a tenant pool as an RDMA memory region. Requires the pool to
+  /// have been exported for RDMA (doca_mmap_export_rdma, §3.4.2).
+  void register_memory(PoolId pool);
+  [[nodiscard]] bool memory_registered(PoolId pool) const;
+
+  /// Create an RC QP owned by `tenant` (not yet connected).
+  QueuePair& create_qp(TenantId tenant);
+  QueuePair& qp(QpId id);
+
+  /// Post a receive buffer to `tenant`'s shared RQ. Ownership of the buffer
+  /// must already be with this RNIC's actor, and its pool registered.
+  void post_srq_recv(TenantId tenant, const mem::BufferDescriptor& buffer);
+  [[nodiscard]] std::size_t srq_depth(TenantId tenant) const;
+
+  /// Node-wide CQ (§3.3: all RCQPs share a single CQ).
+  CompletionQueue& cq() { return cq_; }
+
+  /// One-sided write arrival hook: the receiver-side engine registers a
+  /// monitor per pool (its FaRM-style canary poller). Without a monitor,
+  /// writes land silently — exactly the "receiver-oblivious" property.
+  using WriteMonitor =
+      std::function<void(const mem::BufferDescriptor&, std::uint32_t len)>;
+  void set_write_monitor(PoolId pool, WriteMonitor monitor);
+
+  /// Host-exposed atomic words for remote CAS (distributed locks).
+  void set_atomic_word(std::uint64_t addr, std::uint64_t value);
+  [[nodiscard]] std::uint64_t atomic_word(std::uint64_t addr) const;
+
+  [[nodiscard]] NodeId node() const { return node_; }
+  [[nodiscard]] RdmaNetwork& network() { return net_; }
+  [[nodiscard]] mem::MemoryDomain& host_mem() { return host_mem_; }
+  [[nodiscard]] const RnicCounters& counters() const { return counters_; }
+  [[nodiscard]] int active_qps() const { return active_qps_; }
+
+ private:
+  friend class QueuePair;
+  friend class ConnectionManager;
+  friend void connect_qps(QueuePair& a, QueuePair& b,
+                          std::function<void()> done);
+
+  /// Sender-side execution of a posted WR.
+  void execute(QueuePair& qp, const WorkRequest& wr);
+  /// Per-WR NIC processing time including QP-cache effects.
+  sim::Duration wr_overhead();
+
+  /// Receiver-side arrival paths.
+  void arrive_send(QpId dest_qp, TenantId tenant, std::uint32_t len,
+                   std::vector<std::byte> payload);
+  void deliver_to_srq(QpId dest_qp, TenantId tenant, std::uint32_t len,
+                      std::vector<std::byte> payload);
+  void deliver_into(mem::BufferDescriptor buffer, QpId dest_qp,
+                    TenantId tenant, std::uint32_t len,
+                    std::vector<std::byte> payload);
+  void arrive_write(const WorkRequest& wr, std::uint32_t len,
+                    std::vector<std::byte> payload);
+  void arrive_cas(NodeId from, QpId from_qp, WorkRequest wr);
+
+  sim::Scheduler& sched_;
+  RdmaNetwork& net_;
+  NodeId node_;
+  mem::MemoryDomain& host_mem_;
+  CompletionQueue cq_;
+
+  std::unordered_map<QpId, std::unique_ptr<QueuePair>> qps_;
+  std::uint32_t next_qp_ = 1;
+  int active_qps_ = 0;
+
+  std::unordered_map<PoolId, bool> registered_;
+  std::unordered_map<TenantId, std::deque<mem::BufferDescriptor>> srqs_;
+  /// Messages that hit an empty SRQ wait here (RNR retry behaviour).
+  struct PendingRecv {
+    QpId dest_qp;
+    std::uint32_t len;
+    std::vector<std::byte> payload;
+  };
+  std::unordered_map<TenantId, std::deque<PendingRecv>> rnr_queues_;
+
+  std::unordered_map<PoolId, WriteMonitor> write_monitors_;
+  std::unordered_map<std::uint64_t, std::uint64_t> atomic_words_;
+
+  RnicCounters counters_;
+};
+
+/// Establish an RC connection between two QPs on different nodes. Costs the
+/// connection-setup latency (tens of ms, §3.3); `done` fires when both ends
+/// reach kInactive (established, shadow state).
+void connect_qps(QueuePair& a, QueuePair& b, std::function<void()> done);
+
+}  // namespace pd::rdma

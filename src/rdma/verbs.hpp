@@ -1,0 +1,77 @@
+// RDMA verbs-layer types: work requests, completions, completion queues.
+//
+// Mirrors the IB verbs objects Palladium's DNE manipulates (§3.2, §3.5.2):
+// WRs posted to a QP's send queue, completions harvested from a CQ that is
+// shared node-wide, and an SRQ per tenant feeding receive buffers.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "mem/descriptor.hpp"
+
+namespace pd::rdma {
+
+enum class Opcode : std::uint8_t {
+  kSend,         ///< two-sided send (consumes a receive buffer remotely)
+  kWrite,        ///< one-sided RDMA write
+  kCompareSwap,  ///< remote atomic (used by distributed-lock designs)
+};
+
+const char* to_string(Opcode op);
+
+struct WorkRequest {
+  std::uint64_t wr_id = 0;
+  Opcode opcode = Opcode::kSend;
+  /// Local buffer: payload source for kSend/kWrite.
+  mem::BufferDescriptor local{};
+  /// One-sided target slot in the remote pool (kWrite only).
+  PoolId remote_pool{};
+  std::uint32_t remote_index = 0;
+  /// Atomic operands (kCompareSwap only).
+  std::uint64_t atomic_addr = 0;
+  std::uint64_t atomic_expect = 0;
+  std::uint64_t atomic_desired = 0;
+};
+
+struct Completion {
+  std::uint64_t wr_id = 0;
+  Opcode opcode = Opcode::kSend;
+  bool is_recv = false;
+  QpId qp{};
+  TenantId tenant{};
+  /// Receive completions: buffer the payload landed in.
+  mem::BufferDescriptor buffer{};
+  std::uint32_t byte_len = 0;
+  /// kCompareSwap: value found at the remote address (op succeeded iff
+  /// found == expect).
+  std::uint64_t atomic_found = 0;
+};
+
+/// Completion queue shared by all QPs of a node (§3.3). Consumers either
+/// poll or register a notify callback that fires on the empty->non-empty
+/// transition (the simulation analog of a CQ event channel; the DNE uses it
+/// to trigger its run-to-completion loop iteration).
+class CompletionQueue {
+ public:
+  void push(Completion c);
+
+  /// Drain up to `max` completions (poll_cq).
+  std::vector<Completion> poll(std::size_t max);
+
+  [[nodiscard]] std::size_t depth() const { return entries_.size(); }
+  [[nodiscard]] std::uint64_t total_pushed() const { return total_; }
+
+  void set_notify(std::function<void()> notify) { notify_ = std::move(notify); }
+
+ private:
+  std::deque<Completion> entries_;
+  std::function<void()> notify_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace pd::rdma

@@ -1,0 +1,122 @@
+#include "runtime/boutique.hpp"
+
+namespace pd::runtime {
+namespace {
+
+using B = OnlineBoutique;
+
+/// Per-visit compute costs (reference ns). The boutique microservices are
+/// thin handlers (lookups, currency math, template snippets) — the demo's
+/// handlers do microseconds of work, which is exactly why the data plane
+/// dominates end-to-end cost (§1) and why the evaluation can expose
+/// data-plane differences at all.
+constexpr sim::Duration kFrontendNs = 2'500;
+constexpr sim::Duration kCatalogNs = 9'000;
+constexpr sim::Duration kCurrencyNs = 4'000;
+constexpr sim::Duration kCartNs = 8'000;
+constexpr sim::Duration kRecommendationNs = 12'000;
+constexpr sim::Duration kShippingNs = 6'000;
+constexpr sim::Duration kCheckoutNs = 8'000;
+constexpr sim::Duration kPaymentNs = 10'000;
+constexpr sim::Duration kEmailNs = 6'000;
+constexpr sim::Duration kAdNs = 5'000;
+
+/// Typical payload sizes (bytes) for the hop outputs.
+constexpr std::uint32_t kSmall = 256;    // RPC-style request/ack
+constexpr std::uint32_t kMedium = 1024;  // list responses
+constexpr std::uint32_t kLarge = 4096;   // rendered fragments / catalogs
+
+ChainHop fe(std::uint32_t out = kMedium) { return {B::kFrontend, kFrontendNs, out}; }
+
+}  // namespace
+
+void OnlineBoutique::deploy(Cluster& cluster, NodeId hot_node,
+                            NodeId cold_node) {
+  cluster.add_tenant(kTenant, /*weight=*/1);
+
+  const auto place = [&](FunctionId id, const char* name, NodeId node) {
+    cluster.deploy(FunctionSpec{id, name, kTenant}, node);
+  };
+  place(kFrontend, "frontend", hot_node);
+  place(kCheckout, "checkout", hot_node);
+  place(kRecommendation, "recommendation", hot_node);
+  place(kProductCatalog, "productcatalog", cold_node);
+  place(kCurrency, "currency", cold_node);
+  place(kCart, "cart", cold_node);
+  place(kShipping, "shipping", cold_node);
+  place(kPayment, "payment", cold_node);
+  place(kEmail, "email", cold_node);
+  place(kAd, "ad", cold_node);
+
+  // Home Query: frontend fans out to currency, catalog, cart,
+  // recommendation and ad — 12 exchanges.
+  cluster.add_chain(Chain{
+      kHomeQuery, "Home Query", kTenant, kSmall,
+      {fe(kSmall), {kCurrency, kCurrencyNs, kSmall}, fe(kSmall),
+       {kProductCatalog, kCatalogNs, kLarge}, fe(kSmall),
+       {kCart, kCartNs, kMedium}, fe(kSmall),
+       {kRecommendation, kRecommendationNs, kMedium}, fe(kSmall),
+       {kAd, kAdNs, kSmall}, fe(kLarge)}});
+
+  // View Cart: currency, cart, recommendation, catalog, shipping — 12
+  // exchanges.
+  cluster.add_chain(Chain{
+      kViewCart, "View Cart", kTenant, kSmall,
+      {fe(kSmall), {kCurrency, kCurrencyNs, kSmall}, fe(kSmall),
+       {kCart, kCartNs, kMedium}, fe(kMedium),
+       {kRecommendation, kRecommendationNs, kMedium}, fe(kSmall),
+       {kProductCatalog, kCatalogNs, kLarge}, fe(kSmall),
+       {kShipping, kShippingNs, kSmall}, fe(kLarge)}});
+
+  // Product Query: catalog, currency, cart, recommendation, ad — 12
+  // exchanges.
+  cluster.add_chain(Chain{
+      kProductQuery, "Product Query", kTenant, kSmall,
+      {fe(kSmall), {kProductCatalog, kCatalogNs, kLarge}, fe(kSmall),
+       {kCurrency, kCurrencyNs, kSmall}, fe(kSmall),
+       {kCart, kCartNs, kMedium}, fe(kSmall),
+       {kRecommendation, kRecommendationNs, kMedium}, fe(kSmall),
+       {kAd, kAdNs, kSmall}, fe(kLarge)}});
+
+  // Checkout: the long transactional chain through the checkout service.
+  cluster.add_chain(Chain{
+      kCheckoutChain, "Checkout", kTenant, kMedium,
+      {fe(kMedium), {kCheckout, kCheckoutNs, kSmall},
+       {kCart, kCartNs, kMedium}, {kCheckout, kCheckoutNs, kSmall},
+       {kProductCatalog, kCatalogNs, kMedium}, {kCheckout, kCheckoutNs, kSmall},
+       {kCurrency, kCurrencyNs, kSmall}, {kCheckout, kCheckoutNs, kSmall},
+       {kShipping, kShippingNs, kSmall}, {kCheckout, kCheckoutNs, kSmall},
+       {kPayment, kPaymentNs, kSmall}, {kCheckout, kCheckoutNs, kSmall},
+       {kEmail, kEmailNs, kSmall}, {kCheckout, kCheckoutNs, kMedium},
+       fe(kMedium)}});
+
+  // Add To Cart: short write path.
+  cluster.add_chain(Chain{kAddToCart, "Add To Cart", kTenant, kSmall,
+                          {fe(kSmall), {kProductCatalog, kCatalogNs, kMedium},
+                           fe(kSmall), {kCart, kCartNs, kSmall}, fe(kSmall)}});
+
+  // Currency conversion: the minimal chain.
+  cluster.add_chain(Chain{kCurrencyConvert, "Currency", kTenant, kSmall,
+                          {fe(kSmall), {kCurrency, kCurrencyNs, kSmall},
+                           fe(kSmall)}});
+}
+
+const std::vector<std::uint32_t>& OnlineBoutique::measured_chains() {
+  static const std::vector<std::uint32_t> chains{kHomeQuery, kViewCart,
+                                                 kProductQuery};
+  return chains;
+}
+
+const char* OnlineBoutique::chain_name(std::uint32_t id) {
+  switch (id) {
+    case kHomeQuery: return "Home Query";
+    case kViewCart: return "View Cart";
+    case kProductQuery: return "Product Query";
+    case kCheckoutChain: return "Checkout";
+    case kAddToCart: return "Add To Cart";
+    case kCurrencyConvert: return "Currency";
+  }
+  return "?";
+}
+
+}  // namespace pd::runtime

@@ -1,0 +1,49 @@
+// Online Boutique (§4.3): the 10-microservice demo application used for
+// the end-to-end evaluation, expressed as Palladium chains.
+//
+// Call graphs are flattened into exchange sequences (see chain.hpp); the
+// three measured chains (Home Query, View Cart, Product Query) each incur
+// 12 data exchanges (> 11, matching §4.3), and the paper's placement is
+// reproduced: potential hotspots (Frontend, Checkout, Recommendation) on
+// one node, the remaining seven functions on the other.
+#pragma once
+
+#include "runtime/cluster.hpp"
+
+namespace pd::runtime {
+
+struct OnlineBoutique {
+  // Function ids.
+  static constexpr FunctionId kFrontend{1};
+  static constexpr FunctionId kProductCatalog{2};
+  static constexpr FunctionId kCurrency{3};
+  static constexpr FunctionId kCart{4};
+  static constexpr FunctionId kRecommendation{5};
+  static constexpr FunctionId kShipping{6};
+  static constexpr FunctionId kCheckout{7};
+  static constexpr FunctionId kPayment{8};
+  static constexpr FunctionId kEmail{9};
+  static constexpr FunctionId kAd{10};
+
+  // Chain ids.
+  static constexpr std::uint32_t kHomeQuery = 1;
+  static constexpr std::uint32_t kViewCart = 2;
+  static constexpr std::uint32_t kProductQuery = 3;
+  static constexpr std::uint32_t kCheckoutChain = 4;
+  static constexpr std::uint32_t kAddToCart = 5;
+  static constexpr std::uint32_t kCurrencyConvert = 6;
+
+  static constexpr TenantId kTenant{1};
+
+  /// Deploy the application: tenant pool, 10 functions placed across
+  /// `hot_node` (Frontend/Checkout/Recommendation) and `cold_node`, and
+  /// all six chains. For single-node systems (NightCore) pass the same
+  /// node twice.
+  static void deploy(Cluster& cluster, NodeId hot_node, NodeId cold_node);
+
+  /// The three chains Fig. 16 / Table 2 measure.
+  static const std::vector<std::uint32_t>& measured_chains();
+  static const char* chain_name(std::uint32_t id);
+};
+
+}  // namespace pd::runtime

@@ -1,0 +1,73 @@
+// Function chains: the unit of tenancy in Palladium (§3.1 treats each
+// chain as an independent tenant with its own unified memory pool).
+//
+// A chain is modeled as the sequence of data exchanges a request performs:
+// entry -> hop[0].fn -> hop[1].fn -> ... -> hop[n-1].fn -> entry. A
+// fan-out call graph (frontend calling three services) appears here as the
+// equivalent exchange sequence frontend, svc1, frontend, svc2, frontend...
+// — preserving exactly the number and sizes of data-plane transfers, which
+// is what the evaluation measures.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/ids.hpp"
+#include "sim/time.hpp"
+
+namespace pd::runtime {
+
+struct ChainHop {
+  FunctionId fn;
+  /// Application compute at this hop (reference ns on a host core).
+  sim::Duration compute_ns = 0;
+  /// Payload bytes of the message this hop emits to its successor (or the
+  /// response payload if this is the final hop).
+  std::uint32_t out_payload = 256;
+};
+
+struct Chain {
+  std::uint32_t id = 0;
+  std::string name;
+  TenantId tenant;
+  /// Payload bytes of the entry message delivered to hops[0].
+  std::uint32_t request_payload = 256;
+  std::vector<ChainHop> hops;
+
+  [[nodiscard]] std::size_t exchanges() const { return hops.size() + 1; }
+};
+
+/// Read-only chain registry, shared by all function runtimes (stored in
+/// the unified memory pool as shared state in the real system, §3.5.5).
+class ChainTable {
+ public:
+  void add(Chain chain) {
+    PD_CHECK(!chain.hops.empty(), "chain needs at least one hop");
+    const auto id = chain.id;
+    PD_CHECK(chains_.emplace(id, std::move(chain)).second,
+             "duplicate chain id " << id);
+  }
+
+  [[nodiscard]] const Chain& by_id(std::uint32_t id) const {
+    auto it = chains_.find(id);
+    PD_CHECK(it != chains_.end(), "unknown chain " << id);
+    return it->second;
+  }
+
+  [[nodiscard]] bool has(std::uint32_t id) const {
+    return chains_.find(id) != chains_.end();
+  }
+
+  [[nodiscard]] std::size_t size() const { return chains_.size(); }
+
+  [[nodiscard]] const std::unordered_map<std::uint32_t, Chain>& all() const {
+    return chains_;
+  }
+
+ private:
+  std::unordered_map<std::uint32_t, Chain> chains_;
+};
+
+}  // namespace pd::runtime

@@ -1,0 +1,394 @@
+#include "runtime/cluster.hpp"
+
+#include <cstring>
+
+#include "proto/cost_model.hpp"
+#include "runtime/function.hpp"
+
+namespace pd::runtime {
+
+const char* to_string(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kPalladiumDne: return "Palladium (DNE)";
+    case SystemKind::kPalladiumOnPath: return "Palladium (on-path DNE)";
+    case SystemKind::kPalladiumCne: return "Palladium (CNE)";
+    case SystemKind::kSpright: return "SPRIGHT";
+    case SystemKind::kNightcore: return "NightCore";
+    case SystemKind::kFuyao: return "FUYAO";
+  }
+  return "?";
+}
+
+namespace {
+
+bool is_palladium(SystemKind kind) {
+  return kind == SystemKind::kPalladiumDne ||
+         kind == SystemKind::kPalladiumOnPath ||
+         kind == SystemKind::kPalladiumCne;
+}
+
+bool uses_rdma(SystemKind kind) {
+  return is_palladium(kind) || kind == SystemKind::kFuyao;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WorkerNode
+// ---------------------------------------------------------------------------
+
+WorkerNode::WorkerNode(Cluster& cluster, NodeId id)
+    : cluster_(cluster),
+      id_(id),
+      mem_(id),
+      cpu_(cluster.scheduler(), "node" + std::to_string(id.value()) + "/cpu",
+           cluster.config().cpu_cores_per_node, cost::kHostCoreSpeed),
+      local_ipc_(cluster.scheduler()) {
+  const ClusterConfig& cfg = cluster.config();
+  const SystemKind sys = cfg.system;
+
+  if (uses_rdma(sys)) {
+    rnic_ = std::make_unique<rdma::Rnic>(*cluster.rdma_net_, id, mem_);
+  }
+  if (sys == SystemKind::kPalladiumDne || sys == SystemKind::kPalladiumOnPath) {
+    dpu_ = std::make_unique<dpu::Dpu>(cluster.scheduler(), id, cfg.dpu_cores);
+  }
+
+  switch (sys) {
+    case SystemKind::kPalladiumDne:
+    case SystemKind::kPalladiumOnPath: {
+      engine_core_ = &dpu_->core(0);
+      const auto kind = sys == SystemKind::kPalladiumDne
+                            ? core::EngineKind::kDneOffPath
+                            : core::EngineKind::kDneOnPath;
+      dataplane_ = std::make_unique<core::NetworkEngine>(
+          cluster.scheduler(), kind, cfg.engine, *engine_core_, *rnic_, mem_,
+          dpu_.get());
+      break;
+    }
+    case SystemKind::kPalladiumCne: {
+      // The CNE claims a host core for the engine loop.
+      engine_core_ = &cpu_.core(cpu_.size() - 1);
+      dataplane_ = std::make_unique<core::NetworkEngine>(
+          cluster.scheduler(), core::EngineKind::kCne, cfg.engine,
+          *engine_core_, *rnic_, mem_, nullptr);
+      break;
+    }
+    case SystemKind::kSpright:
+    case SystemKind::kNightcore: {
+      engine_core_ = &cpu_.core(cpu_.size() - 1);
+      dataplane_ = std::make_unique<baselines::TcpRelayEngine>(
+          cluster.scheduler(), id, *engine_core_, mem_, cluster.eth_,
+          cluster.tcp_directory_, proto::StackKind::kKernel,
+          /*broker_local=*/sys == SystemKind::kNightcore);
+      break;
+    }
+    case SystemKind::kFuyao: {
+      engine_core_ = &cpu_.core(cpu_.size() - 1);
+      dataplane_ = std::make_unique<baselines::FuyaoEngine>(
+          cluster.scheduler(), id, *engine_core_, mem_, *rnic_,
+          cluster.fuyao_directory_);
+      break;
+    }
+  }
+}
+
+core::NetworkEngine* WorkerNode::palladium_engine() {
+  return dynamic_cast<core::NetworkEngine*>(dataplane_.get());
+}
+
+sim::Core& WorkerNode::assign_core() {
+  // Functions avoid the engine core (the last host core when the engine is
+  // CPU-resident).
+  const std::size_t usable =
+      cpu_.size() - (engine_core_ == &cpu_.core(cpu_.size() - 1) ? 1 : 0);
+  PD_CHECK(usable > 0, "no host cores left for functions");
+  sim::Core& core = cpu_.core(next_core_ % usable);
+  ++next_core_;
+  return core;
+}
+
+// ---------------------------------------------------------------------------
+// Cluster
+// ---------------------------------------------------------------------------
+
+Cluster::Cluster(sim::Scheduler& sched, ClusterConfig config)
+    : sched_(sched), config_(config), eth_(sched), rng_(config.seed) {
+  if (uses_rdma(config_.system)) {
+    rdma_net_ = std::make_unique<rdma::RdmaNetwork>(sched_);
+  }
+  tcp_directory_ = std::make_shared<baselines::TcpRelayDirectory>();
+  fuyao_directory_ = std::make_shared<baselines::FuyaoDirectory>();
+}
+
+Cluster::~Cluster() = default;
+
+WorkerNode& Cluster::add_worker(NodeId id) {
+  PD_CHECK(!setup_done_, "topology frozen after finish_setup");
+  PD_CHECK(by_id_.find(id) == by_id_.end(), "worker " << id << " exists");
+  if (!eth_.attached(id)) eth_.attach(id);
+  auto node = std::make_unique<WorkerNode>(*this, id);
+  WorkerNode* raw = node.get();
+  nodes_.push_back(std::move(node));
+  by_id_[id] = raw;
+  return *raw;
+}
+
+WorkerNode& Cluster::worker(NodeId id) {
+  auto it = by_id_.find(id);
+  PD_CHECK(it != by_id_.end(), "unknown worker " << id);
+  return *it->second;
+}
+
+bool Cluster::has_worker(NodeId id) const {
+  return by_id_.find(id) != by_id_.end();
+}
+
+void Cluster::add_tenant(TenantId tenant, std::uint32_t weight) {
+  PD_CHECK(tenants_.emplace(tenant, weight).second,
+           "tenant " << tenant << " already admitted");
+  for (auto& node : nodes_) {
+    auto& tm = node->memory().create_tenant_pool(
+        tenant, "tenant_" + std::to_string(tenant.value()),
+        config_.pool_buffers, config_.buffer_bytes);
+    tm.export_to_dpu();
+    tm.export_to_rdma();
+    node->dataplane().add_tenant(tenant, weight);
+  }
+}
+
+FunctionInstance& Cluster::deploy(const FunctionSpec& spec, NodeId node_id) {
+  PD_CHECK(tenants_.find(spec.tenant) != tenants_.end(),
+           "deploy before tenant admission");
+  PD_CHECK(placement_.find(spec.id) == placement_.end(),
+           "function " << spec.id << " already deployed");
+  WorkerNode& node = worker(node_id);
+  sim::Core& core = node.assign_core();
+  auto inst = std::make_unique<FunctionInstance>(node, spec, core);
+  FunctionInstance* raw = inst.get();
+  instances_.emplace(spec.id, std::move(inst));
+  placement_[spec.id] = node_id;
+
+  // Inbound from the fabric.
+  node.dataplane().register_local_function(
+      spec.id, spec.tenant, core,
+      [raw](const mem::BufferDescriptor& d) { raw->on_message(d); });
+  // Inbound from co-located functions.
+  node.local_ipc().register_socket(
+      spec.id, core, [raw](const mem::BufferDescriptor& d) { raw->on_message(d); });
+  node.intra_routes().add_local(spec.id);
+
+  // Coordinator: propagate the placement to every *other* node's
+  // inter-node table.
+  for (auto& other : nodes_) {
+    if (other->id() != node_id) other->dataplane().routes().add_route(spec.id, node_id);
+  }
+  return *raw;
+}
+
+void Cluster::register_entry(FunctionId entry, TenantId tenant, NodeId node_id,
+                             sim::Core& core, ipc::DescriptorHandler handler) {
+  WorkerNode& node = worker(node_id);
+  node.dataplane().register_local_function(entry, tenant, core, handler);
+  node.local_ipc().register_socket(entry, core, std::move(handler));
+  node.intra_routes().add_local(entry);
+  placement_[entry] = node_id;
+  for (auto& other : nodes_) {
+    if (other->id() != node_id) other->dataplane().routes().add_route(entry, node_id);
+  }
+}
+
+void Cluster::register_external_entry(FunctionId entry, NodeId node) {
+  PD_CHECK(!has_worker(node), "use register_entry for worker-hosted entries");
+  PD_CHECK(placement_.emplace(entry, node).second,
+           "entry " << entry << " already placed");
+  for (auto& worker : nodes_) {
+    worker->dataplane().routes().add_route(entry, node);
+  }
+}
+
+void Cluster::finish_setup() {
+  PD_CHECK(!setup_done_, "finish_setup called twice");
+  setup_done_ = true;
+  for (auto& a : nodes_) {
+    for (auto& b : nodes_) {
+      if (a->id() < b->id()) {
+        a->dataplane().connect_peer(b->id());
+        b->dataplane().connect_peer(a->id());
+      }
+    }
+  }
+  sched_.run();  // drain connection setup traffic
+}
+
+sim::Duration Cluster::jittered(sim::Duration nominal) {
+  if (config_.compute_jitter <= 0.0 || nominal == 0) return nominal;
+  const double factor =
+      1.0 + config_.compute_jitter * (2.0 * rng_.next_double() - 1.0);
+  return static_cast<sim::Duration>(static_cast<double>(nominal) * factor);
+}
+
+NodeId Cluster::placement_of(FunctionId fn) const {
+  auto it = placement_.find(fn);
+  PD_CHECK(it != placement_.end(), "function " << fn << " not placed");
+  return it->second;
+}
+
+FunctionInstance& Cluster::instance(FunctionId fn) {
+  auto it = instances_.find(fn);
+  PD_CHECK(it != instances_.end(), "no instance for function " << fn);
+  return *it->second;
+}
+
+bool Cluster::inject_request(FunctionId entry, NodeId node_id,
+                             std::uint32_t chain_id, std::uint64_t request_id,
+                             sim::Core* entry_core) {
+  const Chain& chain = chains_.by_id(chain_id);
+  WorkerNode& node = worker(node_id);
+  auto& pool = node.memory().by_tenant(chain.tenant).pool();
+  const mem::Actor entry_actor = mem::actor_function(entry);
+
+  // Leave SRQ headroom: the engine's replenisher allocates receive
+  // buffers from this same pool, and an open-loop injector that drains it
+  // to zero starves the receive path permanently (priority inversion).
+  if (pool.available() <=
+      static_cast<std::size_t>(config_.engine.srq_fill)) {
+    return false;
+  }
+  auto d = pool.allocate(entry_actor);
+  if (!d.has_value()) return false;
+
+  core::MessageHeader h;
+  h.request_id = request_id;
+  h.src_fn = entry.value();
+  h.dst_fn = chain.hops.front().fn.value();
+  h.chain_id = chain_id;
+  h.hop_index = 0;
+  h.client_id = entry.value();
+  h.payload_len = chain.request_payload;
+  auto span = pool.access(*d, entry_actor);
+  core::write_header(span, h);
+  const auto sized =
+      pool.resize(*d, entry_actor, core::message_bytes(chain.request_payload));
+
+  io_send(entry, node_id,
+          entry_core != nullptr ? *entry_core : node.cpu().core(0), sized);
+  return true;
+}
+
+void Cluster::io_send(FunctionId src, NodeId node_id, sim::Core& src_core,
+                      const mem::BufferDescriptor& d, bool precharged) {
+  WorkerNode& node = worker(node_id);
+  auto& pool = node.memory().by_pool(d.pool).pool();
+  const core::MessageHeader h =
+      core::read_header(pool.access(d, mem::actor_function(src)));
+  const FunctionId dst = h.dst();
+
+  // Tenant security model (§3.1): shared-memory descriptor passing is only
+  // allowed within a tenant (= mutually trusting chain). A cross-tenant
+  // destination gets an explicit CPU copy into the destination tenant's
+  // pool — the sidecar's access-control point.
+  const TenantId dst_tenant = tenant_of_function(dst);
+  if (dst_tenant.valid() && dst_tenant != d.tenant) {
+    cross_domain_send(src, node_id, src_core, d, dst, dst_tenant);
+    return;
+  }
+
+  // Unified I/O library: routing query + descriptor packing, plus the
+  // lightweight sidecar's policy check (§3.1).
+  // NightCore's engine brokers every invocation, including co-located
+  // ones (no direct function-to-function path, §2.2).
+  const bool broker_all = [&] {
+    auto* relay = dynamic_cast<baselines::TcpRelayEngine*>(&node.dataplane());
+    return relay != nullptr && relay->brokers_local();
+  }();
+
+  auto dispatch = [this, src, dst, node_id, d, &node, &src_core, &pool,
+                   precharged, broker_all] {
+    if (!broker_all && node.intra_routes().is_local(dst)) {
+      pool.transfer(d, mem::actor_function(src), mem::actor_function(dst));
+      node.local_ipc().send(dst, d, precharged ? nullptr : &src_core);
+    } else {
+      node.dataplane().submit(src, src_core, d, precharged);
+    }
+  };
+  if (precharged) {
+    if (config_.sidecar == SidecarMode::kNodeShared) {
+      // Consolidated sidecar: policy check on the engine core instead.
+      node.engine_core().submit(cost::kSidecarNs, dispatch);
+    } else {
+      dispatch();
+    }
+    return;
+  }
+  const sim::Duration sidecar =
+      config_.sidecar == SidecarMode::kPerFunctionEbpf ? cost::kSidecarNs : 0;
+  if (config_.sidecar == SidecarMode::kNodeShared) {
+    src_core.submit(cost::kIoLibraryNs, [this, &node, dispatch] {
+      node.engine_core().submit(cost::kSidecarNs, dispatch);
+    });
+  } else {
+    src_core.submit(cost::kIoLibraryNs + sidecar, dispatch);
+  }
+}
+
+sim::Duration Cluster::send_cost(NodeId node_id, FunctionId dst) {
+  WorkerNode& node = worker(node_id);
+  const sim::Duration channel = node.intra_routes().is_local(dst)
+                                    ? cost::kSkMsgSendNs
+                                    : node.dataplane().ingest_cost();
+  // With the node-shared sidecar the policy check runs inside the engine,
+  // not on the function's core.
+  const sim::Duration sidecar =
+      config_.sidecar == SidecarMode::kPerFunctionEbpf ? cost::kSidecarNs : 0;
+  return cost::kIoLibraryNs + sidecar + channel;
+}
+
+TenantId Cluster::tenant_of_function(FunctionId fn) const {
+  auto it = instances_.find(fn);
+  return it == instances_.end() ? TenantId::invalid()
+                                : it->second->spec().tenant;
+}
+
+void Cluster::cross_domain_send(FunctionId src, NodeId node_id,
+                                sim::Core& src_core,
+                                const mem::BufferDescriptor& d,
+                                FunctionId dst, TenantId dst_tenant) {
+  WorkerNode& node = worker(node_id);
+  auto& src_pool = node.memory().by_pool(d.pool).pool();
+  auto& dst_pool = node.memory().by_tenant(dst_tenant).pool();
+  const auto src_actor = mem::actor_function(src);
+
+  core::MessageHeader h = core::read_header(src_pool.access(d, src_actor));
+  const std::uint32_t len = core::message_bytes(h.payload_len);
+
+  auto copy = dst_pool.allocate(src_actor);
+  PD_CHECK(copy.has_value(),
+           "destination tenant pool exhausted on cross-domain send");
+  {
+    auto dst_span = dst_pool.access(*copy, src_actor);
+    auto src_span = src_pool.access(d, src_actor);
+    PD_CHECK(len <= dst_span.size(), "cross-domain message exceeds buffer");
+    std::memcpy(dst_span.data(), src_span.data(), len);
+  }
+  const auto sized = dst_pool.resize(*copy, src_actor, len);
+  src_pool.release(d, src_actor);
+
+  // The copy itself burns CPU — exactly why same-tenant chains avoid it.
+  const auto copy_ns =
+      cost::kCopyBaseNs + static_cast<sim::Duration>(
+                              static_cast<double>(len) * cost::kCopyColdPerByteNs);
+  src_core.submit(copy_ns + cost::kIoLibraryNs + cost::kSidecarNs,
+                  [this, src, dst, node_id, sized, &node, &src_core,
+                   &dst_pool] {
+                    if (node.intra_routes().is_local(dst)) {
+                      dst_pool.transfer(sized, mem::actor_function(src),
+                                        mem::actor_function(dst));
+                      node.local_ipc().send(dst, sized, &src_core);
+                    } else {
+                      node.dataplane().submit(src, src_core, sized);
+                    }
+                  });
+}
+
+}  // namespace pd::runtime

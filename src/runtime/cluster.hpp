@@ -1,0 +1,210 @@
+// Cluster assembly: worker nodes, tenants, function deployment, and the
+// control-plane coordinator that synchronizes routing state (§3.5.5).
+//
+// The same Cluster builds every system under evaluation — the
+// `SystemKind` selects which DataPlane implementation each worker node
+// gets (Palladium DNE/CNE/on-path, SPRIGHT's TCP relay, FUYAO's one-sided
+// engine), so §4.3's comparison is apples-to-apples by construction.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/fuyao_engine.hpp"
+#include "baselines/tcp_engine.hpp"
+#include "core/engine.hpp"
+#include "runtime/chain.hpp"
+#include "sim/random.hpp"
+
+namespace pd::runtime {
+
+enum class SystemKind : std::uint8_t {
+  kPalladiumDne,     ///< DPU network engine, off-path (the paper's system)
+  kPalladiumOnPath,  ///< ablation: on-path DNE with SoC DMA staging
+  kPalladiumCne,     ///< network engine on a host CPU core
+  kSpright,          ///< shared memory + kernel TCP inter-node
+  kNightcore,        ///< single-node shared memory (deploy all on one node)
+  kFuyao,            ///< one-sided RDMA + receiver-side copy, polling core
+};
+
+const char* to_string(SystemKind kind);
+
+/// Service-mesh sidecar deployment (§3.1): Palladium replaces the
+/// heavyweight container sidecar with either a streamlined eBPF sidecar
+/// per function (policy work charged to the function's core) or one
+/// node-wide shared sidecar consolidated into the network engine (policy
+/// work charged to the engine core, no duplicate per-function processing).
+enum class SidecarMode : std::uint8_t { kPerFunctionEbpf, kNodeShared };
+
+struct ClusterConfig {
+  SystemKind system = SystemKind::kPalladiumDne;
+  core::EngineConfig engine{};      ///< Palladium engine tuning
+  std::size_t cpu_cores_per_node = 16;
+  std::size_t dpu_cores = 8;
+  std::size_t pool_buffers = 1024;  ///< buffers per tenant pool per node
+  Bytes buffer_bytes = 16 * 1024;
+  /// Relative jitter applied to per-hop compute times (cache effects,
+  /// branchy handlers). Essential under a deterministic scheduler: without
+  /// it, closed-loop clients phase-lock into convoys that no real system
+  /// exhibits. Deterministic per seed.
+  double compute_jitter = 0.10;
+  std::uint64_t seed = 0x9E3779B9;
+  SidecarMode sidecar = SidecarMode::kPerFunctionEbpf;
+};
+
+class Cluster;
+class FunctionInstance;
+
+/// One worker node: host cores, memory domain, optional DPU + RNIC, the
+/// system-specific data plane, and the node-local IPC substrate.
+class WorkerNode {
+ public:
+  WorkerNode(Cluster& cluster, NodeId id);
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] mem::MemoryDomain& memory() { return mem_; }
+  [[nodiscard]] sim::CoreSet& cpu() { return cpu_; }
+  [[nodiscard]] dpu::Dpu* dpu() { return dpu_.get(); }
+  [[nodiscard]] rdma::Rnic* rnic() { return rnic_.get(); }
+  [[nodiscard]] core::DataPlane& dataplane() { return *dataplane_; }
+  [[nodiscard]] ipc::SockMap& local_ipc() { return local_ipc_; }
+  [[nodiscard]] core::IntraNodeRoutingTable& intra_routes() { return intra_; }
+  [[nodiscard]] Cluster& cluster() { return cluster_; }
+
+  /// Palladium engines expose extra introspection (null for baselines).
+  [[nodiscard]] core::NetworkEngine* palladium_engine();
+  /// The core running the node's network engine.
+  [[nodiscard]] sim::Core& engine_core() { return *engine_core_; }
+
+  /// Round-robin host-core assignment for deployed functions.
+  sim::Core& assign_core();
+
+ private:
+  friend class Cluster;
+
+  Cluster& cluster_;
+  NodeId id_;
+  mem::MemoryDomain mem_;
+  sim::CoreSet cpu_;
+  std::unique_ptr<dpu::Dpu> dpu_;
+  std::unique_ptr<rdma::Rnic> rnic_;
+  std::unique_ptr<core::DataPlane> dataplane_;
+  sim::Core* engine_core_ = nullptr;
+  ipc::SockMap local_ipc_;
+  core::IntraNodeRoutingTable intra_;
+  std::size_t next_core_ = 0;
+};
+
+struct FunctionSpec {
+  FunctionId id;
+  std::string name;
+  TenantId tenant;
+};
+
+class Cluster {
+ public:
+  Cluster(sim::Scheduler& sched, ClusterConfig config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // --- topology ------------------------------------------------------------
+
+  WorkerNode& add_worker(NodeId id);
+  [[nodiscard]] WorkerNode& worker(NodeId id);
+  [[nodiscard]] bool has_worker(NodeId id) const;
+
+  /// Create the tenant's memory pool on every worker node and admit it to
+  /// every data plane with the given DWRR weight.
+  void add_tenant(TenantId tenant, std::uint32_t weight);
+
+  /// Deploy a function onto a node (creates the instance, registers it
+  /// with the node's data plane + sockmap, and syncs routes cluster-wide —
+  /// the coordinator's job on a deployment event).
+  FunctionInstance& deploy(const FunctionSpec& spec, NodeId node);
+
+  /// Register a non-function entry point (ingress worker / load driver)
+  /// so chains can route responses back to it.
+  void register_entry(FunctionId entry, TenantId tenant, NodeId node,
+                      sim::Core& core, ipc::DescriptorHandler handler);
+
+  /// Register an entry hosted off the worker set (e.g. on the ingress
+  /// node): records placement and pushes routes to every worker data
+  /// plane. Delivery on the external node is the caller's responsibility.
+  void register_external_entry(FunctionId entry, NodeId node);
+
+  void add_chain(Chain chain) { chains_.add(std::move(chain)); }
+
+  /// Establish inter-node connectivity (RC pools / TCP connections) and
+  /// run the scheduler until setup traffic quiesces.
+  void finish_setup();
+
+  // --- data plane helpers ---------------------------------------------------
+
+  /// Inject a chain request from an entry actor on `node`. Allocates a
+  /// buffer from the tenant pool, writes header + payload, and dispatches
+  /// to the chain's first hop charging `entry_core` (the node's first CPU
+  /// core when null). Returns false if the pool is exhausted (caller
+  /// should back off).
+  bool inject_request(FunctionId entry, NodeId node, std::uint32_t chain_id,
+                      std::uint64_t request_id,
+                      sim::Core* entry_core = nullptr);
+
+  /// Route a message from `src` on `node` per its header (intra-node IPC
+  /// or the node's data plane). With `precharged = false` the I/O-library,
+  /// sidecar and channel-enqueue costs are charged to `src_core` here;
+  /// run-to-completion callers (the function runtime) fold send_cost()
+  /// into their own single job and pass `precharged = true`.
+  void io_send(FunctionId src, NodeId node, sim::Core& src_core,
+               const mem::BufferDescriptor& d, bool precharged = false);
+
+  /// CPU cost of sending one message from `node` to function `dst`
+  /// (I/O library + sidecar + intra-node SK_MSG or engine enqueue).
+  [[nodiscard]] sim::Duration send_cost(NodeId node, FunctionId dst);
+
+  // --- accessors -------------------------------------------------------------
+
+  [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
+  [[nodiscard]] const ClusterConfig& config() const { return config_; }
+  [[nodiscard]] const ChainTable& chains() const { return chains_; }
+  [[nodiscard]] rdma::RdmaNetwork* rdma_net() { return rdma_net_.get(); }
+  [[nodiscard]] fabric::Switch& ethernet() { return eth_; }
+  [[nodiscard]] NodeId placement_of(FunctionId fn) const;
+  [[nodiscard]] FunctionInstance& instance(FunctionId fn);
+
+  /// Apply the configured compute jitter to a nominal duration.
+  [[nodiscard]] sim::Duration jittered(sim::Duration nominal);
+
+  /// Tenant owning a deployed function (invalid() for entries).
+  [[nodiscard]] TenantId tenant_of_function(FunctionId fn) const;
+
+ private:
+  friend class WorkerNode;
+
+  /// §3.1 security model: messages crossing tenants are copied into the
+  /// destination tenant's pool by the sending CPU (no shared memory across
+  /// security domains).
+  void cross_domain_send(FunctionId src, NodeId node, sim::Core& src_core,
+                         const mem::BufferDescriptor& d, FunctionId dst,
+                         TenantId dst_tenant);
+
+  sim::Scheduler& sched_;
+  ClusterConfig config_;
+  fabric::Switch eth_;  ///< Ethernet network (TCP paths)
+  std::unique_ptr<rdma::RdmaNetwork> rdma_net_;
+  std::shared_ptr<baselines::TcpRelayDirectory> tcp_directory_;
+  std::shared_ptr<baselines::FuyaoDirectory> fuyao_directory_;
+  std::vector<std::unique_ptr<WorkerNode>> nodes_;
+  std::unordered_map<NodeId, WorkerNode*> by_id_;
+  std::unordered_map<TenantId, std::uint32_t> tenants_;
+  std::unordered_map<FunctionId, NodeId> placement_;
+  std::unordered_map<FunctionId, std::unique_ptr<FunctionInstance>> instances_;
+  ChainTable chains_;
+  sim::Rng rng_{0};
+  bool setup_done_ = false;
+};
+
+}  // namespace pd::runtime

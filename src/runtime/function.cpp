@@ -1,0 +1,64 @@
+#include "runtime/function.hpp"
+
+#include "core/message.hpp"
+
+namespace pd::runtime {
+
+FunctionInstance::FunctionInstance(WorkerNode& node, FunctionSpec spec,
+                                   sim::Core& core)
+    : node_(node), spec_(std::move(spec)), core_(core) {}
+
+void FunctionInstance::on_message(const mem::BufferDescriptor& d) {
+  ++invocations_;
+  auto& pool = node_.memory().by_pool(d.pool).pool();
+  const core::MessageHeader h = core::read_header(pool.access(d, actor()));
+  PD_CHECK(h.dst() == spec_.id,
+           "message for " << h.dst() << " delivered to " << spec_.id);
+  PD_CHECK(d.tenant == spec_.tenant, "cross-tenant message delivery blocked");
+
+  const Chain& chain = node_.cluster().chains().by_id(h.chain_id);
+  PD_CHECK(h.hop_index < chain.hops.size(), "hop index out of range");
+  const ChainHop& hop = chain.hops[h.hop_index];
+  PD_CHECK(hop.fn == spec_.id, "chain hop/function mismatch");
+
+  // Run-to-completion per message (like the real function runtime's event
+  // loop): application compute plus the outbound I/O-library / sidecar /
+  // channel-enqueue work are one uninterruptible job on this core. Charging
+  // them separately would let the next request's compute slip in between
+  // and head-of-line-block this response.
+  const bool last_hop = h.hop_index + 1 == chain.hops.size();
+  const FunctionId next_dst =
+      last_hop ? FunctionId{h.client_id} : chain.hops[h.hop_index + 1].fn;
+  const sim::Duration compute = node_.cluster().jittered(hop.compute_ns);
+  compute_total_ += compute;
+  core_.submit(compute + node_.cluster().send_cost(node_.id(), next_dst),
+               [this, d] { advance_chain(d); });
+}
+
+void FunctionInstance::advance_chain(const mem::BufferDescriptor& d) {
+  auto& pool = node_.memory().by_pool(d.pool).pool();
+  core::MessageHeader h = core::read_header(pool.access(d, actor()));
+  const Chain& chain = node_.cluster().chains().by_id(h.chain_id);
+  const ChainHop& hop = chain.hops[h.hop_index];
+  const bool last_hop = h.hop_index + 1 == chain.hops.size();
+
+  // Zero-copy: reuse the same buffer for the outbound message — only the
+  // header is rewritten and the length adjusted.
+  h.src_fn = spec_.id.value();
+  h.payload_len = hop.out_payload;
+  if (last_hop) {
+    h.dst_fn = h.client_id;  // respond to the entry point
+    h.flags |= core::MessageHeader::kFlagResponse;
+  } else {
+    h.dst_fn = chain.hops[h.hop_index + 1].fn.value();
+  }
+  h.hop_index = static_cast<std::uint16_t>(h.hop_index + 1);
+
+  core::write_header(pool.access(d, actor()), h);
+  const auto sized =
+      pool.resize(d, actor(), core::message_bytes(hop.out_payload));
+  node_.cluster().io_send(spec_.id, node_.id(), core_, sized,
+                          /*precharged=*/true);
+}
+
+}  // namespace pd::runtime

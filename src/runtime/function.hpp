@@ -1,0 +1,39 @@
+// The function runtime: executes application compute per hop and uses the
+// unified I/O library (send/recv, §3.5) to advance the chain without the
+// user code ever choosing a transport.
+#pragma once
+
+#include "mem/descriptor.hpp"
+#include "runtime/cluster.hpp"
+
+namespace pd::runtime {
+
+class FunctionInstance {
+ public:
+  FunctionInstance(WorkerNode& node, FunctionSpec spec, sim::Core& core);
+
+  /// Message delivery entry point (wired into the data plane and the local
+  /// sockmap by Cluster::deploy). The instance owns the buffer on entry.
+  void on_message(const mem::BufferDescriptor& d);
+
+  [[nodiscard]] const FunctionSpec& spec() const { return spec_; }
+  [[nodiscard]] sim::Core& core() { return core_; }
+  [[nodiscard]] std::uint64_t invocations() const { return invocations_; }
+  /// Total application compute executed (reference ns) — lets harnesses
+  /// separate function work from data-plane work in CPU accounting.
+  [[nodiscard]] sim::Duration compute_ns_total() const { return compute_total_; }
+  [[nodiscard]] mem::Actor actor() const {
+    return mem::actor_function(spec_.id);
+  }
+
+ private:
+  void advance_chain(const mem::BufferDescriptor& d);
+
+  WorkerNode& node_;
+  FunctionSpec spec_;
+  sim::Core& core_;
+  std::uint64_t invocations_ = 0;
+  sim::Duration compute_total_ = 0;
+};
+
+}  // namespace pd::runtime

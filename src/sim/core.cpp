@@ -1,0 +1,86 @@
+#include "sim/core.hpp"
+
+#include <algorithm>
+
+namespace pd::sim {
+
+Core::Core(Scheduler& sched, std::string name, double speed)
+    : sched_(sched), name_(std::move(name)), speed_(speed) {
+  PD_CHECK(speed_ > 0.0, "core speed must be positive");
+}
+
+Duration Core::scale(Duration ref_work) const {
+  PD_CHECK(ref_work >= 0, "negative work");
+  if (ref_work == 0) return 0;
+  const auto scaled =
+      static_cast<Duration>(static_cast<double>(ref_work) / speed_);
+  return std::max<Duration>(scaled, 1);
+}
+
+Duration Core::backlog() const {
+  return std::max<Duration>(0, free_at_ - sched_.now());
+}
+
+void Core::submit(Duration ref_work, std::function<void()> done) {
+  const Duration scaled = scale(ref_work);
+  free_at_ = std::max(free_at_, sched_.now()) + scaled;
+  sched_.schedule_at(free_at_, [this, scaled, done = std::move(done)] {
+    busy_ns_ += scaled;
+    if (done) done();
+  });
+}
+
+CoreSet::CoreSet(Scheduler& sched, std::string prefix, std::size_t n,
+                 double speed) {
+  PD_CHECK(n > 0, "empty core set");
+  cores_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cores_.push_back(
+        std::make_unique<Core>(sched, prefix + "/" + std::to_string(i), speed));
+  }
+}
+
+Core& CoreSet::least_loaded() {
+  Core* best = cores_.front().get();
+  for (auto& c : cores_) {
+    if (c->free_at() < best->free_at()) best = c.get();
+  }
+  return *best;
+}
+
+Duration CoreSet::total_busy_ns() const {
+  Duration total = 0;
+  for (const auto& c : cores_) total += c->busy_ns();
+  return total;
+}
+
+UtilizationProbe::UtilizationProbe(Scheduler& sched, const Core& core,
+                                   Duration period, TimeSeries& out)
+    : sched_(sched), core_(core), period_(period), out_(out) {
+  PD_CHECK(period_ > 0, "probe period must be positive");
+}
+
+void UtilizationProbe::start() {
+  PD_CHECK(!running_, "probe already running");
+  running_ = true;
+  last_busy_ = core_.busy_ns();
+  sched_.schedule_background_after(period_, [this] { sample(); });
+}
+
+void UtilizationProbe::stop() { running_ = false; }
+
+void UtilizationProbe::sample() {
+  if (!running_) return;
+  const Duration busy = core_.busy_ns();
+  const double util =
+      core_.busy_poll()
+          ? 1.0
+          : static_cast<double>(busy - last_busy_) / static_cast<double>(period_);
+  last_busy_ = busy;
+  // Record at the *start* of the window the sample covers.
+  out_.add(sched_.now() - period_, std::min(util, 1.0) * static_cast<double>(period_) /
+                                        static_cast<double>(out_.bucket_width()));
+  sched_.schedule_background_after(period_, [this] { sample(); });
+}
+
+}  // namespace pd::sim

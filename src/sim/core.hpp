@@ -1,0 +1,96 @@
+// Simulated processor cores.
+//
+// A Core serializes submitted work items FIFO at a configurable speed
+// relative to the reference host core (DPU Arm A72 cores run slower, per
+// §4.3.1 of the paper). Work is specified in *reference nanoseconds*: the
+// time the job would take on a speed-1.0 host core.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace pd::sim {
+
+class Core {
+ public:
+  Core(Scheduler& sched, std::string name, double speed = 1.0);
+
+  Core(const Core&) = delete;
+  Core& operator=(const Core&) = delete;
+
+  /// Enqueue `ref_work` reference-nanoseconds of work; `done` fires when it
+  /// completes (after all previously submitted work).
+  void submit(Duration ref_work, std::function<void()> done = {});
+
+  /// Total busy time accumulated so far (scaled ns, credited at completion).
+  [[nodiscard]] Duration busy_ns() const { return busy_ns_; }
+  /// Time at which the core becomes idle given current queue.
+  [[nodiscard]] TimePoint free_at() const { return free_at_; }
+  [[nodiscard]] bool idle() const { return free_at_ <= sched_.now(); }
+  /// Queue backlog in scaled nanoseconds (0 when idle).
+  [[nodiscard]] Duration backlog() const;
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] double speed() const { return speed_; }
+
+  /// Mark this core as running a busy-poll loop: it is pinned and 100%
+  /// occupied regardless of useful work (DNE / F-stack workers).
+  void set_busy_poll(bool v) { busy_poll_ = v; }
+  [[nodiscard]] bool busy_poll() const { return busy_poll_; }
+
+  /// Convert reference work to this core's scaled duration.
+  [[nodiscard]] Duration scale(Duration ref_work) const;
+
+ private:
+  Scheduler& sched_;
+  std::string name_;
+  double speed_;
+  TimePoint free_at_ = 0;
+  Duration busy_ns_ = 0;
+  bool busy_poll_ = false;
+};
+
+/// A pool of identical cores (e.g. the host CPU's cores available to the
+/// kernel stack), with least-loaded selection used to model RSS spreading.
+class CoreSet {
+ public:
+  CoreSet(Scheduler& sched, std::string prefix, std::size_t n, double speed = 1.0);
+
+  [[nodiscard]] std::size_t size() const { return cores_.size(); }
+  Core& core(std::size_t i) { return *cores_[i]; }
+  const Core& core(std::size_t i) const { return *cores_[i]; }
+  /// Core that will become free first.
+  Core& least_loaded();
+  /// Sum of busy_ns over all cores.
+  [[nodiscard]] Duration total_busy_ns() const;
+
+ private:
+  std::vector<std::unique_ptr<Core>> cores_;
+};
+
+/// Samples a core's utilization (busy-time delta / window) into a TimeSeries
+/// at a fixed period. Busy-poll cores report 1.0 (fully occupied).
+class UtilizationProbe {
+ public:
+  UtilizationProbe(Scheduler& sched, const Core& core, Duration period,
+                   TimeSeries& out);
+  void start();
+  void stop();
+
+ private:
+  void sample();
+
+  Scheduler& sched_;
+  const Core& core_;
+  Duration period_;
+  TimeSeries& out_;
+  Duration last_busy_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace pd::sim

@@ -1,0 +1,83 @@
+#include "sim/scheduler.hpp"
+
+#include <utility>
+
+namespace pd::sim {
+
+EventId Scheduler::schedule_impl(TimePoint t, std::function<void()> fn,
+                                 bool background) {
+  PD_CHECK(t >= now_, "scheduling into the past: t=" << t << " now=" << now_);
+  PD_CHECK(fn != nullptr, "null event callback");
+  const EventId id = next_id_++;
+  queue_.push(Entry{t, id, std::move(fn), background});
+  live_.emplace(id, background);
+  if (!background) ++foreground_live_;
+  return id;
+}
+
+EventId Scheduler::schedule_at(TimePoint t, std::function<void()> fn) {
+  return schedule_impl(t, std::move(fn), /*background=*/false);
+}
+
+EventId Scheduler::schedule_background_at(TimePoint t,
+                                          std::function<void()> fn) {
+  return schedule_impl(t, std::move(fn), /*background=*/true);
+}
+
+bool Scheduler::cancel(EventId id) {
+  auto it = live_.find(id);
+  if (it == live_.end()) return false;
+  if (!it->second) --foreground_live_;
+  live_.erase(it);
+  return true;
+}
+
+bool Scheduler::pop_one() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; we need to move the callback out.
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    auto it = live_.find(entry.id);
+    if (it == live_.end()) {
+      continue;  // cancelled
+    }
+    live_.erase(it);
+    if (!entry.background) --foreground_live_;
+    PD_CHECK(entry.t >= now_, "event queue went backwards");
+    now_ = entry.t;
+    ++processed_;
+    entry.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Scheduler::run() {
+  std::size_t n = 0;
+  while (foreground_live_ > 0 && pop_one()) ++n;
+  return n;
+}
+
+std::size_t Scheduler::run_until(TimePoint deadline) {
+  PD_CHECK(deadline >= now_, "deadline in the past");
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    // Skip cancelled entries at the head so the timestamp check is accurate.
+    if (live_.find(queue_.top().id) == live_.end()) {
+      queue_.pop();  // cancelled
+      continue;
+    }
+    if (queue_.top().t > deadline) break;
+    if (pop_one()) ++n;
+  }
+  now_ = deadline;
+  return n;
+}
+
+std::size_t Scheduler::run_steps(std::size_t steps) {
+  std::size_t n = 0;
+  while (n < steps && pop_one()) ++n;
+  return n;
+}
+
+}  // namespace pd::sim

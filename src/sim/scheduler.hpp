@@ -1,0 +1,94 @@
+// Deterministic discrete-event scheduler.
+//
+// A single Scheduler instance drives an entire simulated cluster: every
+// node, NIC, DPU core and client shares the same virtual clock. Events at
+// equal timestamps fire in insertion order (FIFO tie-break), which makes a
+// run fully reproducible for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "sim/time.hpp"
+
+namespace pd::sim {
+
+/// Opaque handle for cancelling a scheduled event.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (must be >= now()).
+  EventId schedule_at(TimePoint t, std::function<void()> fn);
+
+  /// Schedule `fn` after `d` nanoseconds of virtual time.
+  EventId schedule_after(Duration d, std::function<void()> fn) {
+    PD_CHECK(d >= 0, "negative delay " << d);
+    return schedule_at(now_ + d, std::move(fn));
+  }
+
+  /// Background events (periodic housekeeping: SRQ replenishers, samplers,
+  /// autoscaler ticks) do not keep run() alive: run() returns once only
+  /// background events remain. They still fire while foreground work is in
+  /// flight, and always fire under run_until().
+  EventId schedule_background_at(TimePoint t, std::function<void()> fn);
+  EventId schedule_background_after(Duration d, std::function<void()> fn) {
+    PD_CHECK(d >= 0, "negative delay " << d);
+    return schedule_background_at(now_ + d, std::move(fn));
+  }
+
+  /// Cancel a pending event. Returns false if it already fired / was
+  /// cancelled / never existed.
+  bool cancel(EventId id);
+
+  /// Run until the event queue drains. Returns number of events processed.
+  std::size_t run();
+
+  /// Run all events with timestamp <= deadline, then advance now() to the
+  /// deadline even if the queue still has later events.
+  std::size_t run_until(TimePoint deadline);
+
+  /// Process at most `n` events (for step-debugging in tests).
+  std::size_t run_steps(std::size_t n);
+
+  [[nodiscard]] std::size_t pending() const { return live_.size(); }
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Entry {
+    TimePoint t;
+    EventId id;
+    std::function<void()> fn;
+    bool background = false;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.id > b.id;  // FIFO among equal timestamps
+    }
+  };
+
+  EventId schedule_impl(TimePoint t, std::function<void()> fn, bool background);
+  bool pop_one();  // fire the earliest live event; false if queue empty
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  /// Pending events: id -> background flag.
+  std::unordered_map<EventId, bool> live_;
+  std::size_t foreground_live_ = 0;
+  TimePoint now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace pd::sim

@@ -1,0 +1,108 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace pd::sim {
+
+LatencyHistogram::LatencyHistogram() { reset(); }
+
+void LatencyHistogram::reset() {
+  buckets_.assign(64 * kSubBuckets, 0);
+  count_ = 0;
+  min_ = std::numeric_limits<Duration>::max();
+  max_ = 0;
+  sum_ns_ = 0.0;
+}
+
+std::size_t LatencyHistogram::bucket_index(Duration v) {
+  if (v < 0) v = 0;
+  const auto u = static_cast<std::uint64_t>(v);
+  if (u < kSubBuckets) return static_cast<std::size_t>(u);
+  const int octave = 63 - std::countl_zero(u);       // >= kSubBucketBits
+  const int shift = octave - kSubBucketBits;         // scale into [64, 128)
+  const auto scaled = static_cast<std::size_t>(u >> shift);  // in [64, 128)
+  return static_cast<std::size_t>(shift) * kSubBuckets + scaled;
+}
+
+Duration LatencyHistogram::bucket_upper_bound(std::size_t index) {
+  if (index < kSubBuckets) return static_cast<Duration>(index);
+  const std::size_t shift = index / kSubBuckets - 1;
+  const std::uint64_t scaled = (index % kSubBuckets) + kSubBuckets;
+  const std::uint64_t lo = scaled << shift;
+  return static_cast<Duration>(lo + ((1ULL << shift) - 1));
+}
+
+void LatencyHistogram::record(Duration v) {
+  const std::size_t idx = bucket_index(v);
+  PD_CHECK(idx < buckets_.size(), "latency out of histogram range: " << v);
+  ++buckets_[idx];
+  ++count_;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+  sum_ns_ += static_cast<double>(v);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  PD_CHECK(buckets_.size() == other.buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  if (other.count_ > 0) {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  sum_ns_ += other.sum_ns_;
+}
+
+Duration LatencyHistogram::min() const { return count_ == 0 ? 0 : min_; }
+
+double LatencyHistogram::mean_ns() const {
+  return count_ == 0 ? 0.0 : sum_ns_ / static_cast<double>(count_);
+}
+
+Duration LatencyHistogram::quantile(double q) const {
+  PD_CHECK(q >= 0.0 && q <= 1.0, "quantile out of range");
+  if (count_ == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return std::min(bucket_upper_bound(i), max_);
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "n=%llu mean=%.1fus p50=%.1fus p99=%.1fus max=%.1fus",
+                static_cast<unsigned long long>(count_), mean_ns() / 1e3,
+                to_us(quantile(0.5)), to_us(quantile(0.99)), to_us(max()));
+  return buf;
+}
+
+TimeSeries::TimeSeries(Duration bucket_width, std::string name)
+    : width_(bucket_width), name_(std::move(name)) {
+  PD_CHECK(width_ > 0, "bucket width must be positive");
+}
+
+void TimeSeries::add(TimePoint t, double value) {
+  PD_CHECK(t >= 0, "negative time");
+  const auto idx = static_cast<std::size_t>(t / width_);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0.0);
+  buckets_[idx] += value;
+}
+
+double TimeSeries::bucket_value(std::size_t i) const {
+  return i < buckets_.size() ? buckets_[i] : 0.0;
+}
+
+double TimeSeries::rate_per_sec(std::size_t i) const {
+  return bucket_value(i) / to_sec(width_);
+}
+
+}  // namespace pd::sim

@@ -1,0 +1,39 @@
+// Simulated time. Integral nanoseconds keep the event order fully
+// deterministic (no floating-point tie ambiguity).
+#pragma once
+
+#include <cstdint>
+
+namespace pd::sim {
+
+/// Nanoseconds since simulation start.
+using TimePoint = std::int64_t;
+/// Nanosecond duration.
+using Duration = std::int64_t;
+
+constexpr Duration operator""_ns(unsigned long long v) {
+  return static_cast<Duration>(v);
+}
+constexpr Duration operator""_us(unsigned long long v) {
+  return static_cast<Duration>(v) * 1000;
+}
+constexpr Duration operator""_ms(unsigned long long v) {
+  return static_cast<Duration>(v) * 1'000'000;
+}
+constexpr Duration operator""_s(unsigned long long v) {
+  return static_cast<Duration>(v) * 1'000'000'000;
+}
+
+/// Convenience conversions for reporting.
+constexpr double to_us(Duration d) { return static_cast<double>(d) / 1e3; }
+constexpr double to_ms(Duration d) { return static_cast<double>(d) / 1e6; }
+constexpr double to_sec(Duration d) { return static_cast<double>(d) / 1e9; }
+
+/// Duration of transferring `bytes` at `bits_per_sec`, rounded up to 1 ns.
+constexpr Duration transfer_time(std::uint64_t bytes, double bits_per_sec) {
+  const double ns = static_cast<double>(bytes) * 8.0 / bits_per_sec * 1e9;
+  const auto d = static_cast<Duration>(ns);
+  return d > 0 ? d : 1;
+}
+
+}  // namespace pd::sim

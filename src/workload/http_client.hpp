@@ -1,0 +1,64 @@
+// wrk-analog HTTP load generator (§4): closed-loop clients on the client
+// node driving any IngressFrontend over modeled kernel-TCP connections.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ingress/ingress.hpp"
+#include "proto/http.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/stats.hpp"
+
+namespace pd::workload {
+
+class HttpLoadGen {
+ public:
+  struct Config {
+    NodeId client_node{100};
+    std::string target = "/";
+    std::string body = "{}";
+    /// Cores available to client processes (wrk saturates one per client
+    /// in Fig. 14; several clients can share a core otherwise).
+    int client_cores = 4;
+  };
+
+  HttpLoadGen(sim::Scheduler& sched, ingress::IngressFrontend& ingress,
+              Config config);
+
+  /// Attach `n` more clients and start their request loops.
+  void add_clients(int n);
+  /// Stop issuing new requests.
+  void stop() { running_ = false; }
+
+  [[nodiscard]] sim::LatencyHistogram& latencies() { return latencies_; }
+  [[nodiscard]] sim::TimeSeries& completions() { return completions_; }
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+  [[nodiscard]] std::uint64_t errors() const { return errors_; }
+  [[nodiscard]] int clients() const { return static_cast<int>(clients_.size()); }
+
+  [[nodiscard]] double rps(sim::TimePoint from, sim::TimePoint until) const;
+
+ private:
+  struct Client {
+    int conn = -1;
+    sim::TimePoint sent_at = 0;
+  };
+
+  void send_request(int idx);
+  void on_response(int idx, std::string_view bytes);
+
+  sim::Scheduler& sched_;
+  ingress::IngressFrontend& ingress_;
+  Config config_;
+  std::unique_ptr<sim::CoreSet> cores_;
+  std::vector<Client> clients_;
+  bool running_ = true;
+  sim::LatencyHistogram latencies_;
+  sim::TimeSeries completions_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t errors_ = 0;
+};
+
+}  // namespace pd::workload

@@ -1,0 +1,232 @@
+// The Fig. 12 data-plane variants head to head: two-sided must beat OWRC
+// which must beat OWDL, and OWRC-Worst must trail OWRC-Best.
+#include "core/onesided.hpp"
+
+#include <gtest/gtest.h>
+
+#include "proto/cost_model.hpp"
+
+namespace pd::core {
+namespace {
+
+constexpr TenantId kTenant{1};
+constexpr NodeId kNode1{1};
+constexpr NodeId kNode2{2};
+
+class OneSidedTest : public ::testing::Test {
+ protected:
+  OneSidedTest()
+      : net(sched),
+        mem1(kNode1),
+        mem2(kNode2),
+        rnic1(net, kNode1, mem1),
+        rnic2(net, kNode2, mem2),
+        core1(sched, "dne1", cost::kDpuCoreSpeed),
+        core2(sched, "dne2", cost::kDpuCoreSpeed) {
+    for (auto* dom : {&mem1, &mem2}) {
+      auto& tm = dom->create_tenant_pool(kTenant, "tenant_1", 128, 8192);
+      tm.export_to_rdma();
+    }
+    rnic1.register_memory(mem1.by_tenant(kTenant).pool_id());
+    rnic2.register_memory(mem2.by_tenant(kTenant).pool_id());
+  }
+
+  /// Established + activated QP pair; returns (client_qp, server_qp).
+  std::pair<rdma::QueuePair*, rdma::QueuePair*> connect() {
+    rdma::QueuePair& a = rnic1.create_qp(kTenant);
+    rdma::QueuePair& b = rnic2.create_qp(kTenant);
+    rdma::connect_qps(a, b, nullptr);
+    sched.run();
+    a.activate(nullptr);
+    b.activate(nullptr);
+    sched.run();
+    return {&a, &b};
+  }
+
+  mem::TenantMemory& make_rdma_pool(mem::MemoryDomain& dom, rdma::Rnic& rnic,
+                                    TenantId t, const std::string& prefix) {
+    auto& tm = dom.create_tenant_pool(t, prefix, 64, 8192);
+    tm.export_to_rdma();
+    rnic.register_memory(tm.pool_id());
+    return tm;
+  }
+
+  sim::Scheduler sched;
+  rdma::RdmaNetwork net;
+  mem::MemoryDomain mem1;
+  mem::MemoryDomain mem2;
+  rdma::Rnic rnic1;
+  rdma::Rnic rnic2;
+  sim::Core core1;
+  sim::Core core2;
+};
+
+TEST_F(OneSidedTest, TwoSidedEchoCompletes) {
+  auto [qp_a, qp_b] = connect();
+  TwoSidedEchoPeer client(core1, rnic1, kTenant, /*is_server=*/false);
+  TwoSidedEchoPeer server(core2, rnic2, kTenant, /*is_server=*/true);
+  client.start(*qp_a, 16);
+  server.start(*qp_b, 16);
+
+  // Sequential closed loop: one outstanding echo at a time, so the RTT is
+  // the unloaded figure the paper quotes.
+  int done = 0;
+  sim::Duration rtt = 0;
+  std::function<void()> next = [&] {
+    client.send_request(64, [&](sim::Duration r) {
+      rtt = r;
+      if (++done < 20) next();
+    });
+  };
+  next();
+  sched.run();
+  EXPECT_EQ(done, 20);
+  EXPECT_EQ(server.echoes(), 20u);
+  // Two-sided 64 B echo RTT lands in the ~5-15 µs band (paper: 8.4 µs).
+  EXPECT_GT(rtt, 4'000);
+  EXPECT_LT(rtt, 16'000);
+}
+
+TEST_F(OneSidedTest, OwrcEchoCompletesAndColdIsSlower) {
+  auto run = [&](bool cold) {
+    sim::Scheduler s2;
+    rdma::RdmaNetwork net2(s2);
+    mem::MemoryDomain m1(kNode1), m2(kNode2);
+    rdma::Rnic r1(net2, kNode1, m1), r2(net2, kNode2, m2);
+    sim::Core c1(s2, "dne1", cost::kDpuCoreSpeed),
+        c2(s2, "dne2", cost::kDpuCoreSpeed);
+    for (auto* dom : {&m1, &m2}) {
+      auto& tm = dom->create_tenant_pool(kTenant, "t", 128, 8192);
+      tm.export_to_rdma();
+    }
+    r1.register_memory(m1.by_tenant(kTenant).pool_id());
+    r2.register_memory(m2.by_tenant(kTenant).pool_id());
+    auto& stage1 = m1.create_tenant_pool(TenantId{900}, "rdma1", 64, 8192);
+    auto& stage2 = m2.create_tenant_pool(TenantId{900}, "rdma2", 64, 8192);
+    stage1.export_to_rdma();
+    stage2.export_to_rdma();
+    r1.register_memory(stage1.pool_id());
+    r2.register_memory(stage2.pool_id());
+
+    rdma::QueuePair& a = r1.create_qp(kTenant);
+    rdma::QueuePair& b = r2.create_qp(kTenant);
+    rdma::connect_qps(a, b, nullptr);
+    s2.run();
+    a.activate(nullptr);
+    b.activate(nullptr);
+    s2.run();
+
+    OwrcEchoPeer client(c1, r1, kTenant, false, cold);
+    OwrcEchoPeer server(c2, r2, kTenant, true, cold);
+    client.start(a, stage1, 16);
+    server.start(b, stage2, 16);
+    client.set_remote_pool(stage2.pool_id());
+    server.set_remote_pool(stage1.pool_id());
+
+    sim::Duration total = 0;
+    int done = 0;
+    for (int i = 0; i < 10; ++i) {
+      client.send_request(4096, [&](sim::Duration r) {
+        total += r;
+        ++done;
+      });
+    }
+    s2.run();
+    EXPECT_EQ(done, 10);
+    EXPECT_EQ(server.echoes(), 10u);
+    return total / 10;
+  };
+  const auto best = run(false);
+  const auto worst = run(true);
+  EXPECT_GT(worst, best);  // cold copies cost more
+}
+
+TEST_F(OneSidedTest, OwdlEchoCompletesWithLockProtocol) {
+  auto [qp_a, qp_b] = connect();
+  OwdlEchoPeer client(core1, rnic1, kTenant, false);
+  OwdlEchoPeer server(core2, rnic2, kTenant, true);
+  client.start(*qp_a, 16);
+  server.start(*qp_b, 16);
+  client.set_remote_pool(mem2.by_tenant(kTenant).pool_id());
+  server.set_remote_pool(mem1.by_tenant(kTenant).pool_id());
+
+  int done = 0;
+  sim::Duration rtt = 0;
+  for (int i = 0; i < 10; ++i) {
+    client.send_request(64, [&](sim::Duration r) {
+      rtt = r;
+      ++done;
+    });
+  }
+  sched.run();
+  EXPECT_EQ(done, 10);
+  EXPECT_EQ(server.echoes(), 10u);
+  EXPECT_GT(rtt, 10'000);  // lock RTTs + polling dominate
+}
+
+TEST_F(OneSidedTest, TwoSidedBeatsOneSidedVariants) {
+  // The headline of §4.1.2, at 4 KiB messages.
+  auto measure_two_sided = [&] {
+    auto [qp_a, qp_b] = connect();
+    TwoSidedEchoPeer client(core1, rnic1, kTenant, false);
+    TwoSidedEchoPeer server(core2, rnic2, kTenant, true);
+    client.start(*qp_a, 16);
+    server.start(*qp_b, 16);
+    sim::Duration total = 0;
+    int done = 0;
+    std::function<void()> next = [&] {
+      client.send_request(4096, [&](sim::Duration r) {
+        total += r;
+        if (++done < 20) next();
+      });
+    };
+    next();
+    sched.run();
+    return total / done;
+  };
+  const auto two_sided = measure_two_sided();
+
+  // OWDL on fresh state.
+  sim::Scheduler s2;
+  rdma::RdmaNetwork net2(s2);
+  mem::MemoryDomain m1(kNode1), m2(kNode2);
+  rdma::Rnic r1(net2, kNode1, m1), r2(net2, kNode2, m2);
+  sim::Core c1(s2, "dne1", cost::kDpuCoreSpeed),
+      c2(s2, "dne2", cost::kDpuCoreSpeed);
+  for (auto* dom : {&m1, &m2}) {
+    auto& tm = dom->create_tenant_pool(kTenant, "t", 128, 8192);
+    tm.export_to_rdma();
+  }
+  r1.register_memory(m1.by_tenant(kTenant).pool_id());
+  r2.register_memory(m2.by_tenant(kTenant).pool_id());
+  rdma::QueuePair& a = r1.create_qp(kTenant);
+  rdma::QueuePair& b = r2.create_qp(kTenant);
+  rdma::connect_qps(a, b, nullptr);
+  s2.run();
+  a.activate(nullptr);
+  b.activate(nullptr);
+  s2.run();
+  OwdlEchoPeer client(c1, r1, kTenant, false);
+  OwdlEchoPeer server(c2, r2, kTenant, true);
+  client.start(a, 16);
+  server.start(b, 16);
+  client.set_remote_pool(m2.by_tenant(kTenant).pool_id());
+  server.set_remote_pool(m1.by_tenant(kTenant).pool_id());
+  sim::Duration owdl_total = 0;
+  int done = 0;
+  std::function<void()> next = [&] {
+    client.send_request(4096, [&](sim::Duration r) {
+      owdl_total += r;
+      if (++done < 20) next();
+    });
+  };
+  next();
+  s2.run();
+  const auto owdl = owdl_total / done;
+
+  EXPECT_GT(owdl, two_sided * 3 / 2)
+      << "OWDL should trail two-sided by well over 1.5x (paper: 2-2.8x)";
+}
+
+}  // namespace
+}  // namespace pd::core

@@ -1,0 +1,130 @@
+#include "ipc/spsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace pd::ipc {
+namespace {
+
+TEST(SpscRing, PushPopSingle) {
+  SpscRing<int> ring(8);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_TRUE(ring.try_push(42));
+  EXPECT_EQ(ring.size(), 1u);
+  auto v = ring.try_pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, PopEmptyReturnsNullopt) {
+  SpscRing<int> ring(4);
+  EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+TEST(SpscRing, FillToCapacityThenReject) {
+  SpscRing<int> ring(4);
+  std::size_t pushed = 0;
+  while (ring.try_push(static_cast<int>(pushed))) ++pushed;
+  EXPECT_EQ(pushed, ring.capacity());
+  EXPECT_GE(pushed, 4u);
+  EXPECT_FALSE(ring.try_push(999));
+  ring.try_pop();
+  EXPECT_TRUE(ring.try_push(999));  // freed one slot
+}
+
+TEST(SpscRing, FifoOrderPreserved) {
+  SpscRing<int> ring(16);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(ring.try_push(i));
+  for (int i = 0; i < 10; ++i) {
+    auto v = ring.try_pop();
+    ASSERT_TRUE(v);
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  SpscRing<int> ring(5);
+  EXPECT_EQ(ring.capacity(), 7u);  // 8-slot ring, one slot reserved
+}
+
+TEST(SpscRing, MoveOnlyTypes) {
+  SpscRing<std::unique_ptr<int>> ring(4);
+  EXPECT_TRUE(ring.try_push(std::make_unique<int>(7)));
+  auto v = ring.try_pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 7);
+}
+
+TEST(SpscRing, WrapAroundManyTimes) {
+  SpscRing<int> ring(4);
+  for (int round = 0; round < 1000; ++round) {
+    EXPECT_TRUE(ring.try_push(round));
+    auto v = ring.try_pop();
+    ASSERT_TRUE(v);
+    EXPECT_EQ(*v, round);
+  }
+}
+
+// The real concurrency property: one producer thread, one consumer thread,
+// no losses, no duplicates, order preserved — without locks.
+TEST(SpscRing, ConcurrentProducerConsumerLossless) {
+  constexpr int kCount = 20000;
+  SpscRing<int> ring(1024);
+  std::vector<int> received;
+  received.reserve(kCount);
+
+  std::thread consumer([&] {
+    while (received.size() < kCount) {
+      if (auto v = ring.try_pop()) received.push_back(*v);
+      else std::this_thread::yield();
+    }
+  });
+  std::thread producer([&] {
+    for (int i = 0; i < kCount; ++i) {
+      while (!ring.try_push(i)) {
+        std::this_thread::yield();  // ring full
+      }
+    }
+  });
+  producer.join();
+  consumer.join();
+
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) ASSERT_EQ(received[static_cast<size_t>(i)], i);
+}
+
+class SpscRingSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SpscRingSizes, StressAtVariousCapacities) {
+  const std::size_t cap = GetParam();
+  SpscRing<std::size_t> ring(cap);
+  constexpr std::size_t kCount = 5000;
+  std::size_t sum = 0;
+  std::thread consumer([&] {
+    std::size_t got = 0;
+    while (got < kCount) {
+      if (auto v = ring.try_pop()) {
+        sum += *v;
+        ++got;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    while (!ring.try_push(i)) {
+      std::this_thread::yield();
+    }
+  }
+  consumer.join();
+  EXPECT_EQ(sum, kCount * (kCount - 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, SpscRingSizes,
+                         ::testing::Values(1, 2, 3, 16, 255, 4096));
+
+}  // namespace
+}  // namespace pd::ipc

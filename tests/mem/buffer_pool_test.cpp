@@ -1,0 +1,143 @@
+#include "mem/buffer_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+#include <cstring>
+
+namespace pd::mem {
+namespace {
+
+constexpr PoolId kPool{1};
+constexpr TenantId kTenant{7};
+const Actor kFnA = actor_function(FunctionId{10});
+const Actor kFnB = actor_function(FunctionId{11});
+const Actor kEngine = actor_engine(NodeId{1});
+
+BufferPool make_pool(std::size_t count = 4, Bytes size = 256) {
+  return BufferPool(kPool, kTenant, count, size);
+}
+
+TEST(BufferPool, AllocateAndRelease) {
+  auto pool = make_pool();
+  EXPECT_EQ(pool.available(), 4u);
+  auto d = pool.allocate(kFnA);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(pool.available(), 3u);
+  EXPECT_EQ(pool.in_use(), 1u);
+  EXPECT_EQ(d->tenant, kTenant);
+  pool.release(*d, kFnA);
+  EXPECT_EQ(pool.available(), 4u);
+}
+
+TEST(BufferPool, ExhaustionReturnsNullopt) {
+  auto pool = make_pool(2);
+  auto a = pool.allocate(kFnA);
+  auto b = pool.allocate(kFnA);
+  ASSERT_TRUE(a && b);
+  EXPECT_FALSE(pool.allocate(kFnA).has_value());
+  pool.release(*a, kFnA);
+  EXPECT_TRUE(pool.allocate(kFnA).has_value());
+}
+
+TEST(BufferPool, LifoRecycling) {
+  // Most recently freed buffer is handed out first (cache-friendly, like
+  // rte_mempool's per-core cache).
+  auto pool = make_pool();
+  auto a = pool.allocate(kFnA);
+  pool.release(*a, kFnA);
+  auto b = pool.allocate(kFnA);
+  EXPECT_EQ(a->index, b->index);
+}
+
+TEST(BufferPool, PayloadReadWriteRoundTrip) {
+  auto pool = make_pool();
+  auto d = pool.allocate(kFnA);
+  auto span = pool.access(*d, kFnA);
+  ASSERT_EQ(span.size(), 256u);
+  const char msg[] = "GET /product HTTP/1.1";
+  std::memcpy(span.data(), msg, sizeof msg);
+  auto rd = pool.access(*d, kFnA);
+  EXPECT_EQ(0, std::memcmp(rd.data(), msg, sizeof msg));
+}
+
+TEST(BufferPool, OwnershipTransferEnablesNewOwnerOnly) {
+  auto pool = make_pool();
+  auto d = pool.allocate(kFnA);
+  pool.transfer(*d, kFnA, kEngine);
+  EXPECT_EQ(pool.owner_of(*d).kind, ActorKind::kNetworkEngine);
+  // Old owner can no longer touch the buffer: the token has moved.
+  EXPECT_THROW(pool.access(*d, kFnA), CheckFailure);
+  EXPECT_THROW(pool.release(*d, kFnA), CheckFailure);
+  EXPECT_NO_THROW(pool.access(*d, kEngine));
+  pool.release(*d, kEngine);
+}
+
+TEST(BufferPool, TransferByNonOwnerRejected) {
+  auto pool = make_pool();
+  auto d = pool.allocate(kFnA);
+  EXPECT_THROW(pool.transfer(*d, kFnB, kEngine), CheckFailure);
+}
+
+TEST(BufferPool, DoubleReleaseRejected) {
+  auto pool = make_pool();
+  auto d = pool.allocate(kFnA);
+  pool.release(*d, kFnA);
+  EXPECT_THROW(pool.release(*d, kFnA), CheckFailure);
+}
+
+TEST(BufferPool, UseAfterFreeRejected) {
+  auto pool = make_pool();
+  auto d = pool.allocate(kFnA);
+  pool.release(*d, kFnA);
+  EXPECT_THROW(pool.access(*d, kFnA), CheckFailure);
+}
+
+TEST(BufferPool, ForeignDescriptorRejected) {
+  auto pool = make_pool();
+  BufferPool other(PoolId{2}, kTenant, 2, 64);
+  auto d = other.allocate(kFnA);
+  EXPECT_THROW(pool.access(*d, kFnA), CheckFailure);
+}
+
+TEST(BufferPool, TenantMismatchRejected) {
+  auto pool = make_pool();
+  auto d = pool.allocate(kFnA);
+  BufferDescriptor forged = *d;
+  forged.tenant = TenantId{99};
+  EXPECT_THROW(pool.access(forged, kFnA), CheckFailure);
+}
+
+TEST(BufferPool, ResizeSetsLengthWithinBounds) {
+  auto pool = make_pool();
+  auto d = pool.allocate(kFnA);
+  auto d2 = pool.resize(*d, kFnA, 100);
+  EXPECT_EQ(d2.length, 100u);
+  EXPECT_THROW(pool.resize(*d, kFnA, 1000), CheckFailure);
+}
+
+TEST(BufferPool, HighWaterMarkTracksPeak) {
+  auto pool = make_pool(4);
+  auto a = pool.allocate(kFnA);
+  auto b = pool.allocate(kFnA);
+  auto c = pool.allocate(kFnA);
+  pool.release(*b, kFnA);
+  pool.release(*c, kFnA);
+  EXPECT_EQ(pool.high_water(), 3u);
+  pool.release(*a, kFnA);
+  EXPECT_EQ(pool.high_water(), 3u);
+}
+
+TEST(BufferPool, FootprintReportsBackingBytes) {
+  auto pool = make_pool(8, 1024);
+  EXPECT_EQ(pool.footprint(), 8u * 1024u);
+}
+
+TEST(BufferPool, AllocationRequiresOwner) {
+  auto pool = make_pool();
+  EXPECT_THROW(pool.allocate(Actor{}), CheckFailure);
+}
+
+}  // namespace
+}  // namespace pd::mem

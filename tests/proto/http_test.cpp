@@ -1,0 +1,166 @@
+#include "proto/http.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pd::proto {
+namespace {
+
+TEST(HttpRequestParser, ParsesSimpleGet) {
+  HttpRequestParser p;
+  const std::string raw = "GET /home HTTP/1.1\r\nHost: x\r\n\r\n";
+  auto [status, consumed] = p.feed(raw);
+  EXPECT_EQ(status, ParseStatus::kComplete);
+  EXPECT_EQ(consumed, raw.size());
+  EXPECT_EQ(p.message().method, "GET");
+  EXPECT_EQ(p.message().target, "/home");
+  EXPECT_EQ(p.message().version, "HTTP/1.1");
+  EXPECT_EQ(p.message().headers.get("host"), "x");  // case-insensitive
+  EXPECT_TRUE(p.message().body.empty());
+}
+
+TEST(HttpRequestParser, ParsesBodyWithContentLength) {
+  HttpRequestParser p;
+  const std::string raw =
+      "POST /cart HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello world";
+  auto [status, consumed] = p.feed(raw);
+  EXPECT_EQ(status, ParseStatus::kComplete);
+  EXPECT_EQ(p.message().body, "hello world");
+}
+
+TEST(HttpRequestParser, IncrementalFeedAcrossArbitrarySplits) {
+  const std::string raw =
+      "POST /checkout HTTP/1.1\r\nContent-Length: 5\r\nX-Req: 42\r\n\r\nabcde";
+  // Split at every possible byte boundary.
+  for (std::size_t split = 1; split < raw.size(); ++split) {
+    HttpRequestParser p;
+    auto [s1, c1] = p.feed(raw.substr(0, split));
+    ASSERT_NE(s1, ParseStatus::kError) << "split=" << split;
+    if (s1 == ParseStatus::kComplete) {
+      continue;  // message fully inside the first fragment
+    }
+    auto [s2, c2] = p.feed(raw.substr(split));
+    ASSERT_EQ(s2, ParseStatus::kComplete) << "split=" << split;
+    EXPECT_EQ(p.message().body, "abcde");
+    EXPECT_EQ(p.message().headers.get("X-Req"), "42");
+  }
+}
+
+TEST(HttpRequestParser, ExcessBytesNotConsumed) {
+  HttpRequestParser p;
+  const std::string msg = "GET / HTTP/1.1\r\n\r\n";
+  const std::string two = msg + "GET /second HTTP/1.1\r\n\r\n";
+  auto [status, consumed] = p.feed(two);
+  EXPECT_EQ(status, ParseStatus::kComplete);
+  EXPECT_EQ(consumed, msg.size());
+  // Parser can be reset and reused for the next message.
+  p.reset();
+  auto [s2, c2] = p.feed(std::string_view(two).substr(consumed));
+  EXPECT_EQ(s2, ParseStatus::kComplete);
+  EXPECT_EQ(p.message().target, "/second");
+}
+
+TEST(HttpRequestParser, RejectsMalformedStartLine) {
+  for (const char* bad :
+       {"GARBAGE\r\n\r\n", "GET\r\n\r\n", "GET /x HTTP/9.9\r\n\r\n",
+        " / HTTP/1.1\r\n\r\n"}) {
+    HttpRequestParser p;
+    auto [status, consumed] = p.feed(bad);
+    EXPECT_EQ(status, ParseStatus::kError) << bad;
+    EXPECT_FALSE(p.error().empty());
+  }
+}
+
+TEST(HttpRequestParser, RejectsChunkedEncoding) {
+  HttpRequestParser p;
+  auto [status, c] = p.feed(
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  EXPECT_EQ(status, ParseStatus::kError);
+}
+
+TEST(HttpRequestParser, RejectsMalformedHeaderAndBadLength) {
+  {
+    HttpRequestParser p;
+    auto [s, c] = p.feed("GET / HTTP/1.1\r\nNoColonHere\r\n\r\n");
+    EXPECT_EQ(s, ParseStatus::kError);
+  }
+  {
+    HttpRequestParser p;
+    auto [s, c] = p.feed("GET / HTTP/1.1\r\nContent-Length: abc\r\n\r\n");
+    EXPECT_EQ(s, ParseStatus::kError);
+  }
+}
+
+TEST(HttpRequestParser, ToleratesBareLfAndLeadingBlankLines) {
+  HttpRequestParser p;
+  auto [status, c] = p.feed("\r\nGET / HTTP/1.1\nHost: y\n\n");
+  EXPECT_EQ(status, ParseStatus::kComplete);
+  EXPECT_EQ(p.message().headers.get("Host"), "y");
+}
+
+TEST(HttpResponseParser, ParsesResponse) {
+  HttpResponseParser p;
+  auto [status, c] =
+      p.feed("HTTP/1.1 503 Service Unavailable\r\nContent-Length: 2\r\n\r\nno");
+  EXPECT_EQ(status, ParseStatus::kComplete);
+  EXPECT_EQ(p.message().status, 503);
+  EXPECT_EQ(p.message().reason, "Service Unavailable");
+  EXPECT_EQ(p.message().body, "no");
+}
+
+TEST(HttpResponseParser, RejectsBadStatusCode) {
+  HttpResponseParser p;
+  auto [status, c] = p.feed("HTTP/1.1 99 Weird\r\n\r\n");
+  EXPECT_EQ(status, ParseStatus::kError);
+}
+
+TEST(HttpSerialize, RequestRoundTrip) {
+  HttpRequest req;
+  req.method = "POST";
+  req.target = "/product";
+  req.headers.add("X-Req", "123");
+  req.body = "payload-bytes";
+  const std::string raw = serialize(req);
+
+  HttpRequestParser p;
+  auto [status, consumed] = p.feed(raw);
+  ASSERT_EQ(status, ParseStatus::kComplete);
+  EXPECT_EQ(consumed, raw.size());
+  EXPECT_EQ(p.message().method, "POST");
+  EXPECT_EQ(p.message().target, "/product");
+  EXPECT_EQ(p.message().headers.get("X-Req"), "123");
+  EXPECT_EQ(p.message().body, "payload-bytes");
+}
+
+TEST(HttpSerialize, ResponseRoundTripAndAutoContentLength) {
+  HttpResponse resp;
+  resp.body = std::string(1000, 'z');
+  resp.headers.add("Content-Length", "7");  // stale value must be ignored
+  const std::string raw = serialize(resp);
+  HttpResponseParser p;
+  auto [status, c] = p.feed(raw);
+  ASSERT_EQ(status, ParseStatus::kComplete);
+  EXPECT_EQ(p.message().body.size(), 1000u);
+}
+
+class HttpParserFuzzCorpus : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(HttpParserFuzzCorpus, NeverCrashesOnHostileInput) {
+  HttpRequestParser p;
+  // Must terminate with kComplete, kNeedMore or kError — never throw or
+  // loop forever.
+  auto [status, consumed] = p.feed(GetParam());
+  (void)status;
+  (void)consumed;
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, HttpParserFuzzCorpus,
+    ::testing::Values("", "\r\n\r\n\r\n", "GET", ": : :\r\n",
+                      "GET / HTTP/1.1\r\nContent-Length: 999999\r\n\r\nxx",
+                      "POST / HTTP/1.1\r\nA:\r\n\r\n",
+                      "\x00\x01\x02\xff", "GET / HTTP/1.1\r\nA: B\r\nA: C\r\n\r\n",
+                      "HTTP/1.1 200 OK\r\n\r\n" /* response fed to req parser */));
+
+}  // namespace
+}  // namespace pd::proto

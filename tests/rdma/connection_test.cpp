@@ -1,0 +1,227 @@
+#include "rdma/connection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "proto/cost_model.hpp"
+
+namespace pd::rdma {
+namespace {
+
+constexpr TenantId kTenant{1};
+constexpr NodeId kNode1{1};
+constexpr NodeId kNode2{2};
+
+class ConnectionTest : public ::testing::Test {
+ protected:
+  ConnectionTest()
+      : net(sched),
+        mem1(kNode1),
+        mem2(kNode2),
+        rnic1(net, kNode1, mem1),
+        rnic2(net, kNode2, mem2),
+        mgr(rnic1, /*max_active=*/4) {
+    for (auto* dom : {&mem1, &mem2}) {
+      auto& tm = dom->create_tenant_pool(kTenant, "tenant_1", 64, 1024);
+      tm.export_to_rdma();
+    }
+    rnic1.register_memory(mem1.by_tenant(kTenant).pool_id());
+    rnic2.register_memory(mem2.by_tenant(kTenant).pool_id());
+  }
+
+  void post_receives(int n) {
+    auto& pool = mem2.by_tenant(kTenant).pool();
+    for (int i = 0; i < n; ++i) {
+      auto d = pool.allocate(mem::actor_rnic(kNode2));
+      ASSERT_TRUE(d.has_value());
+      rnic2.post_srq_recv(kTenant, *d);
+    }
+  }
+
+  WorkRequest make_wr(std::uint64_t id) {
+    auto& pool = mem1.by_tenant(kTenant).pool();
+    auto d = pool.allocate(mem::actor_rnic(kNode1));
+    WorkRequest wr;
+    wr.wr_id = id;
+    wr.opcode = Opcode::kSend;
+    wr.local = pool.resize(*d, mem::actor_rnic(kNode1), 64);
+    return wr;
+  }
+
+  sim::Scheduler sched;
+  RdmaNetwork net;
+  mem::MemoryDomain mem1;
+  mem::MemoryDomain mem2;
+  Rnic rnic1;
+  Rnic rnic2;
+  ConnectionManager mgr;
+};
+
+TEST_F(ConnectionTest, EstablishCreatesPoolAfterSetupLatency) {
+  bool ready = false;
+  mgr.establish(kNode2, kTenant, 3, [&] { ready = true; });
+  EXPECT_EQ(mgr.pool_size(kNode2, kTenant), 3u);
+  EXPECT_FALSE(ready);
+  sched.run();
+  EXPECT_TRUE(ready);
+  EXPECT_GE(sched.now(), cost::kRcConnectNs);
+  EXPECT_EQ(mgr.stats().establishments, 3u);
+  // All established connections rest in the shadow state.
+  EXPECT_EQ(mgr.active_count(), 0);
+}
+
+TEST_F(ConnectionTest, SendActivatesShadowQpOnDemand) {
+  mgr.establish(kNode2, kTenant, 2, nullptr);
+  sched.run();
+  post_receives(1);
+  mgr.send(kNode2, kTenant, make_wr(1));
+  sched.run();
+  EXPECT_EQ(mgr.stats().activations, 1u);
+  EXPECT_EQ(mgr.active_count(), 1);
+  EXPECT_EQ(rnic2.counters().recvs, 1u);
+}
+
+TEST_F(ConnectionTest, ReusesActiveQpWithoutReactivation) {
+  mgr.establish(kNode2, kTenant, 2, nullptr);
+  sched.run();
+  post_receives(3);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    mgr.send(kNode2, kTenant, make_wr(i));
+    sched.run();
+  }
+  EXPECT_EQ(mgr.stats().activations, 1u);  // only the first send activates
+  EXPECT_EQ(mgr.stats().sends, 3u);
+}
+
+TEST_F(ConnectionTest, SendWithoutPoolRejected) {
+  EXPECT_THROW(mgr.send(kNode2, kTenant, make_wr(0)), CheckFailure);
+}
+
+TEST_F(ConnectionTest, SendsDuringActivationAreQueuedNotLost) {
+  mgr.establish(kNode2, kTenant, 1, nullptr);
+  sched.run();
+  post_receives(2);
+  // Two sends back-to-back: the second lands while the QP is activating.
+  mgr.send(kNode2, kTenant, make_wr(1));
+  mgr.send(kNode2, kTenant, make_wr(2));
+  sched.run();
+  EXPECT_EQ(rnic2.counters().recvs, 2u);
+  EXPECT_EQ(mgr.stats().activations, 1u);
+}
+
+TEST_F(ConnectionTest, ActiveCapDeactivatesIdleQps) {
+  // Establish pools to the same node for several tenants so activations
+  // exceed the cap of 4.
+  std::vector<TenantId> tenants;
+  for (std::uint32_t t = 10; t < 17; ++t) {
+    const TenantId tenant{t};
+    tenants.push_back(tenant);
+    for (auto* dom : {&mem1, &mem2}) {
+      auto& tm = dom->create_tenant_pool(tenant, "t" + std::to_string(t), 8, 256);
+      tm.export_to_rdma();
+    }
+    rnic1.register_memory(mem1.by_tenant(tenant).pool_id());
+    rnic2.register_memory(mem2.by_tenant(tenant).pool_id());
+    mgr.establish(kNode2, tenant, 1, nullptr);
+  }
+  sched.run();
+  for (const TenantId tenant : tenants) {
+    auto& pool2 = mem2.by_tenant(tenant).pool();
+    auto rd = pool2.allocate(mem::actor_rnic(kNode2));
+    rnic2.post_srq_recv(tenant, *rd);
+
+    auto& pool1 = mem1.by_tenant(tenant).pool();
+    auto d = pool1.allocate(mem::actor_rnic(kNode1));
+    WorkRequest wr;
+    wr.opcode = Opcode::kSend;
+    wr.local = pool1.resize(*d, mem::actor_rnic(kNode1), 64);
+    mgr.send(kNode2, tenant, wr);
+    sched.run();
+  }
+  EXPECT_EQ(mgr.stats().activations, 7u);
+  EXPECT_GT(mgr.stats().deactivations, 0u);
+  EXPECT_LE(mgr.active_count(), 4);
+}
+
+TEST_F(ConnectionTest, LeastCongestedQpSelection) {
+  mgr.establish(kNode2, kTenant, 2, nullptr);
+  sched.run();
+  post_receives(8);
+  // Activate both QPs.
+  mgr.send(kNode2, kTenant, make_wr(0));
+  sched.run();
+  // Manually activate the second QP so both are active and idle.
+  // Subsequent sends should spread by outstanding count; since sends
+  // complete quickly the key property is simply that nothing breaks and
+  // all are delivered.
+  for (std::uint64_t i = 1; i < 6; ++i) mgr.send(kNode2, kTenant, make_wr(i));
+  sched.run();
+  EXPECT_EQ(rnic2.counters().recvs, 6u);
+}
+
+TEST_F(ConnectionTest, FailedQpSkippedWhileSiblingsServe) {
+  mgr.establish(kNode2, kTenant, 2, nullptr);
+  sched.run();
+  post_receives(8);  // enough for all six sends in this test
+  // Activate both QPs via two sends.
+  mgr.send(kNode2, kTenant, make_wr(1));
+  sched.run();
+  auto& pool = mem1.by_tenant(kTenant).pool();
+  (void)pool;
+  // Fail one connection; traffic must keep flowing on the sibling.
+  rdma::QueuePair* victim = nullptr;
+  // Find an established QP on the local RNIC by brute force over sends:
+  // the first send activated exactly one; fail it.
+  // (Direct pool introspection is intentionally not exposed.)
+  // Use healthy_count to observe the effect instead.
+  EXPECT_EQ(mgr.healthy_count(kNode2, kTenant), 2u);
+  // Fail via the RNIC-side handle: activate the second QP first.
+  mgr.send(kNode2, kTenant, make_wr(2));
+  sched.run();
+  // Grab any active QP through the RNIC and fail it.
+  for (std::uint32_t i = 1; i <= 4 && victim == nullptr; ++i) {
+    const QpId id{(kNode1.value() << 20) | i};
+    // qp() throws for unknown ids; stop at the first gap.
+    rdma::QueuePair& qp = rnic1.qp(id);
+    if (qp.state() == QpState::kActive) victim = &qp;
+  }
+  ASSERT_NE(victim, nullptr);
+  victim->fail();
+  EXPECT_EQ(victim->state(), QpState::kError);
+  EXPECT_EQ(mgr.healthy_count(kNode2, kTenant), 1u);
+
+  for (std::uint64_t i = 3; i <= 6; ++i) {
+    mgr.send(kNode2, kTenant, make_wr(i));
+    sched.run();
+  }
+  EXPECT_EQ(rnic2.counters().recvs, 6u);
+  EXPECT_EQ(mgr.stats().reestablishments, 0u);
+}
+
+TEST_F(ConnectionTest, AllConnectionsFailedTriggersReestablishment) {
+  mgr.establish(kNode2, kTenant, 2, nullptr);
+  sched.run();
+  post_receives(2);
+  mgr.send(kNode2, kTenant, make_wr(1));
+  sched.run();
+  EXPECT_EQ(rnic2.counters().recvs, 1u);
+
+  // Break every connection in the pool (fabric fault).
+  for (std::uint32_t i = 1; i <= 2; ++i) {
+    rnic1.qp(QpId{(kNode1.value() << 20) | i}).fail();
+  }
+  EXPECT_EQ(mgr.healthy_count(kNode2, kTenant), 0u);
+
+  // The next send rebuilds the pool (paying the full RC setup latency)
+  // and then goes through.
+  const auto before = sched.now();
+  mgr.send(kNode2, kTenant, make_wr(2));
+  sched.run();
+  EXPECT_EQ(mgr.stats().reestablishments, 1u);
+  EXPECT_EQ(rnic2.counters().recvs, 2u);
+  EXPECT_GE(sched.now() - before, cost::kRcConnectNs);
+  EXPECT_EQ(mgr.healthy_count(kNode2, kTenant), 2u);
+}
+
+}  // namespace
+}  // namespace pd::rdma

@@ -1,0 +1,134 @@
+#include "sim/core.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pd::sim {
+namespace {
+
+TEST(Core, ExecutesWorkAfterServiceTime) {
+  Scheduler s;
+  Core core(s, "cpu0");
+  TimePoint done_at = -1;
+  core.submit(1000, [&] { done_at = s.now(); });
+  s.run();
+  EXPECT_EQ(done_at, 1000);
+  EXPECT_EQ(core.busy_ns(), 1000);
+}
+
+TEST(Core, SerializesFifo) {
+  Scheduler s;
+  Core core(s, "cpu0");
+  std::vector<int> order;
+  TimePoint second_done = -1;
+  core.submit(100, [&] { order.push_back(1); });
+  core.submit(200, [&] {
+    order.push_back(2);
+    second_done = s.now();
+  });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(second_done, 300);  // waits for the first job
+}
+
+TEST(Core, SpeedScalesServiceTime) {
+  Scheduler s;
+  Core dpu(s, "dpu0", 0.5);  // wimpy DPU core: half speed
+  TimePoint done_at = -1;
+  dpu.submit(1000, [&] { done_at = s.now(); });
+  s.run();
+  EXPECT_EQ(done_at, 2000);
+}
+
+TEST(Core, IdleGapThenNewWork) {
+  Scheduler s;
+  Core core(s, "cpu0");
+  core.submit(100);
+  s.run();
+  EXPECT_EQ(s.now(), 100);
+  // Idle until t=500, then new work starts immediately.
+  s.schedule_at(500, [&] { core.submit(50); });
+  s.run();
+  EXPECT_EQ(s.now(), 550);
+  EXPECT_EQ(core.busy_ns(), 150);
+}
+
+TEST(Core, BacklogReflectsQueuedWork) {
+  Scheduler s;
+  Core core(s, "cpu0");
+  core.submit(100);
+  core.submit(200);
+  EXPECT_EQ(core.backlog(), 300);
+  s.run();
+  EXPECT_EQ(core.backlog(), 0);
+  EXPECT_TRUE(core.idle());
+}
+
+TEST(Core, ZeroWorkCompletesImmediately) {
+  Scheduler s;
+  Core core(s, "cpu0");
+  bool done = false;
+  core.submit(0, [&] { done = true; });
+  s.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(s.now(), 0);
+}
+
+TEST(Core, MinimumOneNsForPositiveWork) {
+  Scheduler s;
+  Core fast(s, "cpu0", 1000.0);
+  TimePoint done_at = -1;
+  fast.submit(1, [&] { done_at = s.now(); });
+  s.run();
+  EXPECT_EQ(done_at, 1);
+}
+
+TEST(Core, RejectsNegativeWorkAndBadSpeed) {
+  Scheduler s;
+  Core core(s, "cpu0");
+  EXPECT_THROW(core.submit(-5), CheckFailure);
+  EXPECT_THROW(Core(s, "bad", 0.0), CheckFailure);
+}
+
+TEST(CoreSet, LeastLoadedSelection) {
+  Scheduler s;
+  CoreSet set(s, "cpu", 3);
+  set.core(0).submit(300);
+  set.core(1).submit(100);
+  set.core(2).submit(200);
+  EXPECT_EQ(&set.least_loaded(), &set.core(1));
+  EXPECT_EQ(set.total_busy_ns(), 0);  // nothing completed yet
+  s.run();
+  EXPECT_EQ(set.total_busy_ns(), 600);
+}
+
+TEST(UtilizationProbe, MeasuresBusyFraction) {
+  Scheduler s;
+  Core core(s, "cpu0");
+  TimeSeries util(1'000'000);  // 1 ms buckets
+  UtilizationProbe probe(s, core, 1'000'000, util);
+  probe.start();
+  // 400 µs of work in the first 1 ms window -> 40% utilization.
+  core.submit(400'000);
+  s.run_until(3'500'000);
+  probe.stop();
+  s.run();
+  EXPECT_NEAR(util.bucket_value(0), 0.4, 0.01);
+  EXPECT_NEAR(util.bucket_value(1), 0.0, 0.01);
+}
+
+TEST(UtilizationProbe, BusyPollCoreReportsFull) {
+  Scheduler s;
+  Core core(s, "dne0", 0.5);
+  core.set_busy_poll(true);
+  TimeSeries util(1'000'000);
+  UtilizationProbe probe(s, core, 1'000'000, util);
+  probe.start();
+  s.run_until(2'500'000);
+  probe.stop();
+  s.run();
+  EXPECT_NEAR(util.bucket_value(0), 1.0, 0.01);
+  EXPECT_NEAR(util.bucket_value(1), 1.0, 0.01);
+}
+
+}  // namespace
+}  // namespace pd::sim

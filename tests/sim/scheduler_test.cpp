@@ -1,0 +1,147 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pd::sim {
+namespace {
+
+TEST(Scheduler, StartsAtZero) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  EXPECT_EQ(s.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(Scheduler, FifoTieBreakAtEqualTimestamps) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    s.schedule_at(100, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Scheduler, ScheduleAfterIsRelative) {
+  Scheduler s;
+  TimePoint fired = -1;
+  s.schedule_at(50, [&] {
+    s.schedule_after(25, [&] { fired = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(fired, 75);
+}
+
+TEST(Scheduler, EventsCanScheduleMoreEvents) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) s.schedule_after(1, recurse);
+  };
+  s.schedule_at(0, recurse);
+  EXPECT_EQ(s.run(), 100u);
+  EXPECT_EQ(s.now(), 99);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool fired = false;
+  EventId id = s.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));  // second cancel is a no-op
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, CancelOneOfMany) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(10, [&] { order.push_back(1); });
+  EventId id = s.schedule_at(20, [&] { order.push_back(2); });
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.cancel(id);
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  Scheduler s;
+  std::vector<TimePoint> fired;
+  for (TimePoint t : {10, 20, 30, 40}) {
+    s.schedule_at(t, [&fired, &s] { fired.push_back(s.now()); });
+  }
+  EXPECT_EQ(s.run_until(25), 2u);
+  EXPECT_EQ(s.now(), 25);
+  EXPECT_EQ(fired, (std::vector<TimePoint>{10, 20}));
+  EXPECT_EQ(s.run(), 2u);
+}
+
+TEST(Scheduler, RunUntilInclusiveOfDeadline) {
+  Scheduler s;
+  bool fired = false;
+  s.schedule_at(25, [&] { fired = true; });
+  s.run_until(25);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Scheduler, RunStepsLimitsExecution) {
+  Scheduler s;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) s.schedule_at(i, [&] { ++count; });
+  EXPECT_EQ(s.run_steps(4), 4u);
+  EXPECT_EQ(count, 4);
+  s.run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Scheduler, RejectsSchedulingIntoThePast) {
+  Scheduler s;
+  s.schedule_at(100, [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(50, [] {}), CheckFailure);
+  EXPECT_THROW(s.schedule_after(-1, [] {}), CheckFailure);
+}
+
+TEST(Scheduler, DeterministicEventCount) {
+  // Two identical runs must process identical event counts in identical
+  // order — the foundation of reproducible benchmarks.
+  auto run_once = [] {
+    Scheduler s;
+    std::vector<TimePoint> trace;
+    std::function<void(int)> spawn = [&](int n) {
+      trace.push_back(s.now());
+      if (n > 0) {
+        s.schedule_after(3, [&spawn, n] { spawn(n - 1); });
+        s.schedule_after(7, [&spawn, n] { spawn(n / 2); });
+      }
+    };
+    s.schedule_at(0, [&] { spawn(6); });
+    s.run();
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Scheduler, PendingReflectsCancellations) {
+  Scheduler s;
+  EventId a = s.schedule_at(10, [] {});
+  s.schedule_at(20, [] {});
+  EXPECT_EQ(s.pending(), 2u);
+  s.cancel(a);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace pd::sim

@@ -1,0 +1,126 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace pd::sim {
+namespace {
+
+TEST(LatencyHistogram, EmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0);
+  EXPECT_EQ(h.mean_ns(), 0.0);
+}
+
+TEST(LatencyHistogram, SingleValue) {
+  LatencyHistogram h;
+  h.record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1000);
+  EXPECT_EQ(h.max(), 1000);
+  EXPECT_EQ(h.mean_ns(), 1000.0);
+  EXPECT_EQ(h.quantile(0.5), 1000);
+  EXPECT_EQ(h.quantile(1.0), 1000);
+}
+
+TEST(LatencyHistogram, SmallValuesExact) {
+  LatencyHistogram h;
+  for (int i = 0; i < 64; ++i) h.record(i);
+  EXPECT_EQ(h.quantile(0.0), 0);
+  EXPECT_EQ(h.quantile(1.0), 63);
+}
+
+TEST(LatencyHistogram, QuantileErrorBounded) {
+  // Relative error of any quantile must stay below the bucket granularity
+  // (1/64 per octave ≈ 1.6%).
+  LatencyHistogram h;
+  Rng r(5);
+  std::vector<Duration> values;
+  for (int i = 0; i < 100000; ++i) {
+    auto v = static_cast<Duration>(r.exponential(50000.0)) + 1;
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+    const auto exact = values[static_cast<size_t>(q * (values.size() - 1))];
+    const auto approx = h.quantile(q);
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                static_cast<double>(exact) * 0.04 + 2)
+        << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, MeanIsExact) {
+  LatencyHistogram h;
+  for (Duration v : {10, 20, 30, 40}) h.record(v);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 25.0);
+}
+
+TEST(LatencyHistogram, MergeCombinesCounts) {
+  LatencyHistogram a, b;
+  a.record(100);
+  a.record(200);
+  b.record(300);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.max(), 300);
+  EXPECT_DOUBLE_EQ(a.mean_ns(), 200.0);
+}
+
+TEST(LatencyHistogram, ResetClearsState) {
+  LatencyHistogram h;
+  h.record(12345);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(LatencyHistogram, NegativeClampedToZero) {
+  LatencyHistogram h;
+  h.record(-5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.quantile(0.5), 0);
+}
+
+TEST(LatencyHistogram, LargeValues) {
+  LatencyHistogram h;
+  const Duration big = 3'600'000'000'000;  // one hour in ns
+  h.record(big);
+  EXPECT_EQ(h.max(), big);
+  // Bucketed quantile must be within 1.6% of the true value.
+  EXPECT_NEAR(static_cast<double>(h.quantile(0.5)), static_cast<double>(big),
+              static_cast<double>(big) * 0.02);
+}
+
+TEST(TimeSeries, AccumulatesIntoBuckets) {
+  TimeSeries ts(1'000'000'000);  // 1 s buckets
+  ts.increment(100);
+  ts.increment(999'999'999);
+  ts.increment(1'000'000'000);  // next bucket
+  EXPECT_EQ(ts.bucket_value(0), 2.0);
+  EXPECT_EQ(ts.bucket_value(1), 1.0);
+  EXPECT_EQ(ts.bucket_value(2), 0.0);  // out-of-range reads as zero
+}
+
+TEST(TimeSeries, RatePerSecondNormalizes) {
+  TimeSeries ts(500'000'000);  // 0.5 s buckets
+  for (int i = 0; i < 50; ++i) ts.increment(100 + i);
+  EXPECT_DOUBLE_EQ(ts.rate_per_sec(0), 100.0);  // 50 events / 0.5 s
+}
+
+TEST(TimeSeries, GrowsOnDemand) {
+  TimeSeries ts(1000);
+  ts.add(50'000, 2.5);
+  EXPECT_EQ(ts.num_buckets(), 51u);
+  EXPECT_EQ(ts.bucket_value(50), 2.5);
+}
+
+TEST(TimeSeries, RejectsNonPositiveWidth) {
+  EXPECT_THROW(TimeSeries(0), CheckFailure);
+}
+
+}  // namespace
+}  // namespace pd::sim

@@ -1,0 +1,73 @@
+// Scratch diagnostic: where is the pipeline bottleneck?
+#include <cstdio>
+
+#include "runtime/cluster.hpp"
+#include "runtime/function.hpp"
+#include "workload/driver.hpp"
+
+using namespace pd;
+
+void run(int clients, sim::Duration compute_a, long long compute_b) {
+  sim::Scheduler sched;
+  runtime::ClusterConfig cfg;
+  cfg.system = runtime::SystemKind::kPalladiumDne;
+  cfg.pool_buffers = 2048;
+  runtime::Cluster cluster(sched, cfg);
+  cluster.add_worker(NodeId{1});
+  cluster.add_worker(NodeId{2});
+  cluster.add_tenant(TenantId{1}, 1);
+  cluster.deploy({FunctionId{1}, "a", TenantId{1}}, NodeId{1});
+  cluster.deploy({FunctionId{2}, "b", TenantId{1}}, NodeId{2});
+  std::vector<runtime::ChainHop> hops;
+  hops.push_back({FunctionId{1}, compute_a, 8192});
+  if (compute_b >= 0) hops.push_back({FunctionId{2}, compute_b, 128});
+  cluster.add_chain(runtime::Chain{1, "ab", TenantId{1}, 4096, hops});
+  workload::ChainDriver driver(cluster, FunctionId{100}, NodeId{1}, 1);
+  // Record completion instants to detect convoys.
+  std::vector<sim::TimePoint> stamps;
+  driver.set_completion_hook([&](std::uint64_t, sim::Duration) {
+    if (stamps.size() < 20000) stamps.push_back(sched.now());
+  });
+  cluster.finish_setup();
+  driver.start(clients);
+  sched.run_until(sched.now() + 2'000'000'000);
+  driver.stop();
+  sched.run();
+  auto* e1 = cluster.worker(NodeId{1}).palladium_engine();
+  std::printf(
+      "clients=%3d computeA=%6lld computeB=%6lld -> RPS=%7.0f mean=%8.1fus "
+      "p99=%8.1fus dneCore1Busy=%.2f fnAcore=%.2f fnBcore=%.2f drvCore=%.2f\n",
+      clients, static_cast<long long>(compute_a),
+      static_cast<long long>(compute_b),
+      static_cast<double>(driver.completed()) / 2.0,
+      driver.latencies().mean_ns() / 1e3,
+      sim::to_us(driver.latencies().quantile(0.99)),
+      sim::to_sec(e1->core().busy_ns()) / 2.0,
+      sim::to_sec(cluster.instance(FunctionId{1}).core().busy_ns()) / 2.0,
+      sim::to_sec(cluster.instance(FunctionId{2}).core().busy_ns()) / 2.0,
+      sim::to_sec(driver.core().busy_ns()) / 2.0);
+  std::printf("   rnr: n1=%llu n2=%llu  dneTxBacklog: n1=%zu n2=%zu\n",
+              static_cast<unsigned long long>(
+                  cluster.worker(NodeId{1}).rnic()->counters().rnr_events),
+              static_cast<unsigned long long>(
+                  cluster.worker(NodeId{2}).rnic()->counters().rnr_events),
+              e1->tx_backlog(),
+              cluster.worker(NodeId{2}).palladium_engine()->tx_backlog());
+  if (stamps.size() > 50) {
+    std::printf("   completion gaps (us, late steady state): ");
+    for (std::size_t i = stamps.size() - 17; i < stamps.size(); ++i) {
+      std::printf("%.0f ", static_cast<double>(stamps[i] - stamps[i - 1]) / 1e3);
+    }
+    std::printf("\n");
+  }
+}
+
+int main() {
+  std::puts("-- single hop (A only) --");
+  for (int c : {1, 2, 4, 8}) run(c, 80'000, -1);
+  std::puts("-- two hops --");
+  for (int c : {1, 2, 4, 8, 16, 32}) run(c, 80'000, 40'000);
+  std::puts("-- zero compute --");
+  for (int c : {1, 8, 32}) run(c, 0, 0);
+  return 0;
+}

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Full verification run: build, tests, every figure bench. Produces
+# test_output.txt and bench_output.txt at the repo root.
+set -e
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] && "$b"
+done 2>&1 | tee bench_output.txt
