@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dne.dir/ablation_dne.cpp.o"
+  "CMakeFiles/ablation_dne.dir/ablation_dne.cpp.o.d"
+  "ablation_dne"
+  "ablation_dne.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dne.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_comch_channels.dir/fig09_comch_channels.cpp.o"
+  "CMakeFiles/fig09_comch_channels.dir/fig09_comch_channels.cpp.o.d"
+  "fig09_comch_channels"
+  "fig09_comch_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_comch_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

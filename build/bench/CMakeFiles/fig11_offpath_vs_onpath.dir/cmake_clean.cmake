@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_offpath_vs_onpath.dir/fig11_offpath_vs_onpath.cpp.o"
+  "CMakeFiles/fig11_offpath_vs_onpath.dir/fig11_offpath_vs_onpath.cpp.o.d"
+  "fig11_offpath_vs_onpath"
+  "fig11_offpath_vs_onpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_offpath_vs_onpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_offpath_vs_onpath.
+# This may be replaced when dependencies are built.

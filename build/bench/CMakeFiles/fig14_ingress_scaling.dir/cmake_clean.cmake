@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_ingress_scaling.dir/fig14_ingress_scaling.cpp.o"
+  "CMakeFiles/fig14_ingress_scaling.dir/fig14_ingress_scaling.cpp.o.d"
+  "fig14_ingress_scaling"
+  "fig14_ingress_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_ingress_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

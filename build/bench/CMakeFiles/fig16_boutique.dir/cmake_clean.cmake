@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_boutique.dir/fig16_boutique.cpp.o"
+  "CMakeFiles/fig16_boutique.dir/fig16_boutique.cpp.o.d"
+  "fig16_boutique"
+  "fig16_boutique.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_boutique.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boutique_demo.dir/boutique_demo.cpp.o"
+  "CMakeFiles/boutique_demo.dir/boutique_demo.cpp.o.d"
+  "boutique_demo"
+  "boutique_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boutique_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

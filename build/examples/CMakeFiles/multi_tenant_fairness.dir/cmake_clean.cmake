@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tenant_fairness.dir/multi_tenant_fairness.cpp.o"
+  "CMakeFiles/multi_tenant_fairness.dir/multi_tenant_fairness.cpp.o.d"
+  "multi_tenant_fairness"
+  "multi_tenant_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transport_conversion.dir/transport_conversion.cpp.o"
+  "CMakeFiles/transport_conversion.dir/transport_conversion.cpp.o.d"
+  "transport_conversion"
+  "transport_conversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transport_conversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("mem")
+subdirs("ipc")
+subdirs("fabric")
+subdirs("rdma")
+subdirs("dpu")
+subdirs("proto")
+subdirs("core")
+subdirs("ingress")
+subdirs("runtime")
+subdirs("baselines")
+subdirs("workload")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_baselines.dir/fuyao_engine.cpp.o"
+  "CMakeFiles/pd_baselines.dir/fuyao_engine.cpp.o.d"
+  "CMakeFiles/pd_baselines.dir/tcp_engine.cpp.o"
+  "CMakeFiles/pd_baselines.dir/tcp_engine.cpp.o.d"
+  "libpd_baselines.a"
+  "libpd_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

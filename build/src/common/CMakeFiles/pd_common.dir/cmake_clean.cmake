@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_common.dir/check.cpp.o"
+  "CMakeFiles/pd_common.dir/check.cpp.o.d"
+  "libpd_common.a"
+  "libpd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/pd_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/pd_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/onesided.cpp" "src/core/CMakeFiles/pd_core.dir/onesided.cpp.o" "gcc" "src/core/CMakeFiles/pd_core.dir/onesided.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pd_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/pd_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/pd_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpu/CMakeFiles/pd_dpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/pd_fabric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

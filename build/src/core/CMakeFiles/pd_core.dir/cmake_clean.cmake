@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_core.dir/engine.cpp.o"
+  "CMakeFiles/pd_core.dir/engine.cpp.o.d"
+  "CMakeFiles/pd_core.dir/onesided.cpp.o"
+  "CMakeFiles/pd_core.dir/onesided.cpp.o.d"
+  "libpd_core.a"
+  "libpd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

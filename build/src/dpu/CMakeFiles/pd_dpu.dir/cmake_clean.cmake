@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_dpu.dir/comch.cpp.o"
+  "CMakeFiles/pd_dpu.dir/comch.cpp.o.d"
+  "CMakeFiles/pd_dpu.dir/dpu.cpp.o"
+  "CMakeFiles/pd_dpu.dir/dpu.cpp.o.d"
+  "libpd_dpu.a"
+  "libpd_dpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_dpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

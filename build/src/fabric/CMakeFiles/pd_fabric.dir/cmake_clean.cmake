@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_fabric.dir/fabric.cpp.o"
+  "CMakeFiles/pd_fabric.dir/fabric.cpp.o.d"
+  "libpd_fabric.a"
+  "libpd_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_ingress.dir/palladium_ingress.cpp.o"
+  "CMakeFiles/pd_ingress.dir/palladium_ingress.cpp.o.d"
+  "CMakeFiles/pd_ingress.dir/proxy_ingress.cpp.o"
+  "CMakeFiles/pd_ingress.dir/proxy_ingress.cpp.o.d"
+  "libpd_ingress.a"
+  "libpd_ingress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_ingress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

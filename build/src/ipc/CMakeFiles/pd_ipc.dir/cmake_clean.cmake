@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_ipc.dir/skmsg.cpp.o"
+  "CMakeFiles/pd_ipc.dir/skmsg.cpp.o.d"
+  "libpd_ipc.a"
+  "libpd_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_mem.dir/buffer_pool.cpp.o"
+  "CMakeFiles/pd_mem.dir/buffer_pool.cpp.o.d"
+  "CMakeFiles/pd_mem.dir/memory_domain.cpp.o"
+  "CMakeFiles/pd_mem.dir/memory_domain.cpp.o.d"
+  "libpd_mem.a"
+  "libpd_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_proto.dir/http.cpp.o"
+  "CMakeFiles/pd_proto.dir/http.cpp.o.d"
+  "CMakeFiles/pd_proto.dir/tcp.cpp.o"
+  "CMakeFiles/pd_proto.dir/tcp.cpp.o.d"
+  "libpd_proto.a"
+  "libpd_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

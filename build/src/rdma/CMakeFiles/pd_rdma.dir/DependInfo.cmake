@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdma/connection.cpp" "src/rdma/CMakeFiles/pd_rdma.dir/connection.cpp.o" "gcc" "src/rdma/CMakeFiles/pd_rdma.dir/connection.cpp.o.d"
+  "/root/repo/src/rdma/rnic.cpp" "src/rdma/CMakeFiles/pd_rdma.dir/rnic.cpp.o" "gcc" "src/rdma/CMakeFiles/pd_rdma.dir/rnic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pd_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/pd_fabric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

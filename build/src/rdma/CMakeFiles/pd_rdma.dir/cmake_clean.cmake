@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_rdma.dir/connection.cpp.o"
+  "CMakeFiles/pd_rdma.dir/connection.cpp.o.d"
+  "CMakeFiles/pd_rdma.dir/rnic.cpp.o"
+  "CMakeFiles/pd_rdma.dir/rnic.cpp.o.d"
+  "libpd_rdma.a"
+  "libpd_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_runtime.dir/boutique.cpp.o"
+  "CMakeFiles/pd_runtime.dir/boutique.cpp.o.d"
+  "CMakeFiles/pd_runtime.dir/cluster.cpp.o"
+  "CMakeFiles/pd_runtime.dir/cluster.cpp.o.d"
+  "CMakeFiles/pd_runtime.dir/function.cpp.o"
+  "CMakeFiles/pd_runtime.dir/function.cpp.o.d"
+  "libpd_runtime.a"
+  "libpd_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_sim.dir/core.cpp.o"
+  "CMakeFiles/pd_sim.dir/core.cpp.o.d"
+  "CMakeFiles/pd_sim.dir/random.cpp.o"
+  "CMakeFiles/pd_sim.dir/random.cpp.o.d"
+  "CMakeFiles/pd_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/pd_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/pd_sim.dir/stats.cpp.o"
+  "CMakeFiles/pd_sim.dir/stats.cpp.o.d"
+  "libpd_sim.a"
+  "libpd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_workload.dir/driver.cpp.o"
+  "CMakeFiles/pd_workload.dir/driver.cpp.o.d"
+  "CMakeFiles/pd_workload.dir/http_client.cpp.o"
+  "CMakeFiles/pd_workload.dir/http_client.cpp.o.d"
+  "libpd_workload.a"
+  "libpd_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpu_test.dir/dpu/dpu_test.cpp.o"
+  "CMakeFiles/dpu_test.dir/dpu/dpu_test.cpp.o.d"
+  "dpu_test"
+  "dpu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

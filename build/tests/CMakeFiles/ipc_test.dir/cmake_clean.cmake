@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipc_test.dir/ipc/skmsg_test.cpp.o"
+  "CMakeFiles/ipc_test.dir/ipc/skmsg_test.cpp.o.d"
+  "CMakeFiles/ipc_test.dir/ipc/spsc_ring_test.cpp.o"
+  "CMakeFiles/ipc_test.dir/ipc/spsc_ring_test.cpp.o.d"
+  "ipc_test"
+  "ipc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdma_test.dir/rdma/connection_test.cpp.o"
+  "CMakeFiles/rdma_test.dir/rdma/connection_test.cpp.o.d"
+  "CMakeFiles/rdma_test.dir/rdma/rnic_test.cpp.o"
+  "CMakeFiles/rdma_test.dir/rdma/rnic_test.cpp.o.d"
+  "rdma_test"
+  "rdma_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[sim_test]=] "/root/repo/build/tests/sim_test")
+set_tests_properties([=[sim_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;10;pd_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[mem_test]=] "/root/repo/build/tests/mem_test")
+set_tests_properties([=[mem_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;16;pd_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[ipc_test]=] "/root/repo/build/tests/ipc_test")
+set_tests_properties([=[ipc_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;20;pd_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[fabric_test]=] "/root/repo/build/tests/fabric_test")
+set_tests_properties([=[fabric_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;24;pd_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[rdma_test]=] "/root/repo/build/tests/rdma_test")
+set_tests_properties([=[rdma_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;27;pd_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[core_test]=] "/root/repo/build/tests/core_test")
+set_tests_properties([=[core_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;31;pd_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[proto_test]=] "/root/repo/build/tests/proto_test")
+set_tests_properties([=[proto_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;37;pd_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[dpu_test]=] "/root/repo/build/tests/dpu_test")
+set_tests_properties([=[dpu_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;41;pd_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[ingress_test]=] "/root/repo/build/tests/ingress_test")
+set_tests_properties([=[ingress_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;44;pd_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[runtime_test]=] "/root/repo/build/tests/runtime_test")
+set_tests_properties([=[runtime_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;47;pd_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[workload_test]=] "/root/repo/build/tests/workload_test")
+set_tests_properties([=[workload_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;50;pd_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[baselines_test]=] "/root/repo/build/tests/baselines_test")
+set_tests_properties([=[baselines_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;53;pd_add_test;/root/repo/tests/CMakeLists.txt;0;")

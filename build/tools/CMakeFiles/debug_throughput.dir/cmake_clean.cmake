@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_throughput.dir/debug_throughput.cpp.o"
+  "CMakeFiles/debug_throughput.dir/debug_throughput.cpp.o.d"
+  "debug_throughput"
+  "debug_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
