@@ -1,13 +1,32 @@
 // Shared output helpers for the figure-reproduction benches: fixed-width
 // tables plus paper-reference annotations, so every binary prints the
-// series the paper plots next to what this reproduction measured.
+// series the paper plots next to what this reproduction measured — plus
+// observability plumbing (flag parsing + deterministic snapshot dumps).
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace pd::bench {
+
+/// True when `flag` (e.g. "--metrics") appears in argv.
+inline bool flag_enabled(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+/// Write a deterministic registry snapshot next to the bench output and say
+/// where it went.
+inline void dump_registry(const obs::Registry& reg, const std::string& path) {
+  reg.write_json(path);
+  std::printf("  metrics snapshot written to %s\n", path.c_str());
+}
 
 inline void print_title(const std::string& title) {
   std::printf("\n================================================================\n");

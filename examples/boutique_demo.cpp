@@ -4,16 +4,36 @@
 // microservices exchange buffers zero-copy.
 //
 //   $ ./examples/boutique_demo
+//   $ ./examples/boutique_demo --trace   # also writes boutique_trace.json
+//                                        # (open in https://ui.perfetto.dev)
 #include <cstdio>
+#include <cstring>
 
 #include "ingress/palladium_ingress.hpp"
+#include "obs/hub.hpp"
 #include "runtime/boutique.hpp"
 #include "runtime/function.hpp"
+#include "runtime/metrics_export.hpp"
 #include "workload/http_client.hpp"
 
 using namespace pd;
 
-int main() {
+int main(int argc, char** argv) {
+  bool trace = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) trace = true;
+  }
+
+  // With --trace, sample every 500th request end-to-end (a 5 s run serves
+  // ~100K requests; sampling keeps the trace file Perfetto-sized) and dump
+  // a full metrics snapshot alongside.
+  obs::Hub hub;
+  std::unique_ptr<obs::Session> session;
+  if (trace) {
+    hub.tracer.set_sample_every(500);
+    session = std::make_unique<obs::Session>(hub);
+  }
+
   sim::Scheduler sched;
   runtime::ClusterConfig cfg;
   cfg.system = runtime::SystemKind::kPalladiumDne;
@@ -85,6 +105,20 @@ int main() {
                 static_cast<unsigned long long>(dne->counters().tx_msgs),
                 static_cast<unsigned long long>(dne->counters().rx_msgs),
                 static_cast<unsigned long long>(dne->counters().replenished));
+  }
+
+  if (trace) {
+    hub.tracer.write_chrome_json("boutique_trace.json");
+    runtime::export_metrics(cluster, hub.registry);
+    hub.registry.write_json("boutique_metrics.json");
+    std::printf(
+        "\n%zu spans from %zu sampled requests -> boutique_trace.json "
+        "(open in https://ui.perfetto.dev or chrome://tracing)\n"
+        "metrics snapshot -> boutique_metrics.json\n",
+        hub.tracer.spans().size(),
+        hub.tracer.spans().size() == 0
+            ? static_cast<std::size_t>(0)
+            : static_cast<std::size_t>(hub.tracer.spans().back().trace_id));
   }
   return 0;
 }

@@ -1,6 +1,8 @@
 #include "core/engine.hpp"
 
+#include "core/trace_hooks.hpp"
 #include "dpu/mmap.hpp"
+#include "obs/hub.hpp"
 #include "proto/cost_model.hpp"
 
 namespace pd::core {
@@ -45,6 +47,9 @@ NetworkEngine::NetworkEngine(sim::Scheduler& sched, EngineKind kind,
         [this](FunctionId, const mem::BufferDescriptor& d) { on_ingest(d); });
     engine_core_.set_busy_poll(true);  // run-to-completion busy loop
   }
+
+  track_ = "node" + std::to_string(node().value()) +
+           (kind_ == EngineKind::kCne ? "/cne" : "/dne");
 
   rnic_.cq().set_notify([this] { kick_rx(); });
   sched_.schedule_background_after(config_.replenish_period,
@@ -141,6 +146,7 @@ void NetworkEngine::on_ingest(const mem::BufferDescriptor& d) {
   // tenant and kick the TX stage.
   PD_CHECK(tenants_.find(d.tenant) != tenants_.end(),
            "message from unknown tenant " << d.tenant);
+  trace_stage(d, "engine_tx");
   if (config_.use_dwrr) {
     dwrr_.enqueue(d.tenant, d);
   } else {
@@ -170,7 +176,12 @@ void NetworkEngine::tx_iteration() {
     if (kind_ == EngineKind::kDneOnPath) {
       // On-path: stage the payload through SoC memory first (slow DMA).
       const auto bytes = item->length;
-      dpu_->dma().transfer(bytes, [this, d = *item] { transmit(d); });
+      const std::uint32_t dma_span = begin_soc_dma_span(*item);
+      const sim::TimePoint t0 = sched_.now();
+      dpu_->dma().transfer(bytes, [this, d = *item, dma_span, t0] {
+        end_soc_dma(dma_span, "tx", t0);
+        transmit(d);
+      });
     } else {
       transmit(*item);
     }
@@ -239,7 +250,9 @@ void NetworkEngine::handle_recv(const rdma::Completion& c) {
   pool.transfer(c.buffer, mem::actor_rnic(node()), actor());
   ++counters_.rx_msgs;
 
-  const MessageHeader h = read_header(pool.access(c.buffer, actor()));
+  auto bytes = pool.access(c.buffer, actor());
+  MessageHeader h = read_header(bytes);
+  if (trace_hop(h, "engine_rx", track_, sched_.now())) write_header(bytes, h);
   const FunctionId dst = h.dst();
   if (local_fns_.find(dst) == local_fns_.end()) {
     ++counters_.drops_no_route;
@@ -249,8 +262,11 @@ void NetworkEngine::handle_recv(const rdma::Completion& c) {
   if (kind_ == EngineKind::kDneOnPath) {
     // On-path: the payload was staged in SoC memory and must be DMA'd down
     // to the host pool before the function can touch it.
+    const std::uint32_t dma_span = begin_soc_dma_span(c.buffer);
+    const sim::TimePoint t0 = sched_.now();
     dpu_->dma().transfer(c.byte_len,
-                         [this, buffer = c.buffer, dst] {
+                         [this, buffer = c.buffer, dst, dma_span, t0] {
+                           end_soc_dma(dma_span, "rx", t0);
                            deliver_local(buffer, dst);
                          });
   } else {
@@ -313,6 +329,42 @@ void NetworkEngine::fill_srq(TenantId tenant, std::uint64_t n) {
     engine_core_.submit(static_cast<sim::Duration>(posted) *
                         cost::kDneReplenishNs);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Observability (record-only: never schedules events or charges cores)
+// ---------------------------------------------------------------------------
+
+void NetworkEngine::trace_stage(const mem::BufferDescriptor& d,
+                                std::string_view stage) {
+  if (obs::hub() == nullptr) return;
+  auto bytes = pool_of(d).access(d, actor());
+  MessageHeader h = read_header(bytes);
+  if (trace_hop(h, stage, track_, sched_.now())) write_header(bytes, h);
+}
+
+std::uint32_t NetworkEngine::begin_soc_dma_span(const mem::BufferDescriptor& d) {
+  obs::Hub* hub = obs::hub();
+  if (hub == nullptr) return 0;
+  const MessageHeader h = read_header(pool_of(d).access(d, actor()));
+  if (h.trace_id == 0) return 0;
+  // Not a baton hop: the staging copy overlaps the engine_tx/engine_rx
+  // stages, so it hangs off the root as its own child slice.
+  return hub->tracer.begin_span(h.trace_id, h.root_span, "soc_dma", track_,
+                                sched_.now());
+}
+
+void NetworkEngine::end_soc_dma(std::uint32_t span, const char* dir,
+                                sim::TimePoint begin) {
+  obs::Hub* hub = obs::hub();
+  if (hub == nullptr) return;
+  if (span != 0) hub->tracer.end_span(span, sched_.now());
+  // Always-on when a hub is attached (independent of trace sampling): this
+  // histogram is what explains the off-path vs on-path gap in Fig. 11.
+  hub->registry
+      .histogram("dne.soc_dma_ns", std::string("dir=") + dir + ",node=" +
+                                       std::to_string(node().value()))
+      .record(sched_.now() - begin);
 }
 
 }  // namespace pd::core

@@ -21,6 +21,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -142,6 +143,17 @@ class NetworkEngine : public DataPlane {
   void deliver_local(const mem::BufferDescriptor& d, FunctionId dst);
   void replenish_tick();
   void fill_srq(TenantId tenant, std::uint64_t n);
+
+  // --- observability (no-ops when no obs::Hub is installed) ----------------
+
+  /// Baton hop: end the span the message arrived with, open `stage` on this
+  /// engine's track, and write the updated header back into the buffer.
+  void trace_stage(const mem::BufferDescriptor& d, std::string_view stage);
+  /// Open a "soc_dma" span for the staging copy of `d` (0 when unsampled).
+  std::uint32_t begin_soc_dma_span(const mem::BufferDescriptor& d);
+  /// Close the staging span and record the copy's duration into the
+  /// always-on `dne.soc_dma_ns{dir=...,node=...}` histogram.
+  void end_soc_dma(std::uint32_t span, const char* dir, sim::TimePoint begin);
   std::uint64_t rbr_outstanding_lookup(TenantId t) const {
     return rbr_.outstanding(t);
   }
@@ -170,6 +182,9 @@ class NetworkEngine : public DataPlane {
   std::unique_ptr<ipc::SockMap> sockmap_;
   /// Local delivery endpoints (needed for both flavours' bookkeeping).
   std::unordered_map<FunctionId, sim::Core*> local_fns_;
+
+  /// Trace display row for this engine's spans, e.g. "node1/dne".
+  std::string track_;
 
   bool tx_busy_ = false;
   bool rx_busy_ = false;

@@ -24,6 +24,12 @@ struct MessageHeader {
   std::uint16_t flags = 0;
   std::uint32_t client_id = 0;    ///< originating client connection
   std::uint32_t payload_len = 0;  ///< application bytes after the header
+  // Trace context (obs/trace.hpp). Riding in the header means the context
+  // crosses every boundary the payload crosses -- Comch rings, the RDMA
+  // wire, SoC-DMA staging -- with no side-tables. trace_id 0 = not sampled.
+  std::uint64_t trace_id = 0;
+  std::uint32_t root_span = 0;  ///< span id of the root "request" span
+  std::uint32_t cur_span = 0;   ///< span the current hop must close
 
   static constexpr std::uint16_t kFlagResponse = 1u << 0;
 
@@ -32,7 +38,7 @@ struct MessageHeader {
   [[nodiscard]] bool is_response() const { return flags & kFlagResponse; }
 };
 
-static_assert(sizeof(MessageHeader) == 32, "header layout is part of the ABI");
+static_assert(sizeof(MessageHeader) == 48, "header layout is part of the ABI");
 static_assert(std::is_trivially_copyable_v<MessageHeader>);
 
 /// Write the header at the start of a buffer span.

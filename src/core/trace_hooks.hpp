@@ -1,0 +1,59 @@
+// Baton-protocol tracing hooks for the data plane.
+//
+// Every stage that handles a message runs the same three-line protocol:
+// close the span named by header.cur_span (opened by whoever handed us the
+// message), open this stage's own span, and write the new id back into the
+// in-buffer header so the next stage can close it. All hop spans parent to
+// the root "request" span. The terminal consumer (load driver or ingress
+// response handler) calls trace_finish to close both the in-flight hop and
+// the root.
+//
+// All hooks are single-branch no-ops when no obs::Hub is installed or the
+// message was not sampled, and none of them schedule events or charge
+// simulated time -- tracing cannot perturb results.
+#pragma once
+
+#include <string_view>
+
+#include "core/message.hpp"
+#include "obs/hub.hpp"
+#include "sim/time.hpp"
+
+namespace pd::core {
+
+/// Producer side: start a trace, stamping the context and the first hop span
+/// (e.g. "ingress") into `h`. Caller must still write_header afterwards.
+inline void trace_start(MessageHeader& h, std::string_view hop_name,
+                        std::string_view track, sim::TimePoint now) {
+  obs::Hub* hub = obs::hub();
+  if (hub == nullptr) return;
+  obs::TraceContext ctx = hub->tracer.start_trace(track, now);
+  if (!ctx.sampled()) return;
+  h.trace_id = ctx.trace_id;
+  h.root_span = ctx.root_span;
+  h.cur_span =
+      hub->tracer.begin_span(ctx.trace_id, ctx.root_span, hop_name, track, now);
+}
+
+/// Hop: end h.cur_span, begin `name`, store the new id in `h`. Returns true
+/// when the header changed -- the caller must write it back to the buffer so
+/// the baton travels with the message.
+inline bool trace_hop(MessageHeader& h, std::string_view name,
+                      std::string_view track, sim::TimePoint now) {
+  obs::Hub* hub = obs::hub();
+  if (hub == nullptr || h.trace_id == 0) return false;
+  hub->tracer.end_span(h.cur_span, now);
+  h.cur_span =
+      hub->tracer.begin_span(h.trace_id, h.root_span, name, track, now);
+  return true;
+}
+
+/// Terminal consumer: close the in-flight hop span and the root span.
+inline void trace_finish(const MessageHeader& h, sim::TimePoint now) {
+  obs::Hub* hub = obs::hub();
+  if (hub == nullptr || h.trace_id == 0) return;
+  hub->tracer.end_span(h.cur_span, now);
+  if (h.root_span != h.cur_span) hub->tracer.end_span(h.root_span, now);
+}
+
+}  // namespace pd::core

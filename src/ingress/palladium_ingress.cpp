@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "core/message.hpp"
+#include "core/trace_hooks.hpp"
 #include "proto/cost_model.hpp"
 
 namespace pd::ingress {
@@ -224,6 +225,9 @@ void PalladiumIngress::forward_to_chain(int client,
   h.hop_index = 0;
   h.client_id = kIngressEntry.value();
   h.payload_len = chain.request_payload;
+  core::trace_start(h, "ingress",
+                    "node" + std::to_string(config_.node.value()) + "/ingress",
+                    sched_.now());
   auto span = pool.access(*d, actor);
   core::write_header(span, h);
   // Carry the real request body into the payload region (zero-copy from
@@ -274,6 +278,7 @@ void PalladiumIngress::handle_response(const rdma::Completion& c) {
   pool.transfer(c.buffer, mem::actor_rnic(config_.node), actor);
   const auto span = pool.access(c.buffer, actor);
   const core::MessageHeader h = core::read_header(span);
+  core::trace_finish(h, sched_.now());
 
   auto it = pending_.find(h.request_id);
   PD_CHECK(it != pending_.end(), "response for unknown request " << h.request_id);

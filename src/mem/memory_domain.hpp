@@ -61,6 +61,10 @@ class MemoryDomain {
 
   [[nodiscard]] NodeId node() const { return node_; }
   [[nodiscard]] std::size_t num_pools() const { return pools_.size(); }
+  /// All tenant pools on this node, in creation order (metrics export).
+  [[nodiscard]] const std::vector<std::unique_ptr<TenantMemory>>& pools() const {
+    return pools_;
+  }
   /// Total backing memory across tenants.
   [[nodiscard]] Bytes footprint() const;
 

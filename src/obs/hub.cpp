@@ -1,0 +1,17 @@
+#include "obs/hub.hpp"
+
+namespace pd::obs {
+
+namespace {
+Hub* g_hub = nullptr;
+}  // namespace
+
+Hub* hub() { return g_hub; }
+
+Hub* install_hub(Hub* h) {
+  Hub* prev = g_hub;
+  g_hub = h;
+  return prev;
+}
+
+}  // namespace pd::obs

@@ -1,0 +1,45 @@
+// Process-global observability hub.
+//
+// Instrumentation sites deep in the data plane (engine, RNIC, function
+// runtime) reach the tracer and metrics registry through obs::hub() rather
+// than through constructor plumbing: the simulation is single-threaded, so a
+// plain global is safe, and a null hub makes every instrumentation site a
+// single-branch no-op -- benches that do not attach an exporter pay nothing.
+//
+// Usage:
+//   obs::Hub hub;                       // owns Registry + Tracer
+//   obs::Session session(hub);          // installs; uninstalls on scope exit
+//   ... run simulation ...
+//   hub.tracer.write_chrome_json("trace.json");
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace pd::obs {
+
+struct Hub {
+  Registry registry;
+  Tracer tracer{&registry};
+};
+
+/// Currently installed hub, or nullptr when observability is off.
+[[nodiscard]] Hub* hub();
+
+/// Install `h` as the global hub (nullptr uninstalls). Returns the previous
+/// hub so callers can restore it.
+Hub* install_hub(Hub* h);
+
+/// RAII installer; restores the previously installed hub on destruction.
+class Session {
+ public:
+  explicit Session(Hub& h) : prev_(install_hub(&h)) {}
+  ~Session() { install_hub(prev_); }
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+ private:
+  Hub* prev_;
+};
+
+}  // namespace pd::obs

@@ -1,0 +1,178 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.hpp"
+
+namespace pd::obs {
+namespace {
+
+/// Format a double without locale surprises and without trailing noise
+/// ("12", "12.5", "0.0312"). Deterministic across runs.
+std::string fmt_double(double v) {
+  if (std::isnan(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void append_histogram_json(std::string& out, const sim::LatencyHistogram& h) {
+  out += "{\"count\":" + std::to_string(h.count());
+  out += ",\"min_ns\":" + std::to_string(h.min());
+  out += ",\"max_ns\":" + std::to_string(h.max());
+  out += ",\"mean_ns\":" + fmt_double(h.mean_ns());
+  out += ",\"p50_ns\":" + std::to_string(h.quantile(0.5));
+  out += ",\"p90_ns\":" + std::to_string(h.quantile(0.9));
+  out += ",\"p99_ns\":" + std::to_string(h.quantile(0.99));
+  out += ",\"p999_ns\":" + std::to_string(h.quantile(0.999));
+  out += "}";
+}
+
+}  // namespace
+
+std::string metric_key(std::string_view name, std::string_view labels) {
+  PD_CHECK(!name.empty(), "metric needs a name");
+  if (labels.empty()) return std::string(name);
+  std::string key(name);
+  key += '{';
+  key += labels;
+  key += '}';
+  return key;
+}
+
+Registry::Instrument& Registry::at_or_create(std::string_view name,
+                                             std::string_view labels) {
+  return instruments_[metric_key(name, labels)];
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view labels) {
+  Instrument& i = at_or_create(name, labels);
+  PD_CHECK(!i.gauge && !i.histogram && !i.probe,
+           "metric " << metric_key(name, labels) << " is not a counter");
+  if (!i.counter) i.counter = std::make_unique<Counter>();
+  return *i.counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view labels) {
+  Instrument& i = at_or_create(name, labels);
+  PD_CHECK(!i.counter && !i.histogram && !i.probe,
+           "metric " << metric_key(name, labels) << " is not a gauge");
+  if (!i.gauge) i.gauge = std::make_unique<Gauge>();
+  return *i.gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view labels) {
+  Instrument& i = at_or_create(name, labels);
+  PD_CHECK(!i.counter && !i.gauge && !i.probe,
+           "metric " << metric_key(name, labels) << " is not a histogram");
+  if (!i.histogram) i.histogram = std::make_unique<Histogram>();
+  return *i.histogram;
+}
+
+void Registry::probe(std::string_view name, std::string_view labels,
+                     std::function<double()> fn) {
+  PD_CHECK(fn != nullptr, "probe needs a callback");
+  Instrument& i = at_or_create(name, labels);
+  PD_CHECK(!i.counter && !i.gauge && !i.histogram && !i.probe,
+           "metric " << metric_key(name, labels) << " already registered");
+  i.probe = std::move(fn);
+}
+
+bool Registry::has(std::string_view name, std::string_view labels) const {
+  return instruments_.find(metric_key(name, labels)) != instruments_.end();
+}
+
+const Counter& Registry::counter_at(std::string_view name,
+                                    std::string_view labels) const {
+  auto it = instruments_.find(metric_key(name, labels));
+  PD_CHECK(it != instruments_.end() && it->second.counter,
+           "no counter " << metric_key(name, labels));
+  return *it->second.counter;
+}
+
+const Histogram& Registry::histogram_at(std::string_view name,
+                                        std::string_view labels) const {
+  auto it = instruments_.find(metric_key(name, labels));
+  PD_CHECK(it != instruments_.end() && it->second.histogram,
+           "no histogram " << metric_key(name, labels));
+  return *it->second.histogram;
+}
+
+void Registry::reset() { instruments_.clear(); }
+
+std::string Registry::to_json() const {
+  std::string out = "{\n";
+  bool first = true;
+  for (const auto& [key, inst] : instruments_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  \"" + json_escape(key) + "\": ";
+    if (inst.counter) {
+      out += std::to_string(inst.counter->value());
+    } else if (inst.gauge) {
+      out += fmt_double(inst.gauge->value());
+    } else if (inst.probe) {
+      out += fmt_double(inst.probe());
+    } else if (inst.histogram) {
+      append_histogram_json(out, inst.histogram->hist());
+    } else {
+      out += "null";
+    }
+  }
+  out += "\n}\n";
+  return out;
+}
+
+std::string Registry::to_csv() const {
+  std::string out = "key,kind,count,min_ns,max_ns,mean,p50_ns,p90_ns,p99_ns,p999_ns\n";
+  for (const auto& [key, inst] : instruments_) {
+    out += key;
+    if (inst.counter) {
+      out += ",counter,,,," + std::to_string(inst.counter->value()) + ",,,,";
+    } else if (inst.gauge) {
+      out += ",gauge,,,," + fmt_double(inst.gauge->value()) + ",,,,";
+    } else if (inst.probe) {
+      out += ",probe,,,," + fmt_double(inst.probe()) + ",,,,";
+    } else if (inst.histogram) {
+      const auto& h = inst.histogram->hist();
+      out += ",histogram," + std::to_string(h.count()) + "," +
+             std::to_string(h.min()) + "," + std::to_string(h.max()) + "," +
+             fmt_double(h.mean_ns()) + "," + std::to_string(h.quantile(0.5)) +
+             "," + std::to_string(h.quantile(0.9)) + "," +
+             std::to_string(h.quantile(0.99)) + "," +
+             std::to_string(h.quantile(0.999));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void Registry::write_json(const std::string& path) const {
+  std::ofstream f(path);
+  PD_CHECK(f.good(), "cannot open " << path << " for writing");
+  f << to_json();
+}
+
+void Registry::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  PD_CHECK(f.good(), "cannot open " << path << " for writing");
+  f << to_csv();
+}
+
+}  // namespace pd::obs

@@ -1,0 +1,120 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+#include "common/check.hpp"
+#include "obs/metrics.hpp"
+
+namespace pd::obs {
+
+TraceContext Tracer::start_trace(std::string_view track, sim::TimePoint now) {
+  ++traces_started_;
+  if (sample_every_ == 0 ||
+      (traces_started_ - 1) % sample_every_ != 0) {
+    return {};  // unsampled: trace_id 0, every hop skips it
+  }
+  TraceContext ctx;
+  ctx.trace_id = next_trace_id_++;
+  ctx.root_span = begin_span(ctx.trace_id, 0, "request", track, now);
+  ctx.cur_span = ctx.root_span;
+  return ctx;
+}
+
+std::uint32_t Tracer::begin_span(std::uint64_t trace_id, std::uint32_t parent,
+                                 std::string_view name, std::string_view track,
+                                 sim::TimePoint now) {
+  PD_CHECK(trace_id != 0, "begin_span on an unsampled trace");
+  SpanRecord rec;
+  rec.trace_id = trace_id;
+  rec.span_id = next_span_id_++;
+  rec.parent_id = parent;
+  rec.name = std::string(name);
+  rec.track = std::string(track);
+  rec.begin_ns = now;
+  spans_.push_back(std::move(rec));
+  return spans_.back().span_id;
+}
+
+void Tracer::end_span(std::uint32_t span_id, sim::TimePoint now) {
+  if (span_id == 0) return;
+  // Spans close in roughly the order they open; scan from the tail.
+  for (auto it = spans_.rbegin(); it != spans_.rend(); ++it) {
+    if (it->span_id != span_id) continue;
+    if (it->closed()) return;  // double-close is a no-op
+    PD_CHECK(now >= it->begin_ns, "span \"" << it->name
+                                            << "\" closed before it began");
+    it->end_ns = now;
+    if (registry_ != nullptr) {
+      registry_->histogram("hop." + it->name).record(it->duration());
+    }
+    return;
+  }
+  // Unknown id: the producer side was instrumented but this consumer's
+  // tracer never saw the begin (e.g. mixed baseline/palladium runs). Ignore.
+}
+
+std::size_t Tracer::open_spans() const {
+  std::size_t n = 0;
+  for (const auto& s : spans_) {
+    if (!s.closed()) ++n;
+  }
+  return n;
+}
+
+std::string Tracer::to_chrome_json() const {
+  // Assign tid numbers per track in first-appearance order so the export is
+  // stable run-to-run.
+  std::map<std::string, int> track_tid;
+  std::vector<std::string> track_order;
+  for (const auto& s : spans_) {
+    if (track_tid.emplace(s.track, 0).second) track_order.push_back(s.track);
+  }
+  int tid = 1;
+  for (const auto& t : track_order) track_tid[t] = tid++;
+
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  bool first = true;
+  char buf[256];
+  for (const auto& t : track_order) {
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"ph\":\"M\",\"pid\":1,\"tid\":%d,"
+                  "\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}",
+                  first ? "" : ",\n", track_tid[t], t.c_str());
+    out += buf;
+    first = false;
+  }
+  for (const auto& s : spans_) {
+    if (!s.closed()) continue;
+    // Chrome trace events use microseconds; keep sub-us precision.
+    std::snprintf(
+        buf, sizeof buf,
+        "%s{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"name\":\"%s\","
+        "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"trace_id\":%llu,"
+        "\"span_id\":%u,\"parent_id\":%u}}",
+        first ? "" : ",\n", track_tid[s.track], s.name.c_str(),
+        static_cast<double>(s.begin_ns) / 1e3,
+        static_cast<double>(s.duration()) / 1e3,
+        static_cast<unsigned long long>(s.trace_id), s.span_id, s.parent_id);
+    out += buf;
+    first = false;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void Tracer::write_chrome_json(const std::string& path) const {
+  std::ofstream f(path);
+  PD_CHECK(f.good(), "cannot open " << path << " for writing");
+  f << to_chrome_json();
+}
+
+void Tracer::reset() {
+  traces_started_ = 0;
+  next_trace_id_ = 1;
+  next_span_id_ = 1;
+  spans_.clear();
+}
+
+}  // namespace pd::obs

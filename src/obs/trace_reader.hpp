@@ -1,0 +1,38 @@
+// Reader for the Chrome trace-event JSON written by obs::Tracer.
+//
+// Shared by the end-to-end tracing test (which asserts span nesting and hop
+// order on a parsed trace) and the tools/trace_inspect CLI. This is a
+// purpose-built parser for the exporter's output shape -- a top-level object
+// with a "traceEvents" array of flat event objects -- not a general JSON
+// library; it tolerates whitespace and key reordering but not arbitrary
+// nesting beyond the one-level "args" object the exporter emits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pd::obs {
+
+/// One ph:"X" slice from the export, times converted back to nanoseconds.
+struct ReadSpan {
+  std::string name;
+  std::string track;  // resolved from thread_name metadata
+  std::uint64_t trace_id = 0;
+  std::uint32_t span_id = 0;
+  std::uint32_t parent_id = 0;
+  std::int64_t begin_ns = 0;
+  std::int64_t dur_ns = 0;
+
+  [[nodiscard]] std::int64_t end_ns() const { return begin_ns + dur_ns; }
+};
+
+/// Parse a Chrome trace-event JSON document. Throws pd::CheckFailure on
+/// malformed input. Metadata (ph:"M") events are consumed to resolve track
+/// names; only ph:"X" slices are returned, in document order.
+std::vector<ReadSpan> read_chrome_trace(const std::string& json);
+
+/// Convenience: read and parse a trace file.
+std::vector<ReadSpan> read_chrome_trace_file(const std::string& path);
+
+}  // namespace pd::obs

@@ -4,6 +4,8 @@
 #include <cstring>
 
 #include "common/check.hpp"
+#include "core/trace_hooks.hpp"
+#include "obs/hub.hpp"
 #include "proto/cost_model.hpp"
 
 namespace pd::rdma {
@@ -231,6 +233,21 @@ void Rnic::execute(QueuePair& qp, const WorkRequest& wr) {
   const auto span = pool.access(wr.local, mem::actor_rnic(node_));
   const std::uint32_t len = wr.local.length;
   PD_CHECK(len <= span.size(), "WR length exceeds buffer");
+
+  if (wr.opcode == Opcode::kSend && obs::hub() != nullptr &&
+      len >= sizeof(core::MessageHeader)) {
+    // Baton hop for the wire transit: close the sender's engine_tx span and
+    // stamp a "fabric" span into the in-buffer header *before* the payload
+    // is copied onto the wire, so the receiving engine can close it. The
+    // RNIC peeks at the message framing only for tracing; the data path
+    // stays payload-opaque.
+    core::MessageHeader h = core::read_header(span);
+    if (core::trace_hop(h, "fabric",
+                        "node" + std::to_string(node_.value()) + "/rnic",
+                        sched_.now())) {
+      core::write_header(span, h);
+    }
+  }
   std::vector<std::byte> payload(span.begin(), span.begin() + len);
 
   counters_.payload_bytes += len;

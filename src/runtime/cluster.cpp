@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "core/trace_hooks.hpp"
 #include "proto/cost_model.hpp"
 #include "runtime/function.hpp"
 
@@ -266,6 +267,9 @@ bool Cluster::inject_request(FunctionId entry, NodeId node_id,
   h.hop_index = 0;
   h.client_id = entry.value();
   h.payload_len = chain.request_payload;
+  core::trace_start(h, "ingress",
+                    "node" + std::to_string(node_id.value()) + "/client",
+                    sched_.now());
   auto span = pool.access(*d, entry_actor);
   core::write_header(span, h);
   const auto sized =

@@ -116,6 +116,10 @@ class Cluster {
   WorkerNode& add_worker(NodeId id);
   [[nodiscard]] WorkerNode& worker(NodeId id);
   [[nodiscard]] bool has_worker(NodeId id) const;
+  /// All worker nodes in creation order (metrics export iterates this).
+  [[nodiscard]] const std::vector<std::unique_ptr<WorkerNode>>& workers() const {
+    return nodes_;
+  }
 
   /// Create the tenant's memory pool on every worker node and admit it to
   /// every data plane with the given DWRR weight.

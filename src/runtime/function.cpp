@@ -1,6 +1,7 @@
 #include "runtime/function.hpp"
 
 #include "core/message.hpp"
+#include "core/trace_hooks.hpp"
 
 namespace pd::runtime {
 
@@ -11,7 +12,13 @@ FunctionInstance::FunctionInstance(WorkerNode& node, FunctionSpec spec,
 void FunctionInstance::on_message(const mem::BufferDescriptor& d) {
   ++invocations_;
   auto& pool = node_.memory().by_pool(d.pool).pool();
-  const core::MessageHeader h = core::read_header(pool.access(d, actor()));
+  auto bytes = pool.access(d, actor());
+  core::MessageHeader h = core::read_header(bytes);
+  if (core::trace_hop(h, "fn:" + spec_.name,
+                      "node" + std::to_string(node_.id().value()) + "/fn",
+                      node_.cluster().scheduler().now())) {
+    core::write_header(bytes, h);
+  }
   PD_CHECK(h.dst() == spec_.id,
            "message for " << h.dst() << " delivered to " << spec_.id);
   PD_CHECK(d.tenant == spec_.tenant, "cross-tenant message delivery blocked");

@@ -1,0 +1,62 @@
+#include "runtime/metrics_export.hpp"
+
+#include <string>
+
+#include "core/engine.hpp"
+
+namespace pd::runtime {
+
+void export_metrics(Cluster& cluster, obs::Registry& reg) {
+  for (const auto& node : cluster.workers()) {
+    const std::string nl = "node=" + std::to_string(node->id().value());
+
+    if (core::NetworkEngine* eng = node->palladium_engine()) {
+      const core::EngineCounters& ec = eng->counters();
+      reg.counter("engine.tx_msgs", nl).set(ec.tx_msgs);
+      reg.counter("engine.rx_msgs", nl).set(ec.rx_msgs);
+      reg.counter("engine.recycled", nl).set(ec.recycled);
+      reg.counter("engine.replenished", nl).set(ec.replenished);
+      reg.counter("engine.drops_no_route", nl).set(ec.drops_no_route);
+      reg.gauge("engine.tx_backlog", nl)
+          .set(static_cast<double>(eng->tx_backlog()));
+
+      const rdma::ConnectionStats& cs = eng->connections().stats();
+      reg.counter("conn.establishments", nl).set(cs.establishments);
+      reg.counter("conn.activations", nl).set(cs.activations);
+      reg.counter("conn.deactivations", nl).set(cs.deactivations);
+      reg.counter("conn.sends", nl).set(cs.sends);
+      reg.counter("conn.reestablishments", nl).set(cs.reestablishments);
+    }
+
+    if (rdma::Rnic* rnic = node->rnic()) {
+      const rdma::RnicCounters& rc = rnic->counters();
+      reg.counter("rnic.sends", nl).set(rc.sends);
+      reg.counter("rnic.recvs", nl).set(rc.recvs);
+      reg.counter("rnic.writes", nl).set(rc.writes);
+      reg.counter("rnic.atomics", nl).set(rc.atomics);
+      reg.counter("rnic.rnr_events", nl).set(rc.rnr_events);
+      reg.counter("rnic.cache_miss_wrs", nl).set(rc.cache_miss_wrs);
+      reg.counter("rnic.payload_bytes", nl).set(rc.payload_bytes);
+    }
+
+    if (dpu::Dpu* dpu = node->dpu()) {
+      reg.counter("dma.transfers", nl).set(dpu->dma().transfers());
+      reg.counter("dma.bytes_moved", nl).set(dpu->dma().bytes_moved());
+    }
+
+    for (const auto& tm : node->memory().pools()) {
+      const std::string pl =
+          nl + ",tenant=" + std::to_string(tm->tenant().value());
+      reg.gauge("pool.in_use", pl)
+          .set(static_cast<double>(tm->pool().in_use()));
+      reg.gauge("pool.capacity", pl)
+          .set(static_cast<double>(tm->pool().capacity()));
+    }
+  }
+
+  if (cluster.rdma_net() != nullptr) {
+    reg.counter("fabric.frames").set(cluster.rdma_net()->fabric().frames());
+  }
+}
+
+}  // namespace pd::runtime

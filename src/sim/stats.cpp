@@ -65,7 +65,10 @@ double LatencyHistogram::mean_ns() const {
 }
 
 Duration LatencyHistogram::quantile(double q) const {
-  PD_CHECK(q >= 0.0 && q <= 1.0, "quantile out of range");
+  // Out-of-range requests (including NaN) clamp to the nearest defined
+  // quantile instead of aborting a report half-way through.
+  if (!(q >= 0.0)) q = 0.0;
+  if (q > 1.0) q = 1.0;
   if (count_ == 0) return 0;
   const auto target = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
   std::uint64_t seen = 0;

@@ -26,7 +26,9 @@ class LatencyHistogram {
   [[nodiscard]] Duration max() const { return max_; }
   [[nodiscard]] double mean_ns() const;
   /// q in [0, 1]; returns an upper bound of the bucket containing the
-  /// q-quantile. quantile(0.5) is the median.
+  /// q-quantile, never above max(). quantile(0.5) is the median. Values of
+  /// q outside [0, 1] (including NaN) are clamped; an empty histogram
+  /// reports 0 for every quantile. quantile(1.0) >= every recorded value.
   [[nodiscard]] Duration quantile(double q) const;
 
   [[nodiscard]] std::string summary() const;  // human-readable one-liner

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/message.hpp"
+#include "core/trace_hooks.hpp"
 
 namespace pd::workload {
 namespace {
@@ -59,6 +60,7 @@ void ChainDriver::on_response(const mem::BufferDescriptor& d) {
   const core::MessageHeader h =
       core::read_header(pool.access(d, mem::actor_function(entry_)));
   PD_CHECK(h.is_response(), "driver received a non-response");
+  core::trace_finish(h, cluster_.scheduler().now());
   pool.release(d, mem::actor_function(entry_));
 
   auto it = inflight_.find(h.request_id);
@@ -142,6 +144,11 @@ void BurstyLoad::arrival() {
 
 void BurstyLoad::on_response(const mem::BufferDescriptor& d) {
   auto& pool = cluster_.worker(node_).memory().by_pool(d.pool).pool();
+  if (obs::hub() != nullptr) {
+    const core::MessageHeader h =
+        core::read_header(pool.access(d, mem::actor_function(entry_)));
+    core::trace_finish(h, cluster_.scheduler().now());
+  }
   pool.release(d, mem::actor_function(entry_));
   completions_.increment(cluster_.scheduler().now());
   ++completed_;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "sim/random.hpp"
 
 namespace pd::sim {
@@ -76,6 +78,39 @@ TEST(LatencyHistogram, ResetClearsState) {
   h.reset();
   EXPECT_EQ(h.count(), 0u);
   EXPECT_EQ(h.max(), 0);
+}
+
+TEST(LatencyHistogram, QuantileClampsOutOfRangeArguments) {
+  LatencyHistogram h;
+  for (Duration v : {100, 200, 300}) h.record(v);
+  // Out-of-range (and NaN) q clamp to the nearest defined quantile instead
+  // of aborting a half-written report.
+  EXPECT_EQ(h.quantile(-0.5), h.quantile(0.0));
+  EXPECT_EQ(h.quantile(1.5), h.quantile(1.0));
+  EXPECT_EQ(h.quantile(std::numeric_limits<double>::quiet_NaN()),
+            h.quantile(0.0));
+}
+
+TEST(LatencyHistogram, QuantileOfEmptyIsDefined) {
+  const LatencyHistogram h;
+  for (double q : {-1.0, 0.0, 0.5, 1.0, 2.0}) {
+    EXPECT_EQ(h.quantile(q), 0) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, TopQuantileCoversMax) {
+  // Regression: quantile(1.0) must be an upper bound of every recorded
+  // value, across bucket boundaries and after merges.
+  LatencyHistogram h;
+  Rng r(11);
+  Duration max_seen = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = static_cast<Duration>(r.exponential(80000.0)) + 1;
+    max_seen = std::max(max_seen, v);
+    h.record(v);
+  }
+  EXPECT_GE(h.quantile(1.0), max_seen);
+  EXPECT_GE(h.quantile(1.0), h.max());
 }
 
 TEST(LatencyHistogram, NegativeClampedToZero) {

@@ -1,8 +1,23 @@
 #!/bin/sh
 # Full verification run: build, tests, every figure bench. Produces
 # test_output.txt and bench_output.txt at the repo root.
+#
+# Modes:
+#   tools/run_all.sh         build + tier-1 tests + all benches
+#   tools/run_all.sh asan    build with -DPD_SANITIZE=address,undefined into
+#                            build-asan/ and run the tier-1 tests under
+#                            ASan/UBSan (no benches; sanitized runs are slow)
 set -e
 cd "$(dirname "$0")/.."
+
+if [ "$1" = "asan" ]; then
+  cmake -B build-asan -G Ninja -DPD_SANITIZE=address,undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-asan
+  ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir build-asan --output-on-failure 2>&1 | tee test_output.txt
+  exit 0
+fi
 
 cmake -B build -G Ninja
 cmake --build build

@@ -1,0 +1,100 @@
+// Inspect a Chrome trace-event JSON file produced by obs::Tracer.
+//
+//   $ tools/trace_inspect boutique_trace.json            # summary
+//   $ tools/trace_inspect boutique_trace.json <trace_id> # one request's tree
+//
+// The summary groups spans by name (count / mean / max duration) so a quick
+// look answers "where does a request spend its time" without leaving the
+// terminal; the per-trace view prints the span tree with simulated-time
+// offsets, which is the same structure Perfetto renders graphically.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace_reader.hpp"
+
+using pd::obs::ReadSpan;
+
+namespace {
+
+void print_tree(const std::vector<ReadSpan>& spans, const ReadSpan& node,
+                std::int64_t t0, int depth) {
+  std::printf("  %*s%-24s %10.2f us  +%.2f us  [%s]\n", depth * 2, "",
+              node.name.c_str(), static_cast<double>(node.dur_ns) / 1e3,
+              static_cast<double>(node.begin_ns - t0) / 1e3,
+              node.track.c_str());
+  for (const auto& s : spans) {
+    if (s.parent_id == node.span_id && s.span_id != node.span_id) {
+      print_tree(spans, s, t0, depth + 1);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <trace.json> [trace_id]\n", argv[0]);
+    return 2;
+  }
+
+  std::vector<ReadSpan> spans;
+  try {
+    spans = pd::obs::read_chrome_trace_file(argv[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  if (argc >= 3) {
+    const auto want = static_cast<std::uint64_t>(std::strtoull(argv[2], nullptr, 10));
+    std::vector<ReadSpan> mine;
+    for (const auto& s : spans) {
+      if (s.trace_id == want) mine.push_back(s);
+    }
+    if (mine.empty()) {
+      std::fprintf(stderr, "no spans for trace %llu\n",
+                   static_cast<unsigned long long>(want));
+      return 1;
+    }
+    std::sort(mine.begin(), mine.end(),
+              [](const ReadSpan& a, const ReadSpan& b) {
+                return a.begin_ns < b.begin_ns;
+              });
+    std::printf("trace %llu (%zu spans):\n",
+                static_cast<unsigned long long>(want), mine.size());
+    for (const auto& s : mine) {
+      if (s.parent_id == 0) print_tree(mine, s, mine.front().begin_ns, 0);
+    }
+    return 0;
+  }
+
+  struct Agg {
+    std::uint64_t count = 0;
+    std::int64_t total_ns = 0;
+    std::int64_t max_ns = 0;
+  };
+  std::map<std::string, Agg> by_name;
+  std::uint64_t traces = 0;
+  for (const auto& s : spans) {
+    auto& a = by_name[s.name];
+    ++a.count;
+    a.total_ns += s.dur_ns;
+    a.max_ns = std::max(a.max_ns, s.dur_ns);
+    if (s.parent_id == 0) ++traces;
+  }
+
+  std::printf("%s: %zu spans, %llu traces\n\n", argv[1], spans.size(),
+              static_cast<unsigned long long>(traces));
+  std::printf("  %-24s %8s %12s %12s\n", "span", "count", "mean us", "max us");
+  for (const auto& [name, a] : by_name) {
+    std::printf("  %-24s %8llu %12.2f %12.2f\n", name.c_str(),
+                static_cast<unsigned long long>(a.count),
+                static_cast<double>(a.total_ns) / static_cast<double>(a.count) / 1e3,
+                static_cast<double>(a.max_ns) / 1e3);
+  }
+  return 0;
+}
