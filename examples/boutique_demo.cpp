@@ -4,11 +4,16 @@
 // microservices exchange buffers zero-copy.
 //
 //   $ ./examples/boutique_demo
-//   $ ./examples/boutique_demo --trace   # also writes boutique_trace.json
-//                                        # (open in https://ui.perfetto.dev)
+//   $ ./examples/boutique_demo --trace      # also writes boutique_trace.json
+//                                           # (open in https://ui.perfetto.dev)
+//   $ ./examples/boutique_demo --chaos 42   # seeded fault injection: link
+//                                           # outages, frame loss, QP/SRQ
+//                                           # faults, node crashes
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
+#include "fault/fault.hpp"
 #include "ingress/palladium_ingress.hpp"
 #include "obs/hub.hpp"
 #include "runtime/boutique.hpp"
@@ -20,8 +25,14 @@ using namespace pd;
 
 int main(int argc, char** argv) {
   bool trace = false;
+  bool chaos = false;
+  std::uint64_t chaos_seed = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) trace = true;
+    if (std::strcmp(argv[i], "--chaos") == 0 && i + 1 < argc) {
+      chaos = true;
+      chaos_seed = std::strtoull(argv[++i], nullptr, 10);
+    }
   }
 
   // With --trace, sample every 500th request end-to-end (a 5 s run serves
@@ -65,6 +76,23 @@ int main(int argc, char** argv) {
   };
   const Page pages[] = {{"/home", 16}, {"/product", 12}, {"/checkout", 4}};
 
+  // Seeded chaos: fault episodes spread across the middle 4 s of the run,
+  // leaving a clean first half-second and enough tail to watch recovery.
+  std::unique_ptr<fault::ChaosController> chaos_ctl;
+  if (chaos) {
+    fault::FaultPlanConfig fcfg;
+    fcfg.start = sched.now() + 500'000'000;
+    fcfg.horizon = 4'500'000'000;
+    fcfg.episodes = 40;
+    fcfg.min_gap = 20'000'000;
+    fcfg.max_gap = 120'000'000;
+    const fault::FaultPlan plan =
+        fault::FaultPlan::generate(chaos_seed, {NodeId{1}, NodeId{2}}, fcfg);
+    std::printf("%s", plan.describe().c_str());
+    chaos_ctl = std::make_unique<fault::ChaosController>(cluster, plan);
+    chaos_ctl->arm();
+  }
+
   std::vector<std::unique_ptr<workload::HttpLoadGen>> gens;
   for (const auto& page : pages) {
     workload::HttpLoadGen::Config wcfg;
@@ -105,6 +133,36 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(dne->counters().tx_msgs),
                 static_cast<unsigned long long>(dne->counters().rx_msgs),
                 static_cast<unsigned long long>(dne->counters().replenished));
+  }
+
+  if (chaos) {
+    std::uint64_t sent = 0, completed = 0, errors = 0;
+    for (const auto& g : gens) {
+      sent += g->sent();
+      completed += g->completed();
+      errors += g->errors();
+    }
+    std::uint64_t retransmits = 0, reestablishments = 0;
+    for (NodeId n : {NodeId{1}, NodeId{2}}) {
+      auto* dne = cluster.worker(n).palladium_engine();
+      retransmits += dne->counters().retransmits;
+      reestablishments += dne->connections().stats().reestablishments;
+    }
+    std::printf(
+        "\nchaos seed %llu: %llu faults injected, %llu frames dropped\n"
+        "  recovery: %llu retransmits, %llu QP pool rebuilds\n"
+        "  accounting: sent=%llu completed=%llu errors=%llu -> %s\n",
+        static_cast<unsigned long long>(chaos_seed),
+        static_cast<unsigned long long>(chaos_ctl->injected()),
+        static_cast<unsigned long long>(
+            cluster.rdma_net()->fabric().frames_dropped()),
+        static_cast<unsigned long long>(retransmits),
+        static_cast<unsigned long long>(reestablishments),
+        static_cast<unsigned long long>(sent),
+        static_cast<unsigned long long>(completed),
+        static_cast<unsigned long long>(errors),
+        sent == completed + errors ? "no request silently lost"
+                                   : "LOST REQUESTS");
   }
 
   if (trace) {

@@ -52,6 +52,17 @@ NetworkEngine::NetworkEngine(sim::Scheduler& sched, EngineKind kind,
            (kind_ == EngineKind::kCne ? "/cne" : "/dne");
 
   rnic_.cq().set_notify([this] { kick_rx(); });
+  rnic_.set_rnr_queue_limit(config_.rnr_queue_limit);
+  // The reliability layer's ACK/NACK control channel (hardware-generated
+  // in the real DNE: no engine-core cost on either end).
+  rnic_.network().set_datagram_handler(
+      node(),
+      [this](NodeId from, const rdma::Datagram& dg) { on_datagram(from, dg); });
+  // Fault-injected SRQ drains bypass the CQE path; reconcile the RBR so the
+  // replenisher sees the deficit and refills.
+  rnic_.set_drain_listener([this](TenantId t, const mem::BufferDescriptor& d) {
+    rbr_.on_dropped(t, d);
+  });
   sched_.schedule_background_after(config_.replenish_period,
                                    [this] { replenish_tick(); });
 }
@@ -146,6 +157,20 @@ void NetworkEngine::on_ingest(const mem::BufferDescriptor& d) {
   // tenant and kick the TX stage.
   PD_CHECK(tenants_.find(d.tenant) != tenants_.end(),
            "message from unknown tenant " << d.tenant);
+  if (reliable() && unacked_.size() >= config_.max_unacked) {
+    // Load shedding at admission: too many sends already await ACKs (the
+    // fabric or a peer is struggling). Fail explicitly instead of letting
+    // the backlog eat the buffer pool.
+    ++counters_.requests_shed;
+    if (auto* h = obs::hub()) {
+      h->registry
+          .counter("engine.requests_shed",
+                   "node=" + std::to_string(node().value()))
+          .inc();
+    }
+    complete_with_error(d);
+    return;
+  }
   trace_stage(d, "engine_tx");
   if (config_.use_dwrr) {
     dwrr_.enqueue(d.tenant, d);
@@ -194,19 +219,42 @@ void NetworkEngine::tx_iteration() {
 }
 
 void NetworkEngine::transmit(const mem::BufferDescriptor& d) {
-  const MessageHeader h = read_header(pool_of(d).access(d, actor()));
+  auto bytes = pool_of(d).access(d, actor());
+  MessageHeader h = read_header(bytes);
   if (!routes_.has_route(h.dst())) {
     ++counters_.drops_no_route;
-    pool_of(d).release(d, actor());
+    if (auto* hub = obs::hub()) {
+      hub->registry
+          .counter("engine.drops_no_route",
+                   "node=" + std::to_string(node().value()))
+          .inc();
+    }
+    complete_with_error(d);
     return;
   }
   const NodeId dest = routes_.lookup(h.dst());
+
+  std::uint64_t seq = 0;
+  if (reliable()) {
+    seq = next_seq_++;
+    h.seq = seq;
+    write_header(bytes, h);
+  }
 
   pool_of(d).transfer(d, actor(), mem::actor_rnic(node()));
   rdma::WorkRequest wr;
   wr.wr_id = next_wr_id_++;
   wr.opcode = rdma::Opcode::kSend;
   wr.local = d;
+  if (reliable()) {
+    UnackedMsg m;
+    m.d = d;
+    m.dest = dest;
+    m.timer = sched_.schedule_after(config_.retransmit_timeout,
+                                    [this, seq] { on_retransmit_timeout(seq); });
+    unacked_.emplace(seq, m);
+    wr_seq_.emplace(wr.wr_id, seq);
+  }
   conn_mgr_.send(dest, d.tenant, wr);
   ++counters_.tx_msgs;
 }
@@ -248,15 +296,35 @@ void NetworkEngine::handle_recv(const rdma::Completion& c) {
   rbr_.on_consumed(c.tenant, c.buffer);
   auto& pool = pool_of(c.buffer);
   pool.transfer(c.buffer, mem::actor_rnic(node()), actor());
-  ++counters_.rx_msgs;
 
   auto bytes = pool.access(c.buffer, actor());
   MessageHeader h = read_header(bytes);
+  if (h.seq != 0) {
+    // Acknowledge every sequenced arrival — including duplicates, whose
+    // earlier ACK may have been the thing the fabric lost.
+    const NodeId sender = rnic_.qp(c.qp).remote_node();
+    if (sender.valid()) {
+      rnic_.network().send_datagram(
+          node(), sender, rdma::Datagram{rdma::Datagram::Kind::kAck, h.seq});
+      if (is_duplicate(sender, h.seq)) {
+        ++counters_.dup_rx;
+        pool.release(c.buffer, actor());
+        return;
+      }
+    }
+  }
+  ++counters_.rx_msgs;
   if (trace_hop(h, "engine_rx", track_, sched_.now())) write_header(bytes, h);
   const FunctionId dst = h.dst();
   if (local_fns_.find(dst) == local_fns_.end()) {
     ++counters_.drops_no_route;
-    pool.release(c.buffer, actor());
+    if (auto* hub = obs::hub()) {
+      hub->registry
+          .counter("engine.drops_no_route",
+                   "node=" + std::to_string(node().value()))
+          .inc();
+    }
+    complete_with_error(c.buffer);
     return;
   }
   if (kind_ == EngineKind::kDneOnPath) {
@@ -287,12 +355,188 @@ void NetworkEngine::deliver_local(const mem::BufferDescriptor& d,
 }
 
 void NetworkEngine::handle_send_done(const rdma::Completion& c) {
-  // Sender-side buffer recycling: the WR left the NIC, reclaim the buffer
-  // into the tenant pool.
+  // Sender side: the WR left the NIC; reclaim the buffer token from the
+  // RNIC. Unsequenced messages recycle immediately (pre-reliability
+  // behaviour); sequenced ones are held until their ACK so a retransmit
+  // can re-post the same buffer zero-copy.
   auto& pool = pool_of(c.buffer);
   pool.transfer(c.buffer, mem::actor_rnic(node()), actor());
-  pool.release(c.buffer, actor());
+
+  auto wit = wr_seq_.find(c.wr_id);
+  if (wit == wr_seq_.end()) {
+    pool.release(c.buffer, actor());
+    ++counters_.recycled;
+    return;
+  }
+  const std::uint64_t seq = wit->second;
+  wr_seq_.erase(wit);
+  auto it = unacked_.find(seq);
+  if (it == unacked_.end()) {
+    // Resolved while in flight with its state already retired.
+    pool.release(c.buffer, actor());
+    ++counters_.recycled;
+    return;
+  }
+  UnackedMsg& m = it->second;
+  m.in_flight = false;
+  switch (m.outcome) {
+    case UnackedMsg::Outcome::kAcked: finish_success(it); break;
+    case UnackedMsg::Outcome::kFailed: finish_failure(it); break;
+    case UnackedMsg::Outcome::kPending: break;  // timer/ack will resolve it
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reliability: ack / timeout / retransmit / error completion
+// ---------------------------------------------------------------------------
+
+bool NetworkEngine::is_duplicate(NodeId sender, std::uint64_t seq) {
+  // Window far larger than max in-flight per peer: a seq falling out of it
+  // can no longer be retransmitted by a live sender.
+  constexpr std::size_t kDedupWindow = 4096;
+  DedupWindow& w = dedup_[sender];
+  if (!w.seen.insert(seq).second) return true;
+  w.order.push_back(seq);
+  if (w.order.size() > kDedupWindow) {
+    w.seen.erase(w.order.front());
+    w.order.pop_front();
+  }
+  return false;
+}
+
+void NetworkEngine::on_datagram(NodeId /*from*/, const rdma::Datagram& dg) {
+  auto it = unacked_.find(dg.seq);
+  if (it == unacked_.end()) return;  // late/duplicate ack for a retired seq
+  UnackedMsg& m = it->second;
+  if (dg.kind == rdma::Datagram::Kind::kAck) {
+    ++counters_.acks_rx;
+    if (m.timer != sim::kInvalidEvent) {
+      sched_.cancel(m.timer);
+      m.timer = sim::kInvalidEvent;
+    }
+    if (m.in_flight) {
+      m.outcome = UnackedMsg::Outcome::kAcked;
+    } else {
+      finish_success(it);
+    }
+    return;
+  }
+  // NACK: the receiver shed this message (SRQ underrun beyond its RNR
+  // bound). Retrying into the same overload would make it worse — fail
+  // fast and let the submitter's error path decide.
+  ++counters_.nacks_rx;
+  ++counters_.requests_shed;
+  if (auto* h = obs::hub()) {
+    h->registry
+        .counter("engine.requests_shed",
+                 "node=" + std::to_string(node().value()))
+        .inc();
+  }
+  if (m.timer != sim::kInvalidEvent) {
+    sched_.cancel(m.timer);
+    m.timer = sim::kInvalidEvent;
+  }
+  if (m.in_flight) {
+    m.outcome = UnackedMsg::Outcome::kFailed;
+  } else {
+    finish_failure(it);
+  }
+}
+
+void NetworkEngine::on_retransmit_timeout(std::uint64_t seq) {
+  auto it = unacked_.find(seq);
+  if (it == unacked_.end()) return;
+  UnackedMsg& m = it->second;
+  m.timer = sim::kInvalidEvent;
+  if (m.in_flight) {
+    // Send completion not harvested yet (WR parked behind a pool rebuild,
+    // or the CQ is backed up): check again after another timeout.
+    m.timer = sched_.schedule_after(config_.retransmit_timeout,
+                                    [this, seq] { on_retransmit_timeout(seq); });
+    return;
+  }
+  if (m.attempts >= config_.max_send_attempts) {
+    finish_failure(it);
+    return;
+  }
+  ++m.attempts;
+  ++counters_.retransmits;
+  if (auto* h = obs::hub()) {
+    h->registry
+        .counter("engine.retransmits",
+                 "node=" + std::to_string(node().value()))
+        .inc();
+  }
+  pool_of(m.d).transfer(m.d, actor(), mem::actor_rnic(node()));
+  rdma::WorkRequest wr;
+  wr.wr_id = next_wr_id_++;
+  wr.opcode = rdma::Opcode::kSend;
+  wr.local = m.d;
+  wr_seq_.emplace(wr.wr_id, seq);
+  m.in_flight = true;
+  m.timer = sched_.schedule_after(config_.retransmit_timeout,
+                                  [this, seq] { on_retransmit_timeout(seq); });
+  conn_mgr_.send(m.dest, m.d.tenant, wr);
+}
+
+void NetworkEngine::finish_success(UnackedIter it) {
+  UnackedMsg& m = it->second;
+  if (m.timer != sim::kInvalidEvent) sched_.cancel(m.timer);
+  pool_of(m.d).release(m.d, actor());
   ++counters_.recycled;
+  unacked_.erase(it);
+}
+
+void NetworkEngine::finish_failure(UnackedIter it) {
+  UnackedMsg& m = it->second;
+  if (m.timer != sim::kInvalidEvent) sched_.cancel(m.timer);
+  ++counters_.send_failures;
+  const mem::BufferDescriptor d = m.d;
+  unacked_.erase(it);
+  complete_with_error(d);
+}
+
+void NetworkEngine::complete_with_error(const mem::BufferDescriptor& d) {
+  auto& pool = pool_of(d);
+  auto bytes = pool.access(d, actor());
+  MessageHeader h = read_header(bytes);
+
+  // Error messages that themselves fail are terminal: nothing upstream can
+  // be told, and bouncing errors back and forth would melt a faulted
+  // fabric further.
+  if (h.is_error()) {
+    ++counters_.errors_dropped;
+    pool.release(d, actor());
+    return;
+  }
+
+  MessageHeader e = h;
+  e.src_fn = h.dst_fn;  // the unreachable / failed destination
+  e.dst_fn = h.src_fn;  // back toward the submitter
+  e.flags = static_cast<std::uint16_t>(h.flags | MessageHeader::kFlagError);
+  e.payload_len = 0;
+  e.seq = 0;
+  write_header(bytes, e);
+  const auto sized = pool.resize(d, actor(), message_bytes(0));
+  ++counters_.error_completions;
+
+  if (local_fns_.find(FunctionId{e.dst_fn}) != local_fns_.end()) {
+    deliver_local(sized, FunctionId{e.dst_fn});
+    return;
+  }
+  if (routes_.has_route(FunctionId{e.dst_fn})) {
+    // The failed message came from a remote submitter (RX-side no-route):
+    // ship the error completion back across the fabric like any message.
+    if (config_.use_dwrr) {
+      dwrr_.enqueue(sized.tenant, sized);
+    } else {
+      fcfs_.enqueue(sized.tenant, sized);
+    }
+    kick_tx();
+    return;
+  }
+  ++counters_.errors_dropped;
+  pool.release(sized, actor());
 }
 
 // ---------------------------------------------------------------------------

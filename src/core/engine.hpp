@@ -19,10 +19,12 @@
 // tenant's shared RQ to match consumption (§3.5.2).
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/dataplane.hpp"
@@ -58,6 +60,21 @@ struct EngineConfig {
   /// Cap on simultaneously active (RNIC-cache-resident) QPs; shadow QPs
   /// beyond this stay inactive until needed (§3.3 / [52]).
   int max_active_qps = cost::kRnicQpCacheSlots;
+
+  // --- reliability (per-message ack/timeout/retransmit) --------------------
+  /// Retransmit timeout per sequenced message; 0 disables the reliability
+  /// layer entirely (fire-and-forget, the pre-fault-model behaviour).
+  sim::Duration retransmit_timeout = 100'000;  // 100 µs
+  /// Total send attempts per message (first send + retries) before the
+  /// engine gives up and emits an explicit error completion.
+  int max_send_attempts = 4;
+  /// Admission cap: once this many sequenced messages await ACKs, new
+  /// ingest is shed with an error completion instead of queued (explicit
+  /// back-pressure rather than silent loss under pool exhaustion).
+  std::size_t max_unacked = 512;
+  /// Receiver-side RNR parking bound per tenant; arrivals beyond it are
+  /// dropped with a NACK datagram back to the sender.
+  std::size_t rnr_queue_limit = 64;
 };
 
 struct EngineCounters {
@@ -66,6 +83,15 @@ struct EngineCounters {
   std::uint64_t recycled = 0;
   std::uint64_t replenished = 0;
   std::uint64_t drops_no_route = 0;
+  // Reliability layer.
+  std::uint64_t retransmits = 0;       ///< timeout-driven re-sends
+  std::uint64_t acks_rx = 0;           ///< ACK datagrams consumed
+  std::uint64_t nacks_rx = 0;          ///< NACK datagrams (receiver shed us)
+  std::uint64_t dup_rx = 0;            ///< duplicate deliveries suppressed
+  std::uint64_t send_failures = 0;     ///< messages failed after retries/NACK
+  std::uint64_t requests_shed = 0;     ///< ingest shed at the admission cap
+  std::uint64_t error_completions = 0; ///< explicit error completions emitted
+  std::uint64_t errors_dropped = 0;    ///< terminal errors with no way back
 };
 
 class NetworkEngine : public DataPlane {
@@ -144,6 +170,36 @@ class NetworkEngine : public DataPlane {
   void replenish_tick();
   void fill_srq(TenantId tenant, std::uint64_t n);
 
+  // --- reliability ---------------------------------------------------------
+
+  /// Sender-side state of a sequenced message awaiting its ACK. The engine
+  /// keeps the buffer (zero-copy retransmit: the payload never moves) until
+  /// the receiver acknowledges or the message is declared failed.
+  struct UnackedMsg {
+    mem::BufferDescriptor d;
+    NodeId dest;
+    int attempts = 1;
+    sim::EventId timer = sim::kInvalidEvent;
+    /// Buffer currently owned by the RNIC (send completion not harvested).
+    bool in_flight = true;
+    enum class Outcome : std::uint8_t { kPending, kAcked, kFailed };
+    Outcome outcome = Outcome::kPending;
+  };
+  using UnackedIter = std::unordered_map<std::uint64_t, UnackedMsg>::iterator;
+
+  [[nodiscard]] bool reliable() const { return config_.retransmit_timeout > 0; }
+  void on_datagram(NodeId from, const rdma::Datagram& dg);
+  void on_retransmit_timeout(std::uint64_t seq);
+  void finish_success(UnackedIter it);
+  void finish_failure(UnackedIter it);
+  /// Turn an undeliverable/failed message (buffer owned by the engine) into
+  /// an explicit error completion routed back toward its submitter — local
+  /// delivery, or back over the fabric for messages that arrived from a
+  /// remote engine. Error messages that themselves fail are dropped
+  /// terminally (no error storms).
+  void complete_with_error(const mem::BufferDescriptor& d);
+  [[nodiscard]] bool is_duplicate(NodeId sender, std::uint64_t seq);
+
   // --- observability (no-ops when no obs::Hub is installed) ----------------
 
   /// Baton hop: end the span the message arrived with, open `stage` on this
@@ -190,6 +246,18 @@ class NetworkEngine : public DataPlane {
   bool rx_busy_ = false;
   std::uint64_t next_wr_id_ = 1;
   EngineCounters counters_;
+
+  // Reliability state.
+  std::unordered_map<std::uint64_t, UnackedMsg> unacked_;  ///< seq -> state
+  std::unordered_map<std::uint64_t, std::uint64_t> wr_seq_;  ///< wr_id -> seq
+  std::uint64_t next_seq_ = 1;
+  /// Receiver-side duplicate suppression: per sender node, a bounded FIFO
+  /// window of recently seen sequence numbers.
+  struct DedupWindow {
+    std::unordered_set<std::uint64_t> seen;
+    std::deque<std::uint64_t> order;
+  };
+  std::unordered_map<NodeId, DedupWindow> dedup_;
 };
 
 }  // namespace pd::core

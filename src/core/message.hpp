@@ -30,15 +30,24 @@ struct MessageHeader {
   std::uint64_t trace_id = 0;
   std::uint32_t root_span = 0;  ///< span id of the root "request" span
   std::uint32_t cur_span = 0;   ///< span the current hop must close
+  // Reliability sequence number, stamped by the sending engine per wire
+  // message (not per request: each hop/retransmit gets a fresh seq). 0 =
+  // unsequenced (intra-node paths that never cross the fabric).
+  std::uint64_t seq = 0;
 
   static constexpr std::uint16_t kFlagResponse = 1u << 0;
+  /// The message is an error completion: delivery of the original message
+  /// failed and this header travels back toward the requester. payload_len
+  /// is 0; request_id/chain_id identify the failed invocation.
+  static constexpr std::uint16_t kFlagError = 1u << 1;
 
   [[nodiscard]] FunctionId src() const { return FunctionId{src_fn}; }
   [[nodiscard]] FunctionId dst() const { return FunctionId{dst_fn}; }
   [[nodiscard]] bool is_response() const { return flags & kFlagResponse; }
+  [[nodiscard]] bool is_error() const { return flags & kFlagError; }
 };
 
-static_assert(sizeof(MessageHeader) == 48, "header layout is part of the ABI");
+static_assert(sizeof(MessageHeader) == 56, "header layout is part of the ABI");
 static_assert(std::is_trivially_copyable_v<MessageHeader>);
 
 /// Write the header at the start of a buffer span.

@@ -34,6 +34,19 @@ class ReceiveBufferRegistry {
     ++consumed_[tenant];
   }
 
+  /// A posted buffer left the SRQ without a CQE (fault-injected drain):
+  /// forget it so the replenisher sees the deficit and re-posting the same
+  /// slot after reallocation doesn't trip the double-post check.
+  void on_dropped(TenantId tenant, const mem::BufferDescriptor& buffer) {
+    const Key key{buffer.pool, buffer.index};
+    auto it = posted_.find(key);
+    PD_CHECK(it != posted_.end(),
+             "drained buffer " << buffer.index << " was never posted");
+    PD_CHECK(it->second == tenant, "drain tenant mismatch in RBR");
+    posted_.erase(it);
+    --outstanding_[tenant];
+  }
+
   /// Buffers consumed since the last replenish cycle for `tenant` — the
   /// count the core thread reposts (shared-counter scheme, Fig. 7 red
   /// arrows). Resets the counter.

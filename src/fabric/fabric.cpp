@@ -19,6 +19,10 @@ sim::Duration Link::backlog() const {
 
 void Link::transmit(Bytes bytes, std::function<void()> delivered) {
   PD_CHECK(delivered != nullptr, "link delivery callback required");
+  if (down_ || (loss_ > 0.0 && fault_rng_ != nullptr && fault_rng_->chance(loss_))) {
+    ++frames_dropped_;
+    return;  // the frame dies on the wire; `delivered` never fires
+  }
   const sim::Duration serialization = sim::transfer_time(bytes, bandwidth_);
   busy_until_ = std::max(busy_until_, sched_.now()) + serialization;
   bytes_sent_ += bytes;
@@ -43,6 +47,30 @@ Switch::Port& Switch::port(NodeId node) {
   auto it = ports_.find(node);
   PD_CHECK(it != ports_.end(), "node " << node << " not attached to fabric");
   return it->second;
+}
+
+void Switch::set_node_down(NodeId node, bool down) {
+  Port& p = port(node);
+  p.tx->set_down(down);
+  p.rx->set_down(down);
+}
+
+bool Switch::node_down(NodeId node) { return port(node).tx->down(); }
+
+void Switch::set_node_loss(NodeId node, double p) {
+  PD_CHECK(p >= 0.0 && p <= 1.0, "loss probability out of range: " << p);
+  Port& port_ref = port(node);
+  sim::Rng* rng = p > 0.0 ? &fault_rng_ : nullptr;
+  port_ref.tx->set_loss(p, rng);
+  port_ref.rx->set_loss(p, rng);
+}
+
+std::uint64_t Switch::frames_dropped() const {
+  std::uint64_t total = 0;
+  for (const auto& [node, p] : ports_) {
+    total += p.tx->frames_dropped() + p.rx->frames_dropped();
+  }
+  return total;
 }
 
 void Switch::send(NodeId from, NodeId to, Bytes bytes,

@@ -14,21 +14,36 @@
 #include "common/ids.hpp"
 #include "common/units.hpp"
 #include "proto/cost_model.hpp"
+#include "sim/random.hpp"
 #include "sim/scheduler.hpp"
 
 namespace pd::fabric {
 
 /// A unidirectional serializing link: frames queue behind each other at
 /// `bandwidth` and arrive `propagation` later.
+///
+/// Fault hooks (driven by the chaos controller): a link can be
+/// administratively down (every frame dropped) or lossy (each frame
+/// independently dropped with probability `loss`, drawn from the owning
+/// switch's seeded fault stream so runs replay bit-identically).
 class Link {
  public:
   Link(sim::Scheduler& sched, BitsPerSec bandwidth, sim::Duration propagation);
 
   /// Transmit `bytes`; `delivered` fires when the last bit exits the far
-  /// end of the link.
+  /// end of the link. Dropped frames (down/lossy link) never fire
+  /// `delivered` — loss is silent at this layer, exactly like a wire.
   void transmit(Bytes bytes, std::function<void()> delivered);
 
+  void set_down(bool down) { down_ = down; }
+  [[nodiscard]] bool down() const { return down_; }
+  void set_loss(double p, sim::Rng* rng) {
+    loss_ = p;
+    fault_rng_ = rng;
+  }
+
   [[nodiscard]] Bytes bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t frames_dropped() const { return frames_dropped_; }
   /// Backlog currently queued on the link, in ns of serialization time.
   [[nodiscard]] sim::Duration backlog() const;
 
@@ -38,6 +53,10 @@ class Link {
   sim::Duration propagation_;
   sim::TimePoint busy_until_ = 0;
   Bytes bytes_sent_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+  bool down_ = false;
+  double loss_ = 0.0;
+  sim::Rng* fault_rng_ = nullptr;  ///< non-null only while loss_ > 0
 };
 
 /// Per-frame wire overhead (Ethernet + IB/RoCE headers).
@@ -58,7 +77,24 @@ class Switch {
   void send(NodeId from, NodeId to, Bytes bytes,
             std::function<void()> delivered);
 
+  // --- fault hooks ----------------------------------------------------------
+
+  /// Take a node's full-duplex port down (both directions) or bring it
+  /// back. While down every frame to or from the node is dropped.
+  void set_node_down(NodeId node, bool down);
+  [[nodiscard]] bool node_down(NodeId node);
+
+  /// Per-frame loss probability on a node's port (both directions).
+  /// Draws come from the switch's seeded fault stream; reseed with
+  /// `set_fault_seed` before arming loss for reproducible plans.
+  void set_node_loss(NodeId node, double p);
+
+  /// Reseed the fault stream used for loss draws.
+  void set_fault_seed(std::uint64_t seed) { fault_rng_ = sim::Rng(seed); }
+
   [[nodiscard]] std::uint64_t frames() const { return frames_; }
+  /// Frames dropped by down/lossy ports, summed over all links.
+  [[nodiscard]] std::uint64_t frames_dropped() const;
 
  private:
   struct Port {
@@ -72,6 +108,7 @@ class Switch {
   BitsPerSec port_bandwidth_;
   std::unordered_map<NodeId, Port> ports_;
   std::uint64_t frames_ = 0;
+  sim::Rng fault_rng_{0xFA17ED5EEDULL};
 };
 
 }  // namespace pd::fabric

@@ -1,0 +1,182 @@
+#include "fault/fault.hpp"
+
+#include <sstream>
+
+#include "obs/hub.hpp"
+
+namespace pd::fault {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkDown: return "link_down";
+    case FaultKind::kLinkLoss: return "link_loss";
+    case FaultKind::kQpFail: return "qp_fail";
+    case FaultKind::kSrqDrain: return "srq_drain";
+    case FaultKind::kEngineStall: return "engine_stall";
+    case FaultKind::kNodeCrash: return "node_crash";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::generate(std::uint64_t seed,
+                              const std::vector<NodeId>& nodes,
+                              FaultPlanConfig cfg) {
+  PD_CHECK(!nodes.empty(), "fault plan needs at least one target node");
+  PD_CHECK(cfg.min_gap <= cfg.max_gap && cfg.min_outage <= cfg.max_outage &&
+               cfg.min_stall <= cfg.max_stall && cfg.min_loss <= cfg.max_loss,
+           "inverted fault plan bounds");
+  FaultPlan plan;
+  plan.seed = seed;
+  sim::Rng rng(seed);
+
+  auto draw = [&rng](sim::Duration lo, sim::Duration hi) {
+    return static_cast<sim::Duration>(
+        rng.uniform(static_cast<std::uint64_t>(lo),
+                    static_cast<std::uint64_t>(hi)));
+  };
+
+  // Episodes are laid out sequentially (gap, episode, gap, …) so two
+  // faults never overlap — a crash restoring a port that a concurrent
+  // link-down is still holding dark would make recovery ambiguous.
+  sim::TimePoint t = cfg.start;
+  for (int i = 0; i < cfg.episodes; ++i) {
+    t += draw(cfg.min_gap, cfg.max_gap);
+    if (t >= cfg.horizon) break;
+
+    FaultEvent e;
+    e.at = t;
+    e.kind = static_cast<FaultKind>(rng.uniform(0, 5));
+    e.node = nodes[rng.uniform(0, nodes.size() - 1)];
+    switch (e.kind) {
+      case FaultKind::kLinkDown:
+      case FaultKind::kNodeCrash:
+        e.duration = draw(cfg.min_outage, cfg.max_outage);
+        break;
+      case FaultKind::kLinkLoss:
+        e.duration = draw(cfg.min_outage, cfg.max_outage);
+        e.loss = cfg.min_loss +
+                 (cfg.max_loss - cfg.min_loss) * rng.next_double();
+        break;
+      case FaultKind::kQpFail:
+        if (nodes.size() > 1) {
+          // Pick a distinct peer; NodeId{} (invalid) would mean "all".
+          NodeId peer = e.node;
+          while (peer == e.node) {
+            peer = nodes[rng.uniform(0, nodes.size() - 1)];
+          }
+          e.peer = peer;
+        }
+        break;
+      case FaultKind::kSrqDrain:
+        break;
+      case FaultKind::kEngineStall:
+        e.duration = draw(cfg.min_stall, cfg.max_stall);
+        break;
+    }
+    t += e.duration;
+    plan.events.push_back(e);
+  }
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream out;
+  out << "fault plan seed=" << seed << " (" << events.size() << " episodes)\n";
+  for (const FaultEvent& e : events) {
+    out << "  t=" << e.at << "ns " << to_string(e.kind) << " node="
+        << e.node.value();
+    if (e.peer.valid()) out << " peer=" << e.peer.value();
+    if (e.duration > 0) out << " dur=" << e.duration << "ns";
+    if (e.loss > 0) out << " loss=" << e.loss;
+    out << "\n";
+  }
+  return out.str();
+}
+
+ChaosController::ChaosController(runtime::Cluster& cluster, FaultPlan plan)
+    : cluster_(cluster), plan_(std::move(plan)) {
+  if (cluster_.rdma_net() != nullptr) {
+    // Frame-loss draws belong to the chaos replay, not the workload's
+    // stream: reseed the fabric's fault RNG from the plan.
+    cluster_.rdma_net()->fabric().set_fault_seed(plan_.seed ^
+                                                 0x5EEDFA17ED000000ULL);
+  }
+}
+
+void ChaosController::arm() {
+  PD_CHECK(!armed_, "chaos plan armed twice");
+  armed_ = true;
+  sim::Scheduler& sched = cluster_.scheduler();
+  for (const FaultEvent& e : plan_.events) {
+    sched.schedule_background_at(e.at, [this, e] { apply(e); });
+  }
+}
+
+void ChaosController::apply(const FaultEvent& e) {
+  ++injected_;
+  if (auto* hub = obs::hub()) {
+    hub->registry
+        .counter("chaos.faults_injected",
+                 std::string("kind=") + to_string(e.kind))
+        .inc();
+  }
+  auto* net = cluster_.rdma_net();
+  sim::Scheduler& sched = cluster_.scheduler();
+
+  switch (e.kind) {
+    case FaultKind::kLinkDown:
+      PD_CHECK(net != nullptr, "link fault on a non-RDMA cluster");
+      net->fabric().set_node_down(e.node, true);
+      sched.schedule_background_at(e.at + e.duration,
+                                   [this, e] { recover(e); });
+      break;
+    case FaultKind::kLinkLoss:
+      PD_CHECK(net != nullptr, "link fault on a non-RDMA cluster");
+      net->fabric().set_node_loss(e.node, e.loss);
+      sched.schedule_background_at(e.at + e.duration,
+                                   [this, e] { recover(e); });
+      break;
+    case FaultKind::kQpFail:
+      PD_CHECK(net != nullptr, "qp fault on a non-RDMA cluster");
+      if (net->has_rnic(e.node)) net->rnic(e.node).fail_qps(e.peer);
+      if (e.peer.valid() && net->has_rnic(e.peer)) {
+        net->rnic(e.peer).fail_qps(e.node);
+      }
+      break;
+    case FaultKind::kSrqDrain:
+      PD_CHECK(net != nullptr, "srq fault on a non-RDMA cluster");
+      if (net->has_rnic(e.node)) net->rnic(e.node).drain_all_srqs();
+      break;
+    case FaultKind::kEngineStall:
+      // One opaque wedge on the engine core: everything behind it in the
+      // run-to-completion loop waits it out.
+      cluster_.worker(e.node).engine_core().submit(e.duration);
+      break;
+    case FaultKind::kNodeCrash:
+      cluster_.crash_node(e.node);
+      sched.schedule_background_at(e.at + e.duration,
+                                   [this, e] { recover(e); });
+      break;
+  }
+}
+
+void ChaosController::recover(const FaultEvent& e) {
+  auto* net = cluster_.rdma_net();
+  switch (e.kind) {
+    case FaultKind::kLinkDown:
+      net->fabric().set_node_down(e.node, false);
+      break;
+    case FaultKind::kLinkLoss:
+      net->fabric().set_node_loss(e.node, 0.0);
+      break;
+    case FaultKind::kNodeCrash:
+      cluster_.restart_node(e.node);
+      break;
+    case FaultKind::kQpFail:
+    case FaultKind::kSrqDrain:
+    case FaultKind::kEngineStall:
+      break;  // instantaneous / self-recovering
+  }
+}
+
+}  // namespace pd::fault

@@ -1,0 +1,98 @@
+// Deterministic fault injection for the simulated data plane.
+//
+// A FaultPlan is a seeded, pre-materialized timeline of fault episodes
+// (link outages, frame loss, QP failures, SRQ drains, engine stalls,
+// whole-node crashes). The ChaosController arms the plan against a
+// Cluster through the discrete-event scheduler: every injection — and
+// every recovery — is an ordinary simulator event, so a given (plan
+// seed, workload seed) pair replays bit-identically. That determinism is
+// the point: a chaos failure reproduces under a debugger from its seed
+// alone.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/cluster.hpp"
+#include "sim/random.hpp"
+
+namespace pd::fault {
+
+enum class FaultKind : std::uint8_t {
+  kLinkDown,     ///< fabric port dark for `duration` (both directions)
+  kLinkLoss,     ///< per-frame loss probability `loss` for `duration`
+  kQpFail,       ///< instantaneous: RC QPs between `node` and `peer` -> error
+  kSrqDrain,     ///< instantaneous: empty every SRQ on `node`'s RNIC
+  kEngineStall,  ///< `node`'s engine core wedged for `duration`
+  kNodeCrash,    ///< fail-stop crash of `node`; restart after `duration`
+};
+
+const char* to_string(FaultKind kind);
+
+struct FaultEvent {
+  sim::TimePoint at = 0;
+  FaultKind kind = FaultKind::kLinkDown;
+  NodeId node{};            ///< primary target
+  NodeId peer{};            ///< kQpFail: the remote side (invalid = all peers)
+  sim::Duration duration = 0;  ///< outage/loss window/stall/crash dark time
+  double loss = 0;          ///< kLinkLoss probability
+};
+
+struct FaultPlanConfig {
+  /// First episode no earlier than this (setup + warmup must pass).
+  sim::TimePoint start = 5'000'000;  // 5 ms
+  /// No injections at or after the horizon (recovery may complete later).
+  sim::TimePoint horizon = 200'000'000;  // 200 ms
+  int episodes = 12;
+  /// Idle gap drawn between the end of one episode and the next start.
+  sim::Duration min_gap = 1'000'000;
+  sim::Duration max_gap = 6'000'000;
+  /// Dark time for link-down / crash, and window length for loss.
+  sim::Duration min_outage = 200'000;
+  sim::Duration max_outage = 2'000'000;
+  double min_loss = 0.05;
+  double max_loss = 0.5;
+  sim::Duration min_stall = 100'000;
+  sim::Duration max_stall = 1'000'000;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<FaultEvent> events;
+
+  /// Draw a randomized, non-overlapping episode timeline over `nodes`.
+  /// Deterministic per (seed, nodes, cfg) — same inputs, same plan.
+  static FaultPlan generate(std::uint64_t seed, const std::vector<NodeId>& nodes,
+                            FaultPlanConfig cfg = {});
+
+  /// Human-readable timeline, one episode per line (test logs).
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Executes a FaultPlan against a cluster. All injections are background
+/// events: chaos never keeps the simulation alive on its own, so a run
+/// still quiesces once the workload (and its recovery machinery) drains.
+class ChaosController {
+ public:
+  /// Reseeds the fabric's loss-draw stream from the plan seed so frame
+  /// loss is part of the same deterministic replay.
+  ChaosController(runtime::Cluster& cluster, FaultPlan plan);
+
+  /// Schedule every episode (and its recovery). Call before run().
+  void arm();
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  /// Episodes applied so far (grows as virtual time passes).
+  [[nodiscard]] std::uint64_t injected() const { return injected_; }
+
+ private:
+  void apply(const FaultEvent& e);
+  void recover(const FaultEvent& e);
+
+  runtime::Cluster& cluster_;
+  FaultPlan plan_;
+  std::uint64_t injected_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace pd::fault

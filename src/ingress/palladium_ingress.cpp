@@ -203,11 +203,17 @@ void PalladiumIngress::forward_to_chain(int client,
     return;
   }
   const auto& chain = cluster_.chains().by_id(it->second);
-  auto& pool = mem_.by_tenant(chain.tenant).pool();
-  const auto actor = mem::actor_engine(config_.node);
+  const std::uint64_t request_id = next_request_++;
+  PendingRequest pr;
+  pr.client = client;
+  pr.start = sched_.now();
+  pr.chain_id = chain.id;
+  pr.body = req.body;
+  pending_.emplace(request_id, std::move(pr));
 
-  auto d = pool.allocate(actor);
-  if (!d.has_value()) {
+  if (!send_request(request_id)) {
+    // Pool pressure on the very first attempt: shed immediately.
+    pending_.erase(request_id);
     proto::HttpResponse resp;
     resp.status = 503;
     resp.reason = "Overloaded";
@@ -215,8 +221,20 @@ void PalladiumIngress::forward_to_chain(int client,
     c.tcp->send_b_to_a(proto::serialize(resp));
     return;
   }
+  arm_deadline(request_id);
+}
 
-  const std::uint64_t request_id = next_request_++;
+bool PalladiumIngress::send_request(std::uint64_t request_id) {
+  auto pit = pending_.find(request_id);
+  PD_CHECK(pit != pending_.end(), "send for untracked request " << request_id);
+  PendingRequest& pr = pit->second;
+  const auto& chain = cluster_.chains().by_id(pr.chain_id);
+  auto& pool = mem_.by_tenant(chain.tenant).pool();
+  const auto actor = mem::actor_engine(config_.node);
+
+  auto d = pool.allocate(actor);
+  if (!d.has_value()) return false;
+
   core::MessageHeader h;
   h.request_id = request_id;
   h.src_fn = kIngressEntry.value();
@@ -233,14 +251,13 @@ void PalladiumIngress::forward_to_chain(int client,
   // Carry the real request body into the payload region (zero-copy from
   // here on: these bytes ride RDMA to the functions untouched).
   const auto body_len = std::min<std::size_t>(
-      req.body.size(), span.size() - sizeof(core::MessageHeader));
-  std::memcpy(span.data() + sizeof(core::MessageHeader), req.body.data(),
+      pr.body.size(), span.size() - sizeof(core::MessageHeader));
+  std::memcpy(span.data() + sizeof(core::MessageHeader), pr.body.data(),
               body_len);
   const auto sized =
       pool.resize(*d, actor, core::message_bytes(chain.request_payload));
 
-  ClientConn& c = *clients_.at(static_cast<std::size_t>(client));
-  pending_.emplace(request_id, PendingRequest{client, sched_.now()});
+  ClientConn& c = *clients_.at(static_cast<std::size_t>(pr.client));
 
   // RDMA transmission from the worker's run-to-completion loop.
   worker_core(c.worker).submit(
@@ -255,6 +272,51 @@ void PalladiumIngress::forward_to_chain(int client,
         wr.opcode = rdma::Opcode::kSend;
         wr.local = sized;
         conn_mgr_->send(first_node, tenant, wr);
+      });
+  return true;
+}
+
+void PalladiumIngress::arm_deadline(std::uint64_t request_id) {
+  if (config_.request_deadline <= 0) return;
+  auto pit = pending_.find(request_id);
+  PD_CHECK(pit != pending_.end(), "deadline for untracked request");
+  pit->second.deadline = sched_.schedule_after(
+      config_.request_deadline, [this, request_id] { on_deadline(request_id); });
+}
+
+void PalladiumIngress::on_deadline(std::uint64_t request_id) {
+  auto pit = pending_.find(request_id);
+  if (pit == pending_.end()) return;  // response raced the timer
+  PendingRequest& pr = pit->second;
+  pr.deadline = sim::kInvalidEvent;
+
+  if (pr.attempts > config_.max_retries) {
+    // Retry budget exhausted: fail the request explicitly.
+    ++timeouts_;
+    const int client = pr.client;
+    pending_.erase(pit);
+    respond_error(client, 504, "Gateway Timeout");
+    return;
+  }
+  ++pr.attempts;
+  ++retries_;
+  // At-least-once: the original may still be in flight somewhere — the
+  // gateway tolerates whichever response arrives second. A false return
+  // (pool pressure) is fine: the re-armed deadline tries again.
+  (void)send_request(request_id);
+  arm_deadline(request_id);
+}
+
+void PalladiumIngress::respond_error(int client, int status,
+                                     const char* reason) {
+  ClientConn& conn = *clients_.at(static_cast<std::size_t>(client));
+  worker_core(conn.worker)
+      .submit(cost::kHttpSerializeNs, [this, client, status, reason] {
+        proto::HttpResponse resp;
+        resp.status = status;
+        resp.reason = reason;
+        ClientConn& c = *clients_.at(static_cast<std::size_t>(client));
+        c.tcp->send_b_to_a(proto::serialize(resp));
       });
 }
 
@@ -278,12 +340,42 @@ void PalladiumIngress::handle_response(const rdma::Completion& c) {
   pool.transfer(c.buffer, mem::actor_rnic(config_.node), actor);
   const auto span = pool.access(c.buffer, actor);
   const core::MessageHeader h = core::read_header(span);
-  core::trace_finish(h, sched_.now());
+
+  // Acknowledge sequenced arrivals — including duplicates, whose earlier
+  // ACK was evidently lost — so the sending engine can retire its copy.
+  if (h.seq != 0) {
+    const NodeId sender = rnic_->qp(c.qp).remote_node();
+    if (sender.valid()) {
+      cluster_.rdma_net()->send_datagram(
+          config_.node, sender,
+          rdma::Datagram{rdma::Datagram::Kind::kAck, h.seq});
+    }
+  }
 
   auto it = pending_.find(h.request_id);
-  PD_CHECK(it != pending_.end(), "response for unknown request " << h.request_id);
-  const PendingRequest req = it->second;
+  if (it == pending_.end()) {
+    // Duplicate (a retransmit raced our ACK, or a gateway re-send made the
+    // chain answer twice) or a straggler past its 504. Recycle quietly.
+    pool.release(c.buffer, actor);
+    post_receives(c.tenant, 1);
+    return;
+  }
+  core::trace_finish(h, sched_.now());
+  const PendingRequest req = std::move(it->second);
+  if (req.deadline != sim::kInvalidEvent) sched_.cancel(req.deadline);
   pending_.erase(it);
+
+  if (h.is_error()) {
+    // The data plane failed this request explicitly (retries exhausted,
+    // shed, or unroutable): surface it as a 502 instead of waiting for the
+    // deadline.
+    ++bad_gateway_;
+    const TenantId t = c.tenant;
+    pool.release(c.buffer, actor);
+    post_receives(t, 1);
+    respond_error(req.client, 502, "Bad Gateway");
+    return;
+  }
 
   // Extract the payload before recycling the buffer + replenishing.
   std::string body(reinterpret_cast<const char*>(span.data()) +

@@ -40,6 +40,13 @@ class PalladiumIngress : public IngressFrontend {
     sim::Duration scale_check_period = 1'000'000'000;  // 1 s
     int srq_fill = 256;
     int rc_connections = 2;
+    /// Request-level recovery: if no response arrives within the deadline
+    /// the gateway re-sends the request (at-least-once; the data plane
+    /// suppresses duplicates where it can and the gateway tolerates
+    /// duplicate responses). After `max_retries` re-sends it answers 504.
+    /// 0 disables deadlines (the pre-fault-model behaviour).
+    sim::Duration request_deadline = 2'000'000;  // 2 ms
+    int max_retries = 2;
   };
 
   PalladiumIngress(runtime::Cluster& cluster, Config config);
@@ -63,6 +70,13 @@ class PalladiumIngress : public IngressFrontend {
   [[nodiscard]] sim::TimeSeries& useful_cpu_series() { return useful_cpu_series_; }
   [[nodiscard]] std::uint64_t scale_events() const { return scale_events_; }
 
+  // Fault-model introspection.
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
+  /// Requests answered 504 after the deadline + retry budget ran out.
+  [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
+  /// Requests answered 502 on an explicit data-plane error completion.
+  [[nodiscard]] std::uint64_t bad_gateway() const { return bad_gateway_; }
+
  private:
   struct ClientConn {
     std::unique_ptr<proto::TcpConnection> tcp;
@@ -74,10 +88,20 @@ class PalladiumIngress : public IngressFrontend {
   struct PendingRequest {
     int client = -1;
     sim::TimePoint start = 0;
+    std::uint32_t chain_id = 0;
+    std::string body;   ///< kept for deadline-driven re-sends
+    int attempts = 1;   ///< sends so far (first + retries)
+    sim::EventId deadline = sim::kInvalidEvent;
   };
 
   void on_client_bytes(int client, std::string_view bytes);
   void forward_to_chain(int client, const proto::HttpRequest& req);
+  /// (Re-)send the pending request into the fabric. False on pool pressure
+  /// (the armed deadline retries later).
+  bool send_request(std::uint64_t request_id);
+  void arm_deadline(std::uint64_t request_id);
+  void on_deadline(std::uint64_t request_id);
+  void respond_error(int client, int status, const char* reason);
   void on_cq_event();
   void handle_response(const rdma::Completion& c);
   void post_receives(TenantId tenant, int n);
@@ -105,6 +129,9 @@ class PalladiumIngress : public IngressFrontend {
   std::unordered_map<std::uint64_t, PendingRequest> pending_;
   std::uint64_t next_request_ = 1;
   std::uint64_t responses_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t bad_gateway_ = 0;
   std::uint64_t scale_events_ = 0;
   bool setup_done_ = false;
 

@@ -2,10 +2,19 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 
 #include "common/check.hpp"
+#include "obs/hub.hpp"
 
 namespace pd::rdma {
+namespace {
+
+/// Retry cadence when a send races an externally-driven handshake (initial
+/// establish still in flight) — just poll again shortly after.
+constexpr sim::Duration kConnectingPollNs = 50'000;
+
+}  // namespace
 
 ConnectionManager::ConnectionManager(Rnic& local, int max_active)
     : net_(local.network()), local_(local), max_active_(max_active) {
@@ -49,11 +58,19 @@ int ConnectionManager::active_count() const { return local_.active_qps(); }
 
 void ConnectionManager::send(NodeId remote, TenantId tenant,
                              const WorkRequest& wr) {
-  auto it = pools_.find(PoolKey{remote, tenant});
+  const PoolKey key{remote, tenant};
+  auto it = pools_.find(key);
   PD_CHECK(it != pools_.end() && !it->second.empty(),
            "no RC connections to node " << remote << " for tenant " << tenant);
   auto& pool = it->second;
   ++stats_.sends;
+
+  // Pool rebuild in flight after a fault: park the WR; it replays through
+  // send() (and thus a fresh health check) once the rebuild lands.
+  if (auto rb = rebuilds_.find(key); rb != rebuilds_.end()) {
+    rb->second.deferred.push_back(wr);
+    return;
+  }
 
   // Least-congested active QP (§3.2 TX stage).
   QueuePair* best_active = nullptr;
@@ -69,8 +86,9 @@ void ConnectionManager::send(NodeId remote, TenantId tenant,
     return;
   }
 
-  // A QP already mid-activation? Queue behind it.
+  // A (healthy) QP already mid-activation? Queue behind it.
   for (QueuePair* qp : pool) {
+    if (qp->state() == QpState::kError) continue;
     auto pending = pending_.find(qp->id());
     if (pending != pending_.end()) {
       pending->second.push_back(wr);
@@ -88,35 +106,101 @@ void ConnectionManager::send(NodeId remote, TenantId tenant,
     }
     if (qp->state() == QpState::kConnecting) connecting = true;
   }
-  if (shadow == nullptr && !connecting) {
-    // Every connection in the pool is broken (fabric fault / remote QP
-    // errors): rebuild the pool and queue the WR behind the handshake.
-    ++stats_.reestablishments;
-    const int count = static_cast<int>(pool.size());
-    auto deferred = std::make_shared<WorkRequest>(wr);
-    establish(remote, tenant, count > 0 ? count : 1,
-              [this, remote, tenant, deferred] {
-                send(remote, tenant, *deferred);
-              });
+  if (shadow != nullptr) {
+    pending_[shadow->id()].push_back(wr);
+    activate(*shadow);
     return;
   }
-  PD_CHECK(shadow != nullptr,
-           "no established QP available (pool still connecting)");
-  pending_[shadow->id()].push_back(wr);
-  activate(*shadow);
+  if (connecting) {
+    // An externally-driven handshake (initial establish) is still in
+    // flight; retry once it has had a chance to land.
+    net_.scheduler().schedule_after(kConnectingPollNs, [this, remote, tenant,
+                                                       wr] {
+      send(remote, tenant, wr);
+    });
+    return;
+  }
+
+  // Every connection in the pool is broken (fabric fault / remote QP
+  // errors): rebuild the pool with backoff and park the WR behind it.
+  start_rebuild(key, wr);
+}
+
+void ConnectionManager::start_rebuild(PoolKey key, const WorkRequest& wr) {
+  ++stats_.reestablishments;
+  Rebuild& rb = rebuilds_[key];
+  rb.deferred.push_back(wr);
+  rb.started = net_.scheduler().now();
+  run_rebuild(key);
+}
+
+sim::Duration ConnectionManager::backoff_delay(int attempt) {
+  sim::Duration d = backoff_.base_ns;
+  for (int i = 1; i < attempt && d < backoff_.cap_ns; ++i) d *= 2;
+  d = std::min(d, backoff_.cap_ns);
+  // Jitter in [0.5, 1.5): desynchronizes the retry storms that lock-step
+  // backoff produces after a correlated fault.
+  return static_cast<sim::Duration>(
+      static_cast<double>(d) * (0.5 + backoff_rng_.next_double()));
+}
+
+void ConnectionManager::run_rebuild(PoolKey key) {
+  auto& pool = pools_[key];
+  // Drop the broken QPs from the pool (the RNIC still owns the objects;
+  // in-flight completions on them drain harmlessly) so the pool does not
+  // grow without bound across rebuild cycles. Each broken connection is
+  // replaced one-for-one.
+  const std::size_t before = pool.size();
+  std::erase_if(pool, [](const QueuePair* qp) {
+    return qp->state() == QpState::kError;
+  });
+  const int count = std::max<int>(1, static_cast<int>(before - pool.size()));
+  establish(key.remote, key.tenant, count, [this, key] { on_rebuilt(key); });
+}
+
+void ConnectionManager::on_rebuilt(PoolKey key) {
+  auto it = rebuilds_.find(key);
+  if (it == rebuilds_.end()) return;
+  Rebuild& rb = it->second;
+  if (healthy_count(key.remote, key.tenant) == 0) {
+    // A second fault landed during the handshake itself; retry with
+    // exponential backoff + jitter rather than hammering the peer.
+    ++rb.attempt;
+    ++stats_.rebuild_retries;
+    net_.scheduler().schedule_after(backoff_delay(rb.attempt),
+                                    [this, key] { run_rebuild(key); });
+    return;
+  }
+  if (auto* h = obs::hub()) {
+    h->registry
+        .histogram("conn.qp_reestablish_ns",
+                   "node=" + std::to_string(local_.node().value()))
+        .record(net_.scheduler().now() - rb.started);
+  }
+  auto wrs = std::move(rb.deferred);
+  rebuilds_.erase(it);
+  // Replay through send(): each WR re-runs QP selection against the fresh
+  // pool (never blindly into a QP that may have errored again).
+  for (const auto& wr : wrs) send(key.remote, key.tenant, wr);
 }
 
 void ConnectionManager::activate(QueuePair& qp) {
   ++stats_.activations;
   qp.activate([this, &qp] {
+    std::vector<WorkRequest> wrs;
+    if (auto it = pending_.find(qp.id()); it != pending_.end()) {
+      wrs = std::move(it->second);
+      pending_.erase(it);
+    }
+    if (qp.state() != QpState::kActive) {
+      // A fault broke the QP while activation was in flight. Re-route the
+      // deferred WRs through send() instead of replaying into an error QP.
+      for (const auto& wr : wrs) send(qp.remote_node(), qp.tenant(), wr);
+      return;
+    }
     last_active_[qp.id()] = ++activation_clock_;
     enforce_active_cap();
-    auto it = pending_.find(qp.id());
-    if (it != pending_.end()) {
-      auto wrs = std::move(it->second);
-      pending_.erase(it);
-      for (const auto& wr : wrs) qp.post_send(wr);
-    }
+    for (const auto& wr : wrs) qp.post_send(wr);
   });
 }
 

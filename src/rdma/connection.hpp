@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "rdma/rnic.hpp"
+#include "sim/random.hpp"
 
 namespace pd::rdma {
 
@@ -22,7 +23,16 @@ struct ConnectionStats {
   std::uint64_t activations = 0;
   std::uint64_t deactivations = 0;
   std::uint64_t sends = 0;
-  std::uint64_t reestablishments = 0;  ///< pools rebuilt after QP errors
+  std::uint64_t reestablishments = 0;   ///< pools rebuilt after QP errors
+  std::uint64_t rebuild_retries = 0;    ///< extra handshake rounds (backoff)
+};
+
+/// Exponential-backoff parameters for pool re-establishment after faults.
+/// Delays are `base * 2^attempt` capped at `cap`, each scaled by a jitter
+/// factor uniform in [0.5, 1.5) from a dedicated deterministic stream.
+struct BackoffConfig {
+  sim::Duration base_ns = 200'000;     ///< 0.2 ms before the 2nd attempt
+  sim::Duration cap_ns = 20'000'000;   ///< 20 ms ceiling
 };
 
 class ConnectionManager {
@@ -51,6 +61,12 @@ class ConnectionManager {
   /// Number of usable (non-error) connections for (remote, tenant).
   [[nodiscard]] std::size_t healthy_count(NodeId remote, TenantId tenant) const;
 
+  /// Install the deterministic stream used for backoff jitter (callers
+  /// fork it off their seeded root Rng). Optional: the default stream is
+  /// fixed-seeded, so runs are reproducible either way.
+  void set_backoff_rng(sim::Rng rng) { backoff_rng_ = rng; }
+  void set_backoff(BackoffConfig cfg) { backoff_ = cfg; }
+
  private:
   struct PoolKey {
     NodeId remote;
@@ -61,8 +77,21 @@ class ConnectionManager {
     }
   };
 
+  /// In-flight pool rebuild after every connection errored out. WRs that
+  /// arrive meanwhile park in `deferred` and replay (health-checked, via
+  /// send()) once a handshake round yields usable connections.
+  struct Rebuild {
+    std::vector<WorkRequest> deferred;
+    int attempt = 0;
+    sim::TimePoint started = 0;  ///< first fault detection (for metrics)
+  };
+
   void activate(QueuePair& qp);
   void enforce_active_cap();
+  void start_rebuild(PoolKey key, const WorkRequest& wr);
+  void run_rebuild(PoolKey key);
+  void on_rebuilt(PoolKey key);
+  [[nodiscard]] sim::Duration backoff_delay(int attempt);
 
   RdmaNetwork& net_;
   Rnic& local_;
@@ -70,10 +99,13 @@ class ConnectionManager {
   std::map<PoolKey, std::vector<QueuePair*>> pools_;
   /// WRs buffered while their QP finishes (re)activation.
   std::unordered_map<QpId, std::vector<WorkRequest>> pending_;
+  std::map<PoolKey, Rebuild> rebuilds_;
   /// Activation order for LRU-ish deactivation.
   std::uint64_t activation_clock_ = 0;
   std::unordered_map<QpId, std::uint64_t> last_active_;
   ConnectionStats stats_;
+  BackoffConfig backoff_;
+  sim::Rng backoff_rng_{0xBACC0FFULL};
 };
 
 }  // namespace pd::rdma

@@ -77,7 +77,36 @@ void RdmaNetwork::register_rnic(NodeId node, Rnic* rnic) {
   switch_.attach(node);
 }
 
-void RdmaNetwork::unregister_rnic(NodeId node) { rnics_.erase(node); }
+void RdmaNetwork::unregister_rnic(NodeId node) {
+  rnics_.erase(node);
+  datagram_handlers_.erase(node);
+}
+
+void RdmaNetwork::set_datagram_handler(NodeId node, DatagramHandler handler) {
+  datagram_handlers_[node] = std::move(handler);
+}
+
+void RdmaNetwork::send_datagram(NodeId from, NodeId to, const Datagram& d) {
+  PD_CHECK(switch_.attached(from) && switch_.attached(to),
+           "datagram between unattached nodes " << from << " -> " << to);
+  if (auto it = rnics_.find(from); it != rnics_.end()) {
+    ++it->second->counters_.datagrams;
+  }
+  switch_.send(from, to, kDatagramBytes, [this, from, to, d] {
+    auto it = datagram_handlers_.find(to);
+    if (it != datagram_handlers_.end() && it->second) it->second(from, d);
+  });
+}
+
+void RdmaNetwork::fail_node_qps(NodeId node) {
+  for (auto& [id, rnic] : rnics_) {
+    if (id == node) {
+      rnic->fail_qps();
+    } else {
+      rnic->fail_qps(node);
+    }
+  }
+}
 
 // ---------------------------------------------------------------------------
 // QueuePair
@@ -99,8 +128,14 @@ void QueuePair::activate(std::function<void()> done) {
            "activate QP in state " << to_string(state_));
   rnic_.sched_.schedule_after(cost::kQpActivateNs,
                               [this, done = std::move(done)] {
-                                state_ = QpState::kActive;
-                                ++rnic_.active_qps_;
+                                // A fault may have broken the QP while the
+                                // activation was in flight; don't resurrect
+                                // it. `done` still fires so the connection
+                                // manager can notice and recover.
+                                if (state_ == QpState::kInactive) {
+                                  state_ = QpState::kActive;
+                                  ++rnic_.active_qps_;
+                                }
                                 if (done) done();
                               });
 }
@@ -185,6 +220,34 @@ void Rnic::post_srq_recv(TenantId tenant, const mem::BufferDescriptor& buffer) {
 std::size_t Rnic::srq_depth(TenantId tenant) const {
   auto it = srqs_.find(tenant);
   return it == srqs_.end() ? 0 : it->second.size();
+}
+
+std::size_t Rnic::drain_srq(TenantId tenant) {
+  auto it = srqs_.find(tenant);
+  if (it == srqs_.end()) return 0;
+  const std::size_t drained = it->second.size();
+  for (const mem::BufferDescriptor& d : it->second) {
+    if (drain_listener_) drain_listener_(tenant, d);
+    host_mem_.by_pool(d.pool).pool().release(d, mem::actor_rnic(node_));
+  }
+  it->second.clear();
+  return drained;
+}
+
+std::size_t Rnic::drain_all_srqs() {
+  std::size_t drained = 0;
+  for (auto& [tenant, srq] : srqs_) {
+    (void)srq;
+    drained += drain_srq(tenant);
+  }
+  return drained;
+}
+
+void Rnic::fail_qps(NodeId peer) {
+  for (auto& [id, qp] : qps_) {
+    if (peer.valid() && qp->remote_node() != peer) continue;
+    if (qp->connected() || qp->state() == QpState::kConnecting) qp->fail();
+  }
 }
 
 void Rnic::set_write_monitor(PoolId pool, WriteMonitor monitor) {
@@ -296,7 +359,23 @@ void Rnic::arrive_send(QpId dest_qp, TenantId tenant, std::uint32_t len,
   auto& srq = srqs_[tenant];
   if (srq.empty()) {
     ++counters_.rnr_events;
-    rnr_queues_[tenant].push_back(PendingRecv{dest_qp, len, std::move(payload)});
+    auto& rnr = rnr_queues_[tenant];
+    if (rnr.size() >= rnr_queue_limit_) {
+      // Receiver-side overload: drop the arrival and NACK the sender's
+      // reliability layer so it sheds immediately instead of retrying into
+      // the same full queue.
+      ++counters_.rnr_drops;
+      if (len >= sizeof(core::MessageHeader)) {
+        const core::MessageHeader h = core::read_header(payload);
+        const NodeId sender = qp(dest_qp).remote_node();
+        if (h.seq != 0 && sender.valid()) {
+          net_.send_datagram(node_, sender,
+                             Datagram{Datagram::Kind::kNack, h.seq});
+        }
+      }
+      return;
+    }
+    rnr.push_back(PendingRecv{dest_qp, len, std::move(payload)});
     return;
   }
   deliver_to_srq(dest_qp, tenant, len, std::move(payload));
@@ -395,8 +474,17 @@ void connect_qps(QueuePair& a, QueuePair& b, std::function<void()> done) {
   b.state_ = QpState::kConnecting;
   a.rnic_.sched_.schedule_after(cost::kRcConnectNs,
                                 [&a, &b, done = std::move(done)] {
-                                  a.state_ = QpState::kInactive;
-                                  b.state_ = QpState::kInactive;
+                                  // A fault during the handshake leaves the
+                                  // affected end in kError; completing the
+                                  // handshake must not resurrect it. `done`
+                                  // fires regardless so the caller can
+                                  // inspect the outcome and retry.
+                                  if (a.state_ == QpState::kConnecting) {
+                                    a.state_ = QpState::kInactive;
+                                  }
+                                  if (b.state_ == QpState::kConnecting) {
+                                    b.state_ = QpState::kInactive;
+                                  }
                                   if (done) done();
                                 });
 }

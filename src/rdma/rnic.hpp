@@ -23,6 +23,20 @@ namespace pd::rdma {
 
 class Rnic;
 
+/// A small unreliable control frame (the simulation analog of a UD
+/// datagram): the reliability layer's ACK/NACK path. Datagrams ride the
+/// same fabric links as data frames, so an injected link fault loses acks
+/// exactly like it loses payloads.
+struct Datagram {
+  enum class Kind : std::uint8_t { kAck, kNack };
+  Kind kind = Kind::kAck;
+  std::uint64_t seq = 0;
+};
+
+/// Wire size of a control datagram (payload; frame overhead is added by
+/// the fabric like for any frame).
+inline constexpr Bytes kDatagramBytes = 16;
+
 /// The RDMA fabric: a switch plus the registry mapping node ids to RNICs
 /// (the simulation analog of the subnet manager). One per simulated
 /// cluster; owning it per-experiment keeps tests isolated.
@@ -33,6 +47,21 @@ class RdmaNetwork {
   [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
   [[nodiscard]] fabric::Switch& fabric() { return switch_; }
   Rnic& rnic(NodeId node);
+  [[nodiscard]] bool has_rnic(NodeId node) const {
+    return rnics_.count(node) != 0;
+  }
+
+  /// Send an unreliable control datagram. Delivery is best-effort: a
+  /// down/lossy port silently eats it, and an unregistered handler at
+  /// arrival time (receiver crashed) drops it.
+  using DatagramHandler = std::function<void(NodeId from, const Datagram&)>;
+  void set_datagram_handler(NodeId node, DatagramHandler handler);
+  void send_datagram(NodeId from, NodeId to, const Datagram& d);
+
+  /// Fail-stop a node's RDMA attachment: every established/connecting QP
+  /// on the node and every peer QP pointing at it transitions to kError
+  /// (the peers' RC retry counters exceed while the node is dark).
+  void fail_node_qps(NodeId node);
 
  private:
   friend class Rnic;
@@ -42,6 +71,7 @@ class RdmaNetwork {
   sim::Scheduler& sched_;
   fabric::Switch switch_;
   std::unordered_map<NodeId, Rnic*> rnics_;
+  std::unordered_map<NodeId, DatagramHandler> datagram_handlers_;
 };
 
 struct RnicCounters {
@@ -50,7 +80,9 @@ struct RnicCounters {
   std::uint64_t writes = 0;
   std::uint64_t atomics = 0;
   std::uint64_t rnr_events = 0;      ///< receiver-not-ready stalls
+  std::uint64_t rnr_drops = 0;       ///< arrivals shed at a full RNR queue
   std::uint64_t cache_miss_wrs = 0;  ///< WRs penalized by QP-cache overflow
+  std::uint64_t datagrams = 0;       ///< control datagrams sent
   Bytes payload_bytes = 0;
 };
 
@@ -76,6 +108,31 @@ class Rnic {
   void post_srq_recv(TenantId tenant, const mem::BufferDescriptor& buffer);
   [[nodiscard]] std::size_t srq_depth(TenantId tenant) const;
 
+  /// Fault injection: empty `tenant`'s SRQ, releasing the posted buffers
+  /// back to their pools. Returns the number drained. Arrivals during the
+  /// resulting underrun take the RNR path until the replenisher refills.
+  std::size_t drain_srq(TenantId tenant);
+  /// drain_srq across every tenant with a posted SRQ.
+  std::size_t drain_all_srqs();
+
+  /// Observer for fault-injected drains: whoever accounts posted receive
+  /// buffers (the engine's ReceiveBufferRegistry) registers here so a drain
+  /// shows up as a replenishable deficit instead of a silent leak.
+  using DrainListener =
+      std::function<void(TenantId, const mem::BufferDescriptor&)>;
+  void set_drain_listener(DrainListener listener) {
+    drain_listener_ = std::move(listener);
+  }
+
+  /// Bound on messages parked per tenant awaiting SRQ buffers (RNR state).
+  /// Beyond it arrivals are dropped and a NACK datagram is returned to the
+  /// sender so it can shed instead of burning retransmit timers.
+  void set_rnr_queue_limit(std::size_t limit) { rnr_queue_limit_ = limit; }
+
+  /// Fault injection: fail every QP on this RNIC that is established or
+  /// connecting (optionally only those whose remote is `peer`).
+  void fail_qps(NodeId peer = NodeId{});
+
   /// Node-wide CQ (§3.3: all RCQPs share a single CQ).
   CompletionQueue& cq() { return cq_; }
 
@@ -99,6 +156,7 @@ class Rnic {
  private:
   friend class QueuePair;
   friend class ConnectionManager;
+  friend class RdmaNetwork;
   friend void connect_qps(QueuePair& a, QueuePair& b,
                           std::function<void()> done);
 
@@ -138,7 +196,9 @@ class Rnic {
     std::vector<std::byte> payload;
   };
   std::unordered_map<TenantId, std::deque<PendingRecv>> rnr_queues_;
+  std::size_t rnr_queue_limit_ = 64;
 
+  DrainListener drain_listener_;
   std::unordered_map<PoolId, WriteMonitor> write_monitors_;
   std::unordered_map<std::uint64_t, std::uint64_t> atomic_words_;
 

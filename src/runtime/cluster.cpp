@@ -222,6 +222,19 @@ void Cluster::finish_setup() {
   sched_.run();  // drain connection setup traffic
 }
 
+void Cluster::crash_node(NodeId node) {
+  PD_CHECK(rdma_net_ != nullptr, "crash_node requires an RDMA fabric");
+  PD_CHECK(has_worker(node), "unknown worker " << node);
+  rdma_net_->fabric().set_node_down(node, true);
+  rdma_net_->fail_node_qps(node);
+}
+
+void Cluster::restart_node(NodeId node) {
+  PD_CHECK(rdma_net_ != nullptr, "restart_node requires an RDMA fabric");
+  PD_CHECK(has_worker(node), "unknown worker " << node);
+  rdma_net_->fabric().set_node_down(node, false);
+}
+
 sim::Duration Cluster::jittered(sim::Duration nominal) {
   if (config_.compute_jitter <= 0.0 || nominal == 0) return nominal;
   const double factor =

@@ -179,6 +179,18 @@ class Cluster {
   [[nodiscard]] NodeId placement_of(FunctionId fn) const;
   [[nodiscard]] FunctionInstance& instance(FunctionId fn);
 
+  // --- fault injection -------------------------------------------------------
+
+  /// Fail-stop crash of a worker's network attachment (RDMA systems only):
+  /// its fabric port goes dark — in-flight frames to/from it are lost —
+  /// and every RC QP on the node or pointing at it from a peer transitions
+  /// to error (the peers' RC retry counters exceed while it is down).
+  /// Surviving engines recover via retransmit + QP rebuild.
+  void crash_node(NodeId node);
+  /// Bring a crashed worker's attachment back up. Peers re-establish
+  /// connections lazily on their next send toward the node.
+  void restart_node(NodeId node);
+
   /// Apply the configured compute jitter to a nominal duration.
   [[nodiscard]] sim::Duration jittered(sim::Duration nominal);
 

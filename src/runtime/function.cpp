@@ -23,6 +23,34 @@ void FunctionInstance::on_message(const mem::BufferDescriptor& d) {
            "message for " << h.dst() << " delivered to " << spec_.id);
   PD_CHECK(d.tenant == spec_.tenant, "cross-tenant message delivery blocked");
 
+  if (h.is_error()) {
+    // The engine failed one of our sends (no route, retries exhausted, or
+    // shed under overload). Propagate an explicit error response to the
+    // requester so the invocation fails visibly instead of hanging. If the
+    // error response itself cannot make it back, the engine drops it
+    // terminally — no error ping-pong.
+    ++errors_received_;
+    const FunctionId client{h.client_id};
+    if (h.client_id == 0 || client == spec_.id) {
+      pool.release(d, actor());
+      return;
+    }
+    core::MessageHeader e = h;
+    e.src_fn = spec_.id.value();
+    e.dst_fn = h.client_id;
+    e.flags = core::MessageHeader::kFlagResponse | core::MessageHeader::kFlagError;
+    e.payload_len = 0;
+    e.seq = 0;
+    core::write_header(bytes, e);
+    const auto sized = pool.resize(d, actor(), core::message_bytes(0));
+    core_.submit(node_.cluster().send_cost(node_.id(), client),
+                 [this, sized] {
+                   node_.cluster().io_send(spec_.id, node_.id(), core_, sized,
+                                           /*precharged=*/true);
+                 });
+    return;
+  }
+
   const Chain& chain = node_.cluster().chains().by_id(h.chain_id);
   PD_CHECK(h.hop_index < chain.hops.size(), "hop index out of range");
   const ChainHop& hop = chain.hops[h.hop_index];

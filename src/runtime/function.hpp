@@ -19,6 +19,10 @@ class FunctionInstance {
   [[nodiscard]] const FunctionSpec& spec() const { return spec_; }
   [[nodiscard]] sim::Core& core() { return core_; }
   [[nodiscard]] std::uint64_t invocations() const { return invocations_; }
+  /// Error completions received from the engine (failed sends of ours).
+  [[nodiscard]] std::uint64_t errors_received() const {
+    return errors_received_;
+  }
   /// Total application compute executed (reference ns) — lets harnesses
   /// separate function work from data-plane work in CPU accounting.
   [[nodiscard]] sim::Duration compute_ns_total() const { return compute_total_; }
@@ -33,6 +37,7 @@ class FunctionInstance {
   FunctionSpec spec_;
   sim::Core& core_;
   std::uint64_t invocations_ = 0;
+  std::uint64_t errors_received_ = 0;
   sim::Duration compute_total_ = 0;
 };
 

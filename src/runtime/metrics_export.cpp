@@ -17,6 +17,14 @@ void export_metrics(Cluster& cluster, obs::Registry& reg) {
       reg.counter("engine.recycled", nl).set(ec.recycled);
       reg.counter("engine.replenished", nl).set(ec.replenished);
       reg.counter("engine.drops_no_route", nl).set(ec.drops_no_route);
+      reg.counter("engine.retransmits", nl).set(ec.retransmits);
+      reg.counter("engine.acks_rx", nl).set(ec.acks_rx);
+      reg.counter("engine.nacks_rx", nl).set(ec.nacks_rx);
+      reg.counter("engine.dup_rx", nl).set(ec.dup_rx);
+      reg.counter("engine.send_failures", nl).set(ec.send_failures);
+      reg.counter("engine.requests_shed", nl).set(ec.requests_shed);
+      reg.counter("engine.error_completions", nl).set(ec.error_completions);
+      reg.counter("engine.errors_dropped", nl).set(ec.errors_dropped);
       reg.gauge("engine.tx_backlog", nl)
           .set(static_cast<double>(eng->tx_backlog()));
 
@@ -26,6 +34,7 @@ void export_metrics(Cluster& cluster, obs::Registry& reg) {
       reg.counter("conn.deactivations", nl).set(cs.deactivations);
       reg.counter("conn.sends", nl).set(cs.sends);
       reg.counter("conn.reestablishments", nl).set(cs.reestablishments);
+      reg.counter("conn.rebuild_retries", nl).set(cs.rebuild_retries);
     }
 
     if (rdma::Rnic* rnic = node->rnic()) {
@@ -35,6 +44,8 @@ void export_metrics(Cluster& cluster, obs::Registry& reg) {
       reg.counter("rnic.writes", nl).set(rc.writes);
       reg.counter("rnic.atomics", nl).set(rc.atomics);
       reg.counter("rnic.rnr_events", nl).set(rc.rnr_events);
+      reg.counter("rnic.rnr_drops", nl).set(rc.rnr_drops);
+      reg.counter("rnic.datagrams", nl).set(rc.datagrams);
       reg.counter("rnic.cache_miss_wrs", nl).set(rc.cache_miss_wrs);
       reg.counter("rnic.payload_bytes", nl).set(rc.payload_bytes);
     }
@@ -56,6 +67,8 @@ void export_metrics(Cluster& cluster, obs::Registry& reg) {
 
   if (cluster.rdma_net() != nullptr) {
     reg.counter("fabric.frames").set(cluster.rdma_net()->fabric().frames());
+    reg.counter("fabric.frames_dropped")
+        .set(cluster.rdma_net()->fabric().frames_dropped());
   }
 }
 

@@ -64,15 +64,21 @@ void ChainDriver::on_response(const mem::BufferDescriptor& d) {
   pool.release(d, mem::actor_function(entry_));
 
   auto it = inflight_.find(h.request_id);
-  PD_CHECK(it != inflight_.end(), "unmatched response " << h.request_id);
+  if (it == inflight_.end()) return;  // duplicate response (retransmit race)
   const sim::TimePoint start = it->second;
   inflight_.erase(it);
 
   const sim::TimePoint now = cluster_.scheduler().now();
-  latencies_.record(now - start);
-  completions_.increment(now);
-  ++completed_;
-  if (hook_) hook_(h.request_id, now - start);
+  if (h.is_error()) {
+    // Explicit failure from the data plane (fault injection / shedding):
+    // the request is accounted as failed, and the closed loop moves on.
+    ++failed_;
+  } else {
+    latencies_.record(now - start);
+    completions_.increment(now);
+    ++completed_;
+    if (hook_) hook_(h.request_id, now - start);
+  }
   send_one();  // closed loop: immediately issue the next request
 }
 

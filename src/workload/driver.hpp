@@ -30,6 +30,10 @@ class ChainDriver {
   [[nodiscard]] sim::LatencyHistogram& latencies() { return latencies_; }
   [[nodiscard]] sim::TimeSeries& completions() { return completions_; }
   [[nodiscard]] std::uint64_t completed() const { return completed_; }
+  /// Requests that came back as explicit error responses (data-plane
+  /// failure under fault injection / shedding). completed + failed
+  /// accounts for every finished request.
+  [[nodiscard]] std::uint64_t failed() const { return failed_; }
   [[nodiscard]] sim::Core& core() { return core_; }
 
   /// Optional per-completion callback (request id, RTT) — used by harnesses
@@ -57,6 +61,7 @@ class ChainDriver {
   sim::LatencyHistogram latencies_;
   sim::TimeSeries completions_;
   std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
   std::function<void(std::uint64_t, sim::Duration)> hook_;
 };
 

@@ -40,6 +40,7 @@ void HttpLoadGen::send_request(int idx) {
   req.headers.add("Host", "palladium.cluster");
   req.body = config_.body;
   c.sent_at = sched_.now();
+  ++sent_;
   ingress_.client_send(c.conn, proto::serialize(req));
 }
 

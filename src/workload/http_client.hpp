@@ -34,6 +34,9 @@ class HttpLoadGen {
 
   [[nodiscard]] sim::LatencyHistogram& latencies() { return latencies_; }
   [[nodiscard]] sim::TimeSeries& completions() { return completions_; }
+  /// Requests issued (the closed loop sends one per response received, so
+  /// after a full drain sent == completed + errors — the zero-loss check).
+  [[nodiscard]] std::uint64_t sent() const { return sent_; }
   [[nodiscard]] std::uint64_t completed() const { return completed_; }
   [[nodiscard]] std::uint64_t errors() const { return errors_; }
   [[nodiscard]] int clients() const { return static_cast<int>(clients_.size()); }
@@ -57,6 +60,7 @@ class HttpLoadGen {
   bool running_ = true;
   sim::LatencyHistogram latencies_;
   sim::TimeSeries completions_;
+  std::uint64_t sent_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t errors_ = 0;
 };

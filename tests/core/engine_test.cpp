@@ -134,7 +134,7 @@ TEST_F(EngineTest, BurstBeyondSrqDepthRecoversViaRnr) {
   EXPECT_GT(rnic2.counters().rnr_events, 0u);
 }
 
-TEST_F(EngineTest, DropsMessageForUnroutableFunction) {
+TEST_F(EngineTest, UnroutableFunctionGetsErrorCompletion) {
   build(EngineConfig{});
   auto& pool = mem1.by_tenant(kTenant).pool();
   auto d = pool.allocate(mem::actor_function(kSrcFn));
@@ -148,6 +148,16 @@ TEST_F(EngineTest, DropsMessageForUnroutableFunction) {
   sched.run();
   EXPECT_EQ(eng1->counters().drops_no_route, 1u);
   EXPECT_EQ(eng1->counters().tx_msgs, 0u);
+  // No silent drop: the sender gets an explicit error completion carrying
+  // the failed message's identity.
+  EXPECT_EQ(eng1->counters().error_completions, 1u);
+  ASSERT_EQ(src_got.size(), 1u);
+  const MessageHeader e =
+      read_header(pool.access(src_got[0], mem::actor_function(kSrcFn)));
+  EXPECT_TRUE(e.is_error());
+  EXPECT_EQ(e.dst(), kSrcFn);
+  EXPECT_EQ(e.payload_len, 0u);
+  pool.release(src_got[0], mem::actor_function(kSrcFn));
   // Buffer was reclaimed, not leaked (64 buffers live in the SRQ).
   EXPECT_EQ(pool.available(), pool.capacity() - 64);
 }

@@ -93,6 +93,57 @@ TEST(Switch, EgressContentionSharesSenderPort) {
   EXPECT_GT(arrivals[1] - arrivals[0], 700000);  // ~one serialization apart
 }
 
+TEST(Switch, DownPortDropsFramesBothDirections) {
+  sim::Scheduler s;
+  Switch sw(s);
+  sw.attach(NodeId{1});
+  sw.attach(NodeId{2});
+  sw.set_node_down(NodeId{2}, true);
+  EXPECT_TRUE(sw.node_down(NodeId{2}));
+
+  bool to_down = false;
+  bool from_down = false;
+  sw.send(NodeId{1}, NodeId{2}, 64, [&] { to_down = true; });
+  sw.send(NodeId{2}, NodeId{1}, 64, [&] { from_down = true; });
+  s.run();
+  EXPECT_FALSE(to_down);
+  EXPECT_FALSE(from_down);
+  EXPECT_EQ(sw.frames_dropped(), 2u);
+
+  // Port back up: traffic flows again, the drop count stops rising.
+  sw.set_node_down(NodeId{2}, false);
+  bool delivered = false;
+  sw.send(NodeId{1}, NodeId{2}, 64, [&] { delivered = true; });
+  s.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(sw.frames_dropped(), 2u);
+}
+
+TEST(Switch, LossyPortDropsDeterministically) {
+  auto run = [](std::uint64_t seed) {
+    sim::Scheduler s;
+    Switch sw(s);
+    sw.attach(NodeId{1});
+    sw.attach(NodeId{2});
+    sw.set_fault_seed(seed);
+    sw.set_node_loss(NodeId{2}, 0.5);
+    std::uint64_t delivered = 0;
+    for (int i = 0; i < 100; ++i) {
+      sw.send(NodeId{1}, NodeId{2}, 64, [&] { ++delivered; });
+    }
+    s.run();
+    return std::pair(delivered, sw.frames_dropped());
+  };
+  const auto a = run(7);
+  EXPECT_GT(a.first, 0u);
+  EXPECT_GT(a.second, 0u);
+  EXPECT_EQ(a.first + a.second, 100u);
+  // Same seed, same fate for every frame; the loss process is part of the
+  // deterministic replay, not ambient randomness.
+  EXPECT_EQ(run(7), a);
+  EXPECT_NE(run(8), a);
+}
+
 TEST(Switch, IncastContentionSharesReceiverPort) {
   sim::Scheduler s;
   Switch sw(s, 1e9);

@@ -223,5 +223,58 @@ TEST_F(ConnectionTest, AllConnectionsFailedTriggersReestablishment) {
   EXPECT_EQ(mgr.healthy_count(kNode2, kTenant), 2u);
 }
 
+TEST_F(ConnectionTest, FailedQpRejectsNewPostsAndLeavesActiveSet) {
+  mgr.establish(kNode2, kTenant, 1, nullptr);
+  sched.run();
+  post_receives(1);
+  mgr.send(kNode2, kTenant, make_wr(1));
+  sched.run();
+
+  QueuePair& qp = rnic1.qp(QpId{(kNode1.value() << 20) | 1});
+  ASSERT_EQ(qp.state(), QpState::kActive);
+  ASSERT_EQ(rnic1.active_qps(), 1);
+  qp.fail();
+  EXPECT_EQ(qp.state(), QpState::kError);
+  // fail() releases the RNIC-cache slot an active QP held.
+  EXPECT_EQ(rnic1.active_qps(), 0);
+  EXPECT_FALSE(qp.connected());
+  EXPECT_THROW(qp.post_send(make_wr(2)), CheckFailure);
+}
+
+TEST_F(ConnectionTest, QpFailedDuringActivationReplaysDeferredSends) {
+  mgr.establish(kNode2, kTenant, 1, nullptr);
+  sched.run();
+  post_receives(1);
+
+  // The send parks behind the activation; the fault lands before the
+  // activation completes, so the parked WR must be re-routed (through a
+  // pool rebuild here — the pool has no siblings), not lost.
+  mgr.send(kNode2, kTenant, make_wr(1));
+  rnic1.qp(QpId{(kNode1.value() << 20) | 1}).fail();
+  sched.run();
+
+  EXPECT_EQ(rnic2.counters().recvs, 1u);
+  EXPECT_GE(mgr.stats().reestablishments, 1u);
+}
+
+TEST_F(ConnectionTest, SecondFaultDuringRebuildRetriesWithBackoff) {
+  mgr.establish(kNode2, kTenant, 1, nullptr);
+  sched.run();
+  post_receives(1);
+
+  // First fault: the send finds no healthy QP and starts a rebuild.
+  rnic1.qp(QpId{(kNode1.value() << 20) | 1}).fail();
+  mgr.send(kNode2, kTenant, make_wr(1));
+  // Second fault: kill the replacement while its handshake is in flight.
+  rnic1.qp(QpId{(kNode1.value() << 20) | 2}).fail();
+  sched.run();
+
+  // The rebuild noticed the dead replacement, backed off, and retried —
+  // the deferred WR still lands exactly once.
+  EXPECT_GE(mgr.stats().rebuild_retries, 1u);
+  EXPECT_EQ(rnic2.counters().recvs, 1u);
+  EXPECT_GE(mgr.healthy_count(kNode2, kTenant), 1u);
+}
+
 }  // namespace
 }  // namespace pd::rdma

@@ -7,8 +7,27 @@
 #   tools/run_all.sh asan    build with -DPD_SANITIZE=address,undefined into
 #                            build-asan/ and run the tier-1 tests under
 #                            ASan/UBSan (no benches; sanitized runs are slow)
+#   tools/run_all.sh chaos   build, run the chaos-labeled ctest suite, then
+#                            sweep 10 fault-plan seeds through the boutique
+#                            demo; fails if any seed loses a request
 set -e
 cd "$(dirname "$0")/.."
+
+if [ "$1" = "chaos" ]; then
+  cmake -B build -G Ninja
+  cmake --build build
+  ctest --test-dir build -L chaos --output-on-failure 2>&1 | tee chaos_output.txt
+  for seed in 1 2 3 4 5 6 7 8 9 10; do
+    echo "=== boutique_demo --chaos $seed ==="
+    ./build/examples/boutique_demo --chaos "$seed" | tail -4
+  done 2>&1 | tee -a chaos_output.txt
+  if grep -q "LOST REQUESTS" chaos_output.txt; then
+    echo "chaos sweep FAILED: a seed lost requests silently" >&2
+    exit 1
+  fi
+  echo "chaos sweep passed: 10 seeds, no request silently lost"
+  exit 0
+fi
 
 if [ "$1" = "asan" ]; then
   cmake -B build-asan -G Ninja -DPD_SANITIZE=address,undefined \
