@@ -1,0 +1,273 @@
+// Wall-clock performance gate for the simulator itself (not the modeled
+// system): a fixed-seed two-node Online Boutique sweep measuring how fast
+// the host machine chews through simulation events. Guards the hot path
+// (scheduler slab/heap, EventFn dispatch, engine batching) against
+// regressions that sim-time metrics cannot see.
+//
+// Modes:
+//   perf_gate                 full sweep (20/60/80 clients), JSON to stdout
+//   perf_gate --json FILE     full sweep, JSON written to FILE
+//   perf_gate --check FILE    full sweep, then compare against the "after"
+//                             (or sole) gate block in FILE — exits 1 on
+//                             >10% wall-clock events/sec regression or >1%
+//                             simulated-latency drift
+//   perf_gate --smoke         1 small load, sub-second: ctest bench-smoke
+//
+// The simulated p50/p99 double as a determinism tripwire: they depend only
+// on the model, so any drift means behavior changed, not just speed.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "ingress/palladium_ingress.hpp"
+#include "runtime/boutique.hpp"
+#include "runtime/cluster.hpp"
+#include "workload/http_client.hpp"
+
+namespace {
+
+using namespace pd;
+
+constexpr NodeId kNode1{1};
+constexpr NodeId kNode2{2};
+
+struct LoadResult {
+  int clients = 0;
+  double wall_sec = 0;
+  std::uint64_t events = 0;
+  std::uint64_t requests = 0;
+  double sim_p50_ms = 0;
+  double sim_p99_ms = 0;
+
+  [[nodiscard]] double events_per_sec() const {
+    return wall_sec > 0 ? static_cast<double>(events) / wall_sec : 0;
+  }
+  [[nodiscard]] double events_per_request() const {
+    return requests > 0
+               ? static_cast<double>(events) / static_cast<double>(requests)
+               : 0;
+  }
+};
+
+LoadResult run_load(int clients, sim::Duration warm_ns, sim::Duration run_ns) {
+  sim::Scheduler sched;
+  runtime::ClusterConfig cfg;
+  cfg.cpu_cores_per_node = 16;
+  cfg.pool_buffers = 2048;
+  cfg.system = runtime::SystemKind::kPalladiumDne;
+  auto cluster = std::make_unique<runtime::Cluster>(sched, cfg);
+  cluster->add_worker(kNode1);
+  cluster->add_worker(kNode2);
+  runtime::OnlineBoutique::deploy(*cluster, kNode1, kNode2);
+
+  ingress::PalladiumIngress::Config icfg;
+  icfg.initial_workers = 2;
+  // Closed-loop clients + the 2 ms at-least-once deadline feed a retry
+  // storm at >=60 clients (timeouts allocate duplicate buffers until the
+  // pool is bled dry and every request sheds 503). The gate measures
+  // simulator speed, not SLO machinery — run with the deadline off.
+  icfg.request_deadline = 0;
+  ingress::PalladiumIngress ing(*cluster, icfg);
+  ing.expose_chain("/run", runtime::OnlineBoutique::kHomeQuery);
+  ing.finish_setup();
+  cluster->finish_setup();
+
+  workload::HttpLoadGen::Config wcfg;
+  wcfg.target = "/run";
+  wcfg.body = std::string(128, 'x');
+  wcfg.client_cores = clients;
+  workload::HttpLoadGen wrk(sched, ing, wcfg);
+  wrk.add_clients(clients);
+
+  sched.run_until(sched.now() + warm_ns);
+  const auto start = sched.now();
+  const auto events0 = sched.events_processed();
+  const auto requests0 = wrk.latencies().count();
+  const auto wall0 = std::chrono::steady_clock::now();
+  sched.run_until(start + run_ns);
+  const auto wall1 = std::chrono::steady_clock::now();
+
+  LoadResult r;
+  r.clients = clients;
+  r.wall_sec = std::chrono::duration<double>(wall1 - wall0).count();
+  r.events = sched.events_processed() - events0;
+  r.requests = wrk.latencies().count() - requests0;
+  r.sim_p50_ms = static_cast<double>(wrk.latencies().quantile(0.5)) / 1e6;
+  r.sim_p99_ms = static_cast<double>(wrk.latencies().quantile(0.99)) / 1e6;
+  wrk.stop();
+  sched.run();
+  return r;
+}
+
+double peak_rss_mib() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // Linux: KiB
+}
+
+std::string emit_json(const std::vector<LoadResult>& results) {
+  double wall = 0;
+  std::uint64_t events = 0;
+  std::uint64_t requests = 0;
+  for (const auto& r : results) {
+    wall += r.wall_sec;
+    events += r.events;
+    requests += r.requests;
+  }
+  const auto& gate = results.back();  // heaviest load anchors the gate
+  std::ostringstream os;
+  os.precision(6);
+  os << std::fixed;
+  os << "{\n  \"bench\": \"perf_gate\",\n  \"chain\": \"home_query\",\n"
+     << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    os << "    {\"clients\": " << r.clients << ", \"wall_sec\": " << r.wall_sec
+       << ", \"events\": " << r.events << ", \"requests\": " << r.requests
+       << ", \"wall_events_per_sec\": " << r.events_per_sec()
+       << ", \"events_per_request\": " << r.events_per_request()
+       << ", \"sim_p50_ms\": " << r.sim_p50_ms
+       << ", \"sim_p99_ms\": " << r.sim_p99_ms << "}"
+       << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+  os << "  ],\n  \"gate\": {\"wall_events_per_sec\": "
+     << (wall > 0 ? static_cast<double>(events) / wall : 0)
+     << ", \"events_per_request\": "
+     << (requests > 0 ? static_cast<double>(events) /
+                            static_cast<double>(requests)
+                      : 0)
+     << ", \"sim_p50_ms\": " << gate.sim_p50_ms
+     << ", \"sim_p99_ms\": " << gate.sim_p99_ms
+     << ", \"peak_rss_mib\": " << peak_rss_mib() << "}\n}\n";
+  return os.str();
+}
+
+/// Pull `"key": <number>` out of `text`, searching from `from`. Returns
+/// false when the key is absent.
+bool find_number(const std::string& text, const std::string& key,
+                 std::size_t from, double& out) {
+  const auto k = text.find("\"" + key + "\"", from);
+  if (k == std::string::npos) return false;
+  const auto colon = text.find(':', k);
+  if (colon == std::string::npos) return false;
+  out = std::strtod(text.c_str() + colon + 1, nullptr);
+  return true;
+}
+
+/// Compare this run against the baseline gate block in `path`. The file is
+/// BENCH_PR3.json ({"before": {...}, "after": {...}}) or a raw perf_gate
+/// dump; the "after" block wins when present.
+int check_against(const std::string& path, const std::string& current_json) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "perf_gate: FAIL — cannot open baseline " << path << "\n";
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string base = buf.str();
+  std::size_t from = base.find("\"after\"");
+  if (from == std::string::npos) from = 0;
+  // The gate block follows the per-load results in both formats.
+  const auto gate_at = base.find("\"gate\"", from);
+  if (gate_at != std::string::npos) from = gate_at;
+
+  double base_eps = 0, base_p50 = 0, base_p99 = 0;
+  if (!find_number(base, "wall_events_per_sec", from, base_eps) ||
+      !find_number(base, "sim_p50_ms", from, base_p50) ||
+      !find_number(base, "sim_p99_ms", from, base_p99)) {
+    std::cerr << "perf_gate: FAIL — baseline " << path
+              << " has no gate numbers\n";
+    return 1;
+  }
+  const auto cur_gate = current_json.find("\"gate\"");
+  double cur_eps = 0, cur_p50 = 0, cur_p99 = 0;
+  find_number(current_json, "wall_events_per_sec", cur_gate, cur_eps);
+  find_number(current_json, "sim_p50_ms", cur_gate, cur_p50);
+  find_number(current_json, "sim_p99_ms", cur_gate, cur_p99);
+
+  int rc = 0;
+  if (cur_eps < 0.9 * base_eps) {
+    std::cerr << "perf_gate: FAIL — wall-clock throughput regressed >10%: "
+              << cur_eps << " events/s vs baseline " << base_eps << "\n";
+    rc = 1;
+  }
+  for (auto [name, cur, ref] : {std::tuple{"sim_p50_ms", cur_p50, base_p50},
+                                std::tuple{"sim_p99_ms", cur_p99, base_p99}}) {
+    if (ref > 0 && std::abs(cur - ref) > 0.01 * ref) {
+      std::cerr << "perf_gate: FAIL — " << name << " drifted >1%: " << cur
+                << " vs baseline " << ref
+                << " (model behavior changed, not just speed)\n";
+      rc = 1;
+    }
+  }
+  if (rc == 0) {
+    std::cerr << "perf_gate: OK — " << cur_eps << " events/s vs baseline "
+              << base_eps << " (>= 90%), sim p50/p99 within 1%\n";
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  std::string check_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      check_path = argv[++i];
+    } else {
+      std::cerr << "usage: perf_gate [--smoke] [--json FILE] [--check FILE]\n";
+      return 2;
+    }
+  }
+
+  std::vector<LoadResult> results;
+  if (smoke) {
+    // Sub-second sanity pass: the sweep runs, produces traffic, and the
+    // event machinery reports sane numbers.
+    results.push_back(run_load(8, 200'000'000, 500'000'000));
+  } else {
+    for (int clients : {20, 60, 80}) {
+      results.push_back(run_load(clients, 1'000'000'000, 2'000'000'000));
+    }
+  }
+  for (const auto& r : results) {
+    if (r.events == 0 || r.requests == 0) {
+      std::cerr << "perf_gate: FAIL — no traffic at " << r.clients
+                << " clients (events=" << r.events
+                << " requests=" << r.requests << ")\n";
+      return 1;
+    }
+    std::cerr << "  " << r.clients << " clients: "
+              << static_cast<std::uint64_t>(r.events_per_sec())
+              << " events/s wall, " << r.events_per_request()
+              << " events/req, sim p50 " << r.sim_p50_ms << " ms, p99 "
+              << r.sim_p99_ms << " ms\n";
+  }
+
+  const std::string json = emit_json(results);
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << json;
+  } else {
+    std::cout << json;
+  }
+  if (!check_path.empty()) return check_against(check_path, json);
+  return 0;
+}

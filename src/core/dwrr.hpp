@@ -8,6 +8,7 @@
 // backlogged — exactly Fig. 15's property.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <optional>
@@ -43,7 +44,15 @@ class DwrrScheduler {
     PD_CHECK(it != queues_.end(), "unknown tenant " << tenant);
     PD_CHECK(it->second.items.empty(), "removing tenant with queued items");
     queues_.erase(it);
-    std::erase(order_, tenant);
+    const auto pos = static_cast<std::size_t>(
+        std::find(order_.begin(), order_.end(), tenant) - order_.begin());
+    order_.erase(order_.begin() + static_cast<std::ptrdiff_t>(pos));
+    // Keep the cursor on the tenant it was pointing at: erasing an entry
+    // ordered before it shifts every later index left by one, and leaving
+    // cursor_ unadjusted would silently skip that tenant's turn (with its
+    // visited_this_round flag going stale — it would also miss its next
+    // quantum top-up).
+    if (pos < cursor_) --cursor_;
     if (cursor_ >= order_.size()) cursor_ = 0;
   }
 

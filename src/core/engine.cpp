@@ -52,6 +52,9 @@ NetworkEngine::NetworkEngine(sim::Scheduler& sched, EngineKind kind,
            (kind_ == EngineKind::kCne ? "/cne" : "/dne");
 
   rnic_.cq().set_notify([this] { kick_rx(); });
+  rnic_.cq().set_coalescing(
+      &sched_, static_cast<std::size_t>(std::max(config_.cq_coalesce_batch, 1)),
+      config_.cq_coalesce_window);
   rnic_.set_rnr_queue_limit(config_.rnr_queue_limit);
   // The reliability layer's ACK/NACK control channel (hardware-generated
   // in the real DNE: no engine-core cost on either end).
@@ -191,24 +194,32 @@ void NetworkEngine::kick_tx() {
 }
 
 void NetworkEngine::tx_iteration() {
-  // One run-to-completion TX stage: scheduling decision + routing lookup +
-  // WR wrap + doorbell (§3.2).
+  // One run-to-completion TX slice: scheduling decision + routing lookup +
+  // WR wrap + doorbell per message (§3.2). With doorbell coalescing, up to
+  // tx_doorbell_batch messages share one engine-core event — same total
+  // stage cost, one scheduling decision slice, one doorbell ring.
+  const auto batch = std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(config_.tx_doorbell_batch, 1)),
+      tx_backlog());
   const sim::Duration work =
-      cost::kDneSchedNs + cost::kDneTxStageNs + config_.extra_per_msg_ns;
-  engine_core_.submit(work, [this] {
-    auto item = config_.use_dwrr ? dwrr_.dequeue() : fcfs_.dequeue();
-    PD_CHECK(item.has_value(), "TX iteration with empty queues");
-    if (kind_ == EngineKind::kDneOnPath) {
-      // On-path: stage the payload through SoC memory first (slow DMA).
-      const auto bytes = item->length;
-      const std::uint32_t dma_span = begin_soc_dma_span(*item);
-      const sim::TimePoint t0 = sched_.now();
-      dpu_->dma().transfer(bytes, [this, d = *item, dma_span, t0] {
-        end_soc_dma(dma_span, "tx", t0);
-        transmit(d);
-      });
-    } else {
-      transmit(*item);
+      static_cast<sim::Duration>(batch) *
+      (cost::kDneSchedNs + cost::kDneTxStageNs + config_.extra_per_msg_ns);
+  engine_core_.submit(work, [this, batch] {
+    for (std::size_t i = 0; i < batch; ++i) {
+      auto item = config_.use_dwrr ? dwrr_.dequeue() : fcfs_.dequeue();
+      PD_CHECK(item.has_value(), "TX iteration with empty queues");
+      if (kind_ == EngineKind::kDneOnPath) {
+        // On-path: stage the payload through SoC memory first (slow DMA).
+        const auto bytes = item->length;
+        const std::uint32_t dma_span = begin_soc_dma_span(*item);
+        const sim::TimePoint t0 = sched_.now();
+        dpu_->dma().transfer(bytes, [this, d = *item, dma_span, t0] {
+          end_soc_dma(dma_span, "tx", t0);
+          transmit(d);
+        });
+      } else {
+        transmit(*item);
+      }
     }
     if (tx_backlog() > 0) {
       tx_iteration();
@@ -270,18 +281,21 @@ void NetworkEngine::kick_rx() {
 }
 
 void NetworkEngine::rx_iteration() {
-  auto completions = rnic_.cq().poll(static_cast<std::size_t>(config_.rx_batch));
-  if (completions.empty()) {
+  const std::size_t n = rnic_.cq().poll_into(
+      rx_scratch_, static_cast<std::size_t>(config_.rx_batch));
+  if (n == 0) {
     rx_busy_ = false;
     return;
   }
   sim::Duration work = 0;
-  for (const auto& c : completions) {
+  for (const auto& c : rx_scratch_) {
     work += (c.is_recv ? cost::kDneRxStageNs : cost::kDneRxStageNs / 2) +
             config_.extra_per_msg_ns;
   }
-  engine_core_.submit(work, [this, completions = std::move(completions)] {
-    for (const auto& c : completions) {
+  // rx_scratch_ stays untouched until this callback runs: kick_rx() bails
+  // out while rx_busy_ and nothing else polls this CQ.
+  engine_core_.submit(work, [this] {
+    for (const auto& c : rx_scratch_) {
       if (c.is_recv) {
         handle_recv(c);
       } else {
@@ -391,16 +405,29 @@ void NetworkEngine::handle_send_done(const rdma::Completion& c) {
 // ---------------------------------------------------------------------------
 
 bool NetworkEngine::is_duplicate(NodeId sender, std::uint64_t seq) {
-  // Window far larger than max in-flight per peer: a seq falling out of it
-  // can no longer be retransmitted by a live sender.
-  constexpr std::size_t kDedupWindow = 4096;
+  // Window far larger than max in-flight per peer (bounded by max_unacked
+  // admission): a seq falling out of it can no longer be retransmitted by a
+  // live sender, so anything below the window is treated as a replay.
+  constexpr std::uint64_t kBits = DedupWindow::kBits;
   DedupWindow& w = dedup_[sender];
-  if (!w.seen.insert(seq).second) return true;
-  w.order.push_back(seq);
-  if (w.order.size() > kDedupWindow) {
-    w.seen.erase(w.order.front());
-    w.order.pop_front();
+  if (seq > w.max_seq) {
+    // Seqs entering the window reuse slots of ancient ones: clear the gap.
+    if (seq - w.max_seq >= kBits) {
+      w.bits.fill(0);
+    } else {
+      for (std::uint64_t s = w.max_seq + 1; s < seq; ++s) {
+        w.bits[(s & (kBits - 1)) >> 6] &= ~(std::uint64_t{1} << (s & 63));
+      }
+    }
+    w.max_seq = seq;
+    w.bits[(seq & (kBits - 1)) >> 6] |= std::uint64_t{1} << (seq & 63);
+    return false;
   }
+  if (w.max_seq - seq >= kBits) return true;
+  std::uint64_t& word = w.bits[(seq & (kBits - 1)) >> 6];
+  const std::uint64_t mask = std::uint64_t{1} << (seq & 63);
+  if (word & mask) return true;
+  word |= mask;
   return false;
 }
 

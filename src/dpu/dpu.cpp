@@ -6,8 +6,8 @@
 
 namespace pd::dpu {
 
-void SocDmaEngine::transfer(Bytes bytes, std::function<void()> done) {
-  PD_CHECK(done != nullptr, "DMA completion callback required");
+void SocDmaEngine::transfer(Bytes bytes, sim::EventFn done) {
+  PD_CHECK(done, "DMA completion callback required");
   const auto op_ns =
       cost::kSocDmaBaseNs +
       static_cast<sim::Duration>(static_cast<double>(bytes) *

@@ -1,7 +1,6 @@
 // Bluefield-2 DPU model: wimpy Arm cores and the (slow) SoC DMA engine.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <string>
 
@@ -9,6 +8,7 @@
 #include "common/units.hpp"
 #include "proto/cost_model.hpp"
 #include "sim/core.hpp"
+#include "sim/event_fn.hpp"
 
 namespace pd::dpu {
 
@@ -21,7 +21,7 @@ class SocDmaEngine {
 
   /// Move `bytes` across the PCIe SoC path; `done` fires on completion.
   /// Transfers queue FIFO behind each other (kSocDmaParallelism == 1).
-  void transfer(Bytes bytes, std::function<void()> done);
+  void transfer(Bytes bytes, sim::EventFn done);
 
   [[nodiscard]] std::uint64_t transfers() const { return transfers_; }
   [[nodiscard]] Bytes bytes_moved() const { return bytes_moved_; }

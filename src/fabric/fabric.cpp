@@ -17,16 +17,17 @@ sim::Duration Link::backlog() const {
   return std::max<sim::Duration>(0, busy_until_ - sched_.now());
 }
 
-void Link::transmit(Bytes bytes, std::function<void()> delivered) {
-  PD_CHECK(delivered != nullptr, "link delivery callback required");
+bool Link::transmit(Bytes bytes, sim::EventFn delivered) {
+  PD_CHECK(delivered, "link delivery callback required");
   if (down_ || (loss_ > 0.0 && fault_rng_ != nullptr && fault_rng_->chance(loss_))) {
     ++frames_dropped_;
-    return;  // the frame dies on the wire; `delivered` never fires
+    return false;  // the frame dies on the wire; `delivered` never fires
   }
   const sim::Duration serialization = sim::transfer_time(bytes, bandwidth_);
   busy_until_ = std::max(busy_until_, sched_.now()) + serialization;
   bytes_sent_ += bytes;
   sched_.schedule_at(busy_until_ + propagation_, std::move(delivered));
+  return true;
 }
 
 void Switch::attach(NodeId node) {
@@ -74,21 +75,26 @@ std::uint64_t Switch::frames_dropped() const {
 }
 
 void Switch::send(NodeId from, NodeId to, Bytes bytes,
-                  std::function<void()> delivered) {
+                  sim::EventFn delivered) {
   PD_CHECK(from != to, "fabric send to self (use intra-node IPC)");
   Port& src = port(from);
   Port& dst = port(to);
   const Bytes wire_bytes = bytes + kWireOverheadBytes;
   ++frames_;
-  // Egress serialization -> switch hop -> ingress serialization.
-  src.tx->transmit(wire_bytes, [this, &dst, wire_bytes,
-                                delivered = std::move(delivered)]() mutable {
-    sched_.schedule_after(cost::kSwitchLatencyNs, [&dst, wire_bytes,
-                                                   delivered =
-                                                       std::move(delivered)]() mutable {
-      dst.rx->transmit(wire_bytes, std::move(delivered));
-    });
-  });
+  // Egress serialization -> switch hop -> ingress serialization. The final
+  // callback rides src.in_flight (FIFO, see Port) so the two relay events
+  // stay small enough for EventFn's inline buffer.
+  src.in_flight.push_back(std::move(delivered));
+  const bool accepted =
+      src.tx->transmit(wire_bytes, [this, &src, &dst, wire_bytes] {
+        sched_.schedule_after(cost::kSwitchLatencyNs, [&src, &dst, wire_bytes] {
+          PD_CHECK(!src.in_flight.empty(), "fabric relay with no callback");
+          sim::EventFn done = std::move(src.in_flight.front());
+          src.in_flight.pop_front();
+          dst.rx->transmit(wire_bytes, std::move(done));
+        });
+      });
+  if (!accepted) src.in_flight.pop_back();  // dropped at egress: unwind
 }
 
 }  // namespace pd::fabric

@@ -7,13 +7,14 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <unordered_map>
 
 #include "common/ids.hpp"
 #include "common/units.hpp"
 #include "proto/cost_model.hpp"
+#include "sim/event_fn.hpp"
+#include "sim/fifo_ring.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
 
@@ -33,7 +34,8 @@ class Link {
   /// Transmit `bytes`; `delivered` fires when the last bit exits the far
   /// end of the link. Dropped frames (down/lossy link) never fire
   /// `delivered` — loss is silent at this layer, exactly like a wire.
-  void transmit(Bytes bytes, std::function<void()> delivered);
+  /// Returns false when the frame was dropped (callback destroyed unfired).
+  bool transmit(Bytes bytes, sim::EventFn delivered);
 
   void set_down(bool down) { down_ = down; }
   [[nodiscard]] bool down() const { return down_; }
@@ -74,8 +76,7 @@ class Switch {
 
   /// Deliver `bytes` (payload; wire overhead added internally) from one
   /// attached node to another. `delivered` fires at the receiver.
-  void send(NodeId from, NodeId to, Bytes bytes,
-            std::function<void()> delivered);
+  void send(NodeId from, NodeId to, Bytes bytes, sim::EventFn delivered);
 
   // --- fault hooks ----------------------------------------------------------
 
@@ -100,6 +101,11 @@ class Switch {
   struct Port {
     std::unique_ptr<Link> tx;
     std::unique_ptr<Link> rx;
+    /// Delivery callbacks for frames in flight from this port, FIFO. The
+    /// egress link and the constant switch hop preserve per-port order, so
+    /// the relay events need only capture `this` + port pointers (staying
+    /// inside EventFn's inline buffer) and pop their callback here.
+    sim::FifoRing<sim::EventFn> in_flight;
   };
 
   Port& port(NodeId node);

@@ -149,6 +149,14 @@ sim::Core& ProxyIngress::rx_core(int worker) {
   return cores_.core(static_cast<std::size_t>(worker));
 }
 
+sim::Core& ProxyIngress::pick_core(int worker) {
+  // Kernel stack: the OS scheduler migrates softirq/worker processing to
+  // whichever core is least busy. User-level stacks pin each worker's
+  // connections to its own core.
+  return config_.stack == proto::StackKind::kKernel ? cores_.least_loaded()
+                                                    : rx_core(worker);
+}
+
 void ProxyIngress::finish_setup() {
   PD_CHECK(!setup_done_, "proxy setup done twice");
   PD_CHECK(!targets_.empty(), "no chains exposed");
@@ -289,9 +297,7 @@ void ProxyIngress::client_send(int client, std::string bytes) {
 void ProxyIngress::on_client_bytes(int client, std::string_view bytes) {
   ClientConn& c = *clients_.at(static_cast<std::size_t>(client));
   auto data = std::make_shared<std::string>(bytes);
-  sim::Core& core = config_.stack == proto::StackKind::kKernel
-                        ? cores_.least_loaded()
-                        : rx_core(c.worker);
+  sim::Core& core = pick_core(c.worker);
   core.submit(parse_cost(bytes.size()), [this, client, data] {
     proto::HttpRequestParser parser;
     auto [status, consumed] = parser.feed(*data);
@@ -314,10 +320,7 @@ void ProxyIngress::on_client_bytes(int client, std::string_view bytes) {
     // NGINX upstream machinery: connection bookkeeping, header rewrite,
     // request buffering toward the worker gateway.
     ClientConn& cc = *clients_.at(static_cast<std::size_t>(client));
-    sim::Core& fwd_core = config_.stack == proto::StackKind::kKernel
-                              ? cores_.least_loaded()
-                              : rx_core(cc.worker);
-    fwd_core.submit(cost::kNginxProxyForwardNs);
+    pick_core(cc.worker).submit(cost::kNginxProxyForwardNs);
 
     // Rewrite + tag, then proxy to the worker gateway over TCP.
     const std::uint64_t tag = next_tag_++;
@@ -332,9 +335,7 @@ void ProxyIngress::on_client_bytes(int client, std::string_view bytes) {
 void ProxyIngress::on_gateway_bytes(NodeId gateway, std::string_view bytes) {
   (void)gateway;
   auto data = std::make_shared<std::string>(bytes);
-  sim::Core& core = config_.stack == proto::StackKind::kKernel
-                        ? cores_.least_loaded()
-                        : rx_core(0);
+  sim::Core& core = pick_core(0);
   core.submit(parse_cost(bytes.size()), [this, data, &core] {
     proto::HttpResponseParser parser;
     auto [status, consumed] = parser.feed(*data);

@@ -109,6 +109,10 @@ class ProxyIngress : public IngressFrontend {
   void autoscale_tick();
   void sample_tick();
   sim::Core& rx_core(int worker);
+  /// Core that processes a unit of proxy work for `worker`: kernel stack
+  /// lets the OS balance onto the least-loaded core; user-level stacks pin
+  /// to the worker's own core.
+  sim::Core& pick_core(int worker);
 
   runtime::Cluster& cluster_;
   Config config_;

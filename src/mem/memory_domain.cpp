@@ -28,7 +28,6 @@ TenantMemory& MemoryDomain::create_tenant_pool(TenantId tenant,
   pools_.push_back(std::move(mem));
   by_prefix_[raw->file_prefix()] = raw;
   by_tenant_[tenant] = raw;
-  by_pool_[pool_id] = raw;
   return *raw;
 }
 
@@ -45,9 +44,13 @@ TenantMemory& MemoryDomain::by_tenant(TenantId tenant) {
 }
 
 TenantMemory& MemoryDomain::by_pool(PoolId pool) {
-  auto it = by_pool_.find(pool);
-  PD_CHECK(it != by_pool_.end(), "unknown pool " << pool << " on node " << node_);
-  return *it->second;
+  // PoolId layout is (node << 16) | creation-order counter starting at 1,
+  // and pools are never removed — the low half indexes pools_ directly.
+  // This lookup runs on every buffer access, so it must not hash.
+  const std::uint32_t idx = (pool.value() & 0xffff) - 1;
+  PD_CHECK((pool.value() >> 16) == node_.value() && idx < pools_.size(),
+           "unknown pool " << pool << " on node " << node_);
+  return *pools_[idx];
 }
 
 bool MemoryDomain::has_tenant(TenantId tenant) const {

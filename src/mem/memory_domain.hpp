@@ -73,7 +73,6 @@ class MemoryDomain {
   std::vector<std::unique_ptr<TenantMemory>> pools_;
   std::unordered_map<std::string, TenantMemory*> by_prefix_;
   std::unordered_map<TenantId, TenantMemory*> by_tenant_;
-  std::unordered_map<PoolId, TenantMemory*> by_pool_;
   std::uint32_t next_pool_id_ = 1;
 };
 

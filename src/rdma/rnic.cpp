@@ -43,22 +43,60 @@ const char* to_string(QpState s) {
 // CompletionQueue
 // ---------------------------------------------------------------------------
 
+void CompletionQueue::fire_notify() {
+  if (coalesce_timer_ != sim::kInvalidEvent) {
+    sched_->cancel(coalesce_timer_);
+    coalesce_timer_ = sim::kInvalidEvent;
+  }
+  ++notifies_;
+  notify_();
+}
+
 void CompletionQueue::push(Completion c) {
   const bool was_empty = entries_.empty();
   entries_.push_back(std::move(c));
   ++total_;
-  if (was_empty && notify_) notify_();
+  if (!notify_) return;
+  if (!coalescing()) {
+    if (was_empty) {
+      ++notifies_;
+      notify_();
+    }
+    return;
+  }
+  if (entries_.size() >= coalesce_batch_) {
+    fire_notify();
+    return;
+  }
+  if (was_empty && coalesce_timer_ == sim::kInvalidEvent) {
+    // Foreground: the parked completions must still be delivered before
+    // run() declares the simulation drained.
+    coalesce_timer_ = sched_->schedule_after(coalesce_window_, [this] {
+      coalesce_timer_ = sim::kInvalidEvent;
+      if (!entries_.empty() && notify_) {
+        ++notifies_;
+        notify_();
+      }
+    });
+  }
 }
 
 std::vector<Completion> CompletionQueue::poll(std::size_t max) {
   std::vector<Completion> out;
+  poll_into(out, max);
+  return out;
+}
+
+std::size_t CompletionQueue::poll_into(std::vector<Completion>& out,
+                                       std::size_t max) {
+  out.clear();
   const std::size_t n = std::min(max, entries_.size());
   out.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     out.push_back(std::move(entries_.front()));
     entries_.pop_front();
   }
-  return out;
+  return n;
 }
 
 // ---------------------------------------------------------------------------
@@ -170,12 +208,12 @@ void Rnic::register_memory(PoolId pool) {
   auto& tm = host_mem_.by_pool(pool);
   PD_CHECK(tm.exported_to_rdma(),
            "pool " << pool << " not exported for RDMA before registration");
-  registered_[pool] = true;
+  if (registered_.size() <= pool.value()) registered_.resize(pool.value() + 1);
+  registered_[pool.value()] = 1;
 }
 
 bool Rnic::memory_registered(PoolId pool) const {
-  auto it = registered_.find(pool);
-  return it != registered_.end() && it->second;
+  return pool.value() < registered_.size() && registered_[pool.value()] != 0;
 }
 
 QueuePair& Rnic::create_qp(TenantId tenant) {

@@ -187,7 +187,9 @@ class Rnic {
   std::uint32_t next_qp_ = 1;
   int active_qps_ = 0;
 
-  std::unordered_map<PoolId, bool> registered_;
+  /// Registered-MR flags, flat-indexed by PoolId value (checked on every
+  /// WR post and SRQ post — a hash lookup here shows up in profiles).
+  std::vector<char> registered_;
   std::unordered_map<TenantId, std::deque<mem::BufferDescriptor>> srqs_;
   /// Messages that hit an empty SRQ wait here (RNR retry behaviour).
   struct PendingRecv {

@@ -17,17 +17,43 @@ Duration Core::scale(Duration ref_work) const {
   return std::max<Duration>(scaled, 1);
 }
 
+Duration Core::consume_scaled(Duration ref_work) {
+  PD_CHECK(ref_work >= 0, "negative work");
+  if (ref_work == 0) return 0;
+  const double ideal =
+      static_cast<double>(ref_work) / speed_ + scale_carry_;
+  auto scaled = static_cast<Duration>(ideal);
+  scale_carry_ = ideal - static_cast<double>(scaled);
+  if (scaled == 0) {
+    // Positive work always costs at least 1 ns (and the carry is dropped so
+    // very fast cores keep the pre-existing overcharge rather than banking
+    // negative time).
+    scaled = 1;
+    scale_carry_ = 0.0;
+  }
+  return scaled;
+}
+
 Duration Core::backlog() const {
   return std::max<Duration>(0, free_at_ - sched_.now());
 }
 
-void Core::submit(Duration ref_work, std::function<void()> done) {
-  const Duration scaled = scale(ref_work);
+void Core::submit(Duration ref_work, EventFn done) {
+  const Duration scaled = consume_scaled(ref_work);
   free_at_ = std::max(free_at_, sched_.now()) + scaled;
-  sched_.schedule_at(free_at_, [this, scaled, done = std::move(done)] {
-    busy_ns_ += scaled;
-    if (done) done();
-  });
+  // Jobs complete FIFO (completion times are monotone and the scheduler
+  // tie-breaks FIFO), so the event only needs `this`: the completion data
+  // waits in jobs_ instead of bloating the scheduled callback.
+  jobs_.push_back(Job{scaled, std::move(done)});
+  sched_.schedule_at(free_at_, [this] { complete_front(); });
+}
+
+void Core::complete_front() {
+  PD_CHECK(!jobs_.empty(), "core completion with no queued job");
+  Job job = std::move(jobs_.front());
+  jobs_.pop_front();
+  busy_ns_ += job.scaled;
+  if (job.done) job.done();
 }
 
 CoreSet::CoreSet(Scheduler& sched, std::string prefix, std::size_t n,
@@ -64,12 +90,21 @@ void UtilizationProbe::start() {
   PD_CHECK(!running_, "probe already running");
   running_ = true;
   last_busy_ = core_.busy_ns();
-  sched_.schedule_background_after(period_, [this] { sample(); });
+  pending_ = sched_.schedule_background_after(period_, [this] { sample(); });
 }
 
-void UtilizationProbe::stop() { running_ = false; }
+void UtilizationProbe::stop() {
+  running_ = false;
+  // Cancel the in-flight sampling event: were it left live, a later
+  // start() would spawn a second chain and double-count utilization.
+  if (pending_ != kInvalidEvent) {
+    sched_.cancel(pending_);
+    pending_ = kInvalidEvent;
+  }
+}
 
 void UtilizationProbe::sample() {
+  pending_ = kInvalidEvent;
   if (!running_) return;
   const Duration busy = core_.busy_ns();
   const double util =
@@ -80,7 +115,7 @@ void UtilizationProbe::sample() {
   // Record at the *start* of the window the sample covers.
   out_.add(sched_.now() - period_, std::min(util, 1.0) * static_cast<double>(period_) /
                                         static_cast<double>(out_.bucket_width()));
-  sched_.schedule_background_after(period_, [this] { sample(); });
+  pending_ = sched_.schedule_background_after(period_, [this] { sample(); });
 }
 
 }  // namespace pd::sim

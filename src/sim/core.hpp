@@ -6,11 +6,11 @@
 // time the job would take on a speed-1.0 host core.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "sim/fifo_ring.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
@@ -26,7 +26,7 @@ class Core {
 
   /// Enqueue `ref_work` reference-nanoseconds of work; `done` fires when it
   /// completes (after all previously submitted work).
-  void submit(Duration ref_work, std::function<void()> done = {});
+  void submit(Duration ref_work, EventFn done = {});
 
   /// Total busy time accumulated so far (scaled ns, credited at completion).
   [[nodiscard]] Duration busy_ns() const { return busy_ns_; }
@@ -43,16 +43,32 @@ class Core {
   void set_busy_poll(bool v) { busy_poll_ = v; }
   [[nodiscard]] bool busy_poll() const { return busy_poll_; }
 
-  /// Convert reference work to this core's scaled duration.
+  /// Convert reference work to this core's scaled duration (stateless
+  /// estimate, truncating fractional ns; submit() itself carries the
+  /// fractional remainder across work items so repeated small jobs on a
+  /// fractional-speed core don't drift — §4.3.1 DPU time accounting).
   [[nodiscard]] Duration scale(Duration ref_work) const;
 
  private:
+  struct Job {
+    Duration scaled = 0;
+    EventFn done;
+  };
+
+  /// scale() plus the per-core fractional-ns carry (mutates carry state).
+  Duration consume_scaled(Duration ref_work);
+  void complete_front();
+
   Scheduler& sched_;
   std::string name_;
   double speed_;
   TimePoint free_at_ = 0;
   Duration busy_ns_ = 0;
+  /// Fractional nanoseconds not yet charged (always in [0, 1)).
+  double scale_carry_ = 0.0;
   bool busy_poll_ = false;
+  /// In-flight work in completion (FIFO) order.
+  FifoRing<Job> jobs_;
 };
 
 /// A pool of identical cores (e.g. the host CPU's cores available to the
@@ -91,6 +107,9 @@ class UtilizationProbe {
   TimeSeries& out_;
   Duration last_busy_ = 0;
   bool running_ = false;
+  /// The pending sampling event, cancelled on stop() so a later start()
+  /// cannot leave two sampling chains double-counting utilization.
+  EventId pending_ = kInvalidEvent;
 };
 
 }  // namespace pd::sim

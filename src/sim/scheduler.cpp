@@ -1,55 +1,115 @@
 #include "sim/scheduler.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace pd::sim {
 
-EventId Scheduler::schedule_impl(TimePoint t, std::function<void()> fn,
-                                 bool background) {
+EventId Scheduler::schedule_impl(TimePoint t, EventFn fn, bool background) {
   PD_CHECK(t >= now_, "scheduling into the past: t=" << t << " now=" << now_);
-  PD_CHECK(fn != nullptr, "null event callback");
-  const EventId id = next_id_++;
-  queue_.push(Entry{t, id, std::move(fn), background});
-  live_.emplace(id, background);
+  PD_CHECK(static_cast<bool>(fn), "null event callback");
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slab_.size());
+    PD_CHECK(slot != kNpos, "event slab exhausted");
+    slab_.emplace_back();
+  }
+  Node& n = slab_[slot];
+  n.fn = std::move(fn);
+  n.background = background;
+  n.heap_pos = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(HeapEntry{t, next_seq_++, slot});
+  sift_up(heap_.size() - 1);
   if (!background) ++foreground_live_;
-  return id;
-}
-
-EventId Scheduler::schedule_at(TimePoint t, std::function<void()> fn) {
-  return schedule_impl(t, std::move(fn), /*background=*/false);
-}
-
-EventId Scheduler::schedule_background_at(TimePoint t,
-                                          std::function<void()> fn) {
-  return schedule_impl(t, std::move(fn), /*background=*/true);
+  // slot+1 keeps every valid id distinct from kInvalidEvent.
+  return (static_cast<EventId>(n.gen) << 32) | (slot + 1);
 }
 
 bool Scheduler::cancel(EventId id) {
-  auto it = live_.find(id);
-  if (it == live_.end()) return false;
-  if (!it->second) --foreground_live_;
-  live_.erase(it);
+  const auto lo = static_cast<std::uint32_t>(id);
+  if (lo == 0) return false;
+  const std::uint32_t slot = lo - 1;
+  if (slot >= slab_.size()) return false;
+  Node& n = slab_[slot];
+  if (n.heap_pos == kNpos || n.gen != static_cast<std::uint32_t>(id >> 32)) {
+    return false;  // already fired, already cancelled, or slot reused
+  }
+  if (!n.background) --foreground_live_;
+  heap_remove(n.heap_pos);
+  n.fn = {};  // release captured state eagerly
+  free_slot(slot);
   return true;
 }
 
-bool Scheduler::pop_one() {
-  while (!queue_.empty()) {
-    // priority_queue::top is const; we need to move the callback out.
-    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
-    queue_.pop();
-    auto it = live_.find(entry.id);
-    if (it == live_.end()) {
-      continue;  // cancelled
-    }
-    live_.erase(it);
-    if (!entry.background) --foreground_live_;
-    PD_CHECK(entry.t >= now_, "event queue went backwards");
-    now_ = entry.t;
-    ++processed_;
-    entry.fn();
-    return true;
+void Scheduler::sift_up(std::size_t pos) {
+  const HeapEntry entry = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 4;
+    if (!entry.before(heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    slab_[heap_[pos].slot].heap_pos = static_cast<std::uint32_t>(pos);
+    pos = parent;
   }
-  return false;
+  heap_[pos] = entry;
+  slab_[entry.slot].heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+void Scheduler::sift_down(std::size_t pos) {
+  const HeapEntry entry = heap_[pos];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = pos * 4 + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t end = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (heap_[c].before(heap_[best])) best = c;
+    }
+    if (!heap_[best].before(entry)) break;
+    heap_[pos] = heap_[best];
+    slab_[heap_[pos].slot].heap_pos = static_cast<std::uint32_t>(pos);
+    pos = best;
+  }
+  heap_[pos] = entry;
+  slab_[entry.slot].heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+void Scheduler::heap_remove(std::uint32_t pos) {
+  slab_[heap_[pos].slot].heap_pos = kNpos;
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (pos < heap_.size()) {
+    heap_[pos] = last;
+    slab_[last.slot].heap_pos = pos;
+    sift_down(pos);
+    if (slab_[last.slot].heap_pos == pos) sift_up(pos);
+  }
+}
+
+void Scheduler::free_slot(std::uint32_t slot) {
+  ++slab_[slot].gen;
+  free_slots_.push_back(slot);
+}
+
+bool Scheduler::pop_one() {
+  if (heap_.empty()) return false;
+  const HeapEntry root = heap_[0];
+  Node& n = slab_[root.slot];
+  PD_CHECK(root.t >= now_, "event queue went backwards");
+  now_ = root.t;
+  // Move the callable out before firing: the callback may schedule new
+  // events, which can grow the slab and relocate nodes.
+  EventFn fn = std::move(n.fn);
+  const bool background = n.background;
+  heap_remove(0);
+  free_slot(root.slot);
+  if (!background) --foreground_live_;
+  ++processed_;
+  fn();
+  return true;
 }
 
 std::size_t Scheduler::run() {
@@ -61,13 +121,7 @@ std::size_t Scheduler::run() {
 std::size_t Scheduler::run_until(TimePoint deadline) {
   PD_CHECK(deadline >= now_, "deadline in the past");
   std::size_t n = 0;
-  while (!queue_.empty()) {
-    // Skip cancelled entries at the head so the timestamp check is accurate.
-    if (live_.find(queue_.top().id) == live_.end()) {
-      queue_.pop();  // cancelled
-      continue;
-    }
-    if (queue_.top().t > deadline) break;
+  while (!heap_.empty() && heap_[0].t <= deadline) {
     if (pop_one()) ++n;
   }
   now_ = deadline;

@@ -4,20 +4,30 @@
 // node, NIC, DPU core and client shares the same virtual clock. Events at
 // equal timestamps fire in insertion order (FIFO tie-break), which makes a
 // run fully reproducible for a given seed.
+//
+// Hot-path layout: pending events live in a slab (reused slots, callable
+// constructed in place — no per-event allocation for inline-sized
+// callables) and are ordered by a 4-ary min-heap whose entries carry the
+// (t, seq) sort key inline, so sifting never dereferences the slab (one
+// contiguous array walk instead of a pointer chase per comparison).
+// Handles carry a per-slot generation, so cancel() is an O(log n)
+// intrusive heap removal instead of a tombstone in a side map — there is
+// no per-event unordered_map and cancelled entries never linger in the
+// queue.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "common/check.hpp"
+#include "sim/event_fn.hpp"
 #include "sim/time.hpp"
 
 namespace pd::sim {
 
-/// Opaque handle for cancelling a scheduled event.
+/// Opaque handle for cancelling a scheduled event. Encodes slab slot and
+/// generation; a handle for an event that already fired (or was cancelled)
+/// goes stale even after the slot is reused.
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
@@ -30,22 +40,26 @@ class Scheduler {
   [[nodiscard]] TimePoint now() const { return now_; }
 
   /// Schedule `fn` at absolute time `t` (must be >= now()).
-  EventId schedule_at(TimePoint t, std::function<void()> fn);
+  EventId schedule_at(TimePoint t, EventFn fn) {
+    return schedule_impl(t, std::move(fn), /*background=*/false);
+  }
 
   /// Schedule `fn` after `d` nanoseconds of virtual time.
-  EventId schedule_after(Duration d, std::function<void()> fn) {
+  EventId schedule_after(Duration d, EventFn fn) {
     PD_CHECK(d >= 0, "negative delay " << d);
-    return schedule_at(now_ + d, std::move(fn));
+    return schedule_impl(now_ + d, std::move(fn), /*background=*/false);
   }
 
   /// Background events (periodic housekeeping: SRQ replenishers, samplers,
   /// autoscaler ticks) do not keep run() alive: run() returns once only
   /// background events remain. They still fire while foreground work is in
   /// flight, and always fire under run_until().
-  EventId schedule_background_at(TimePoint t, std::function<void()> fn);
-  EventId schedule_background_after(Duration d, std::function<void()> fn) {
+  EventId schedule_background_at(TimePoint t, EventFn fn) {
+    return schedule_impl(t, std::move(fn), /*background=*/true);
+  }
+  EventId schedule_background_after(Duration d, EventFn fn) {
     PD_CHECK(d >= 0, "negative delay " << d);
-    return schedule_background_at(now_ + d, std::move(fn));
+    return schedule_impl(now_ + d, std::move(fn), /*background=*/true);
   }
 
   /// Cancel a pending event. Returns false if it already fired / was
@@ -62,32 +76,46 @@ class Scheduler {
   /// Process at most `n` events (for step-debugging in tests).
   std::size_t run_steps(std::size_t n);
 
-  [[nodiscard]] std::size_t pending() const { return live_.size(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
 
  private:
-  struct Entry {
-    TimePoint t;
-    EventId id;
-    std::function<void()> fn;
+  static constexpr std::uint32_t kNpos = 0xffffffff;
+
+  struct Node {
+    EventFn fn;
+    std::uint32_t gen = 1;        ///< bumped on free; stales old EventIds
+    std::uint32_t heap_pos = kNpos;
     bool background = false;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.id > b.id;  // FIFO among equal timestamps
+
+  struct HeapEntry {
+    TimePoint t;
+    std::uint64_t seq;  ///< FIFO tie-break among equal timestamps
+    std::uint32_t slot;
+
+    [[nodiscard]] bool before(const HeapEntry& o) const {
+      if (t != o.t) return t < o.t;
+      return seq < o.seq;
     }
   };
 
-  EventId schedule_impl(TimePoint t, std::function<void()> fn, bool background);
+  EventId schedule_impl(TimePoint t, EventFn fn, bool background);
   bool pop_one();  // fire the earliest live event; false if queue empty
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  /// Pending events: id -> background flag.
-  std::unordered_map<EventId, bool> live_;
+  void sift_up(std::size_t pos);
+  void sift_down(std::size_t pos);
+  /// Detach heap_[pos] from the heap and restore the heap property.
+  void heap_remove(std::uint32_t pos);
+  void free_slot(std::uint32_t slot);
+
+  std::vector<Node> slab_;
+  std::vector<std::uint32_t> free_slots_;
+  /// 4-ary min-heap ordered by (t, seq); keys live in the entries.
+  std::vector<HeapEntry> heap_;
   std::size_t foreground_live_ = 0;
   TimePoint now_ = 0;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t processed_ = 0;
 };
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+
 namespace pd::sim {
 namespace {
 
@@ -114,6 +116,77 @@ TEST(UtilizationProbe, MeasuresBusyFraction) {
   s.run();
   EXPECT_NEAR(util.bucket_value(0), 0.4, 0.01);
   EXPECT_NEAR(util.bucket_value(1), 0.0, 0.01);
+}
+
+TEST(Core, FractionalSpeedCarriesRemainderWithoutDrift) {
+  // Regression: speeds that don't divide the work evenly used to truncate
+  // the sub-ns remainder on every job. A 0.54-speed core running 1e6 jobs
+  // of 10 ns dropped ~5.2 ms of simulated time (18.0 ms observed vs the
+  // closed-form 10e6/0.54 = 18.518 ms). The carry accumulator bounds the
+  // total error to under 1 ns regardless of job count.
+  Scheduler s;
+  Core core(s, "dpu0", 0.54);
+  constexpr int kJobs = 1'000'000;
+  constexpr Duration kWork = 10;
+  int done = 0;
+  // Chain the submissions so the queue stays shallow.
+  std::function<void()> next = [&] {
+    ++done;
+    if (done < kJobs) core.submit(kWork, [&] { next(); });
+  };
+  core.submit(kWork, [&] { next(); });
+  s.run();
+  EXPECT_EQ(done, kJobs);
+  const double ideal = static_cast<double>(kJobs) * kWork / 0.54;
+  EXPECT_NEAR(static_cast<double>(s.now()), ideal, 1.0);
+  EXPECT_NEAR(static_cast<double>(core.busy_ns()), ideal, 1.0);
+}
+
+TEST(Core, FractionalCarryDoesNotBreakMinimumOneNs) {
+  // The 1-ns clamp for positive work must still hold, and the clamp must
+  // not bank phantom credit that would shorten later jobs.
+  Scheduler s;
+  Core fast(s, "cpu0", 1000.0);
+  for (int i = 0; i < 10; ++i) fast.submit(1);
+  s.run();
+  EXPECT_EQ(s.now(), 10);  // 10 clamped jobs, 1 ns each — no credit leaks
+}
+
+TEST(UtilizationProbe, StopThenRestartDoesNotDoubleSample) {
+  // Regression: stop() did not cancel the in-flight sample event, so a
+  // stop()/start() cycle left two sampling chains running and every bucket
+  // was credited twice (2.0 "utilization" on a fully busy core).
+  Scheduler s;
+  Core core(s, "dne0", 0.5);
+  core.set_busy_poll(true);
+  TimeSeries util(1'000'000);
+  UtilizationProbe probe(s, core, 1'000'000, util);
+  probe.start();
+  s.run_until(500'000);
+  probe.stop();
+  probe.start();  // restart mid-window: exactly one chain must survive
+  s.run_until(3'600'000);
+  probe.stop();
+  s.run();
+  EXPECT_NEAR(util.bucket_value(1), 1.0, 0.01);
+  EXPECT_NEAR(util.bucket_value(2), 1.0, 0.01);
+}
+
+TEST(UtilizationProbe, StopCancelsPendingSample) {
+  // After stop(), no further samples may fire even if the sim keeps
+  // running past the next sampling tick.
+  Scheduler s;
+  Core core(s, "cpu0");
+  core.set_busy_poll(true);  // would report 1.0 if sampled
+  TimeSeries util(1'000'000);
+  UtilizationProbe probe(s, core, 1'000'000, util);
+  probe.start();
+  s.run_until(1'500'000);
+  probe.stop();
+  s.schedule_at(5'000'000, [] {});  // keep the sim alive past ticks 2..4
+  s.run();
+  EXPECT_NEAR(util.bucket_value(2), 0.0, 0.01);
+  EXPECT_NEAR(util.bucket_value(3), 0.0, 0.01);
 }
 
 TEST(UtilizationProbe, BusyPollCoreReportsFull) {

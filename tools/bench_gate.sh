@@ -1,0 +1,35 @@
+#!/bin/sh
+# Wall-clock simulator-performance gate (DESIGN.md §9).
+#
+# Runs the fixed-seed two-node Online Boutique sweep (bench/perf_gate.cpp)
+# and compares against the committed baseline BENCH_PR3.json. Fails loudly
+# when wall-clock events/sec drop more than 10% below the baseline, or when
+# the *simulated* p50/p99 drift more than 1% — the latter means the model
+# changed behavior, which a performance PR must never do.
+#
+# Usage:
+#   tools/bench_gate.sh                 gate against BENCH_PR3.json
+#   tools/bench_gate.sh --record FILE   just run the sweep, JSON to FILE
+#                                       (for refreshing the baseline)
+#
+# Wall-clock numbers are machine-dependent: refresh the baseline and the
+# gate run on the same machine, or expect noise beyond the 10% margin.
+set -e
+cd "$(dirname "$0")/.."
+
+GATE=build/bench/perf_gate
+if [ ! -x "$GATE" ]; then
+  echo "bench_gate: $GATE not built (run: cmake --build build --target perf_gate)" >&2
+  exit 2
+fi
+
+if [ "$1" = "--record" ] && [ -n "$2" ]; then
+  exec "$GATE" --json "$2"
+fi
+
+BASELINE=${1:-BENCH_PR3.json}
+if [ ! -f "$BASELINE" ]; then
+  echo "bench_gate: baseline $BASELINE not found" >&2
+  exit 2
+fi
+exec "$GATE" --check "$BASELINE"

@@ -10,8 +10,17 @@
 #   tools/run_all.sh chaos   build, run the chaos-labeled ctest suite, then
 #                            sweep 10 fault-plan seeds through the boutique
 #                            demo; fails if any seed loses a request
+#   tools/run_all.sh bench   build, then run the wall-clock perf gate sweep
+#                            against the committed BENCH_PR3.json baseline;
+#                            fails on >10% events/sec regression
 set -e
 cd "$(dirname "$0")/.."
+
+if [ "$1" = "bench" ]; then
+  cmake -B build -G Ninja
+  cmake --build build
+  exec tools/bench_gate.sh
+fi
 
 if [ "$1" = "chaos" ]; then
   cmake -B build -G Ninja
