@@ -20,6 +20,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -32,6 +33,7 @@
 #include "ingress/palladium_ingress.hpp"
 #include "runtime/boutique.hpp"
 #include "runtime/cluster.hpp"
+#include "sim/parallel.hpp"
 #include "workload/http_client.hpp"
 
 namespace {
@@ -43,6 +45,7 @@ constexpr NodeId kNode2{2};
 
 struct LoadResult {
   int clients = 0;
+  int threads = 0;  ///< 0 = legacy single-scheduler run
   double wall_sec = 0;
   std::uint64_t events = 0;
   std::uint64_t requests = 0;
@@ -59,13 +62,30 @@ struct LoadResult {
   }
 };
 
-LoadResult run_load(int clients, sim::Duration warm_ns, sim::Duration run_ns) {
-  sim::Scheduler sched;
+/// `threads` == 0 runs the legacy single-scheduler simulation; > 0 shards
+/// the cluster (one shard per node plus the edge shard) across that many
+/// OS threads via the epoch-barrier parallel loop. Simulated results are
+/// identical for every threads > 0 value; only wall-clock changes.
+LoadResult run_load(int clients, sim::Duration warm_ns, sim::Duration run_ns,
+                    int threads = 0) {
+  std::unique_ptr<sim::ParallelSim> psim;
+  std::unique_ptr<sim::Scheduler> solo;
   runtime::ClusterConfig cfg;
   cfg.cpu_cores_per_node = 16;
   cfg.pool_buffers = 2048;
   cfg.system = runtime::SystemKind::kPalladiumDne;
-  auto cluster = std::make_unique<runtime::Cluster>(sched, cfg);
+  std::unique_ptr<runtime::Cluster> cluster;
+  sim::Scheduler* sched = nullptr;
+  if (threads > 0) {
+    psim = std::make_unique<sim::ParallelSim>(
+        /*shards=*/3, /*os_threads=*/static_cast<std::size_t>(threads));
+    cluster = std::make_unique<runtime::Cluster>(*psim, cfg);
+    sched = &psim->shard(0);
+  } else {
+    solo = std::make_unique<sim::Scheduler>();
+    sched = solo.get();
+    cluster = std::make_unique<runtime::Cluster>(*sched, cfg);
+  }
   cluster->add_worker(kNode1);
   cluster->add_worker(kNode2);
   runtime::OnlineBoutique::deploy(*cluster, kNode1, kNode2);
@@ -86,26 +106,42 @@ LoadResult run_load(int clients, sim::Duration warm_ns, sim::Duration run_ns) {
   wcfg.target = "/run";
   wcfg.body = std::string(128, 'x');
   wcfg.client_cores = clients;
-  workload::HttpLoadGen wrk(sched, ing, wcfg);
+  workload::HttpLoadGen wrk(*sched, ing, wcfg);
   wrk.add_clients(clients);
 
-  sched.run_until(sched.now() + warm_ns);
-  const auto start = sched.now();
-  const auto events0 = sched.events_processed();
+  const auto run_until = [&](sim::TimePoint t) {
+    if (psim) {
+      psim->run_until(t);
+    } else {
+      sched->run_until(t);
+    }
+  };
+  const auto events_done = [&] {
+    return psim ? psim->events_processed() : sched->events_processed();
+  };
+
+  run_until(sched->now() + warm_ns);
+  const auto start = sched->now();
+  const auto events0 = events_done();
   const auto requests0 = wrk.latencies().count();
   const auto wall0 = std::chrono::steady_clock::now();
-  sched.run_until(start + run_ns);
+  run_until(start + run_ns);
   const auto wall1 = std::chrono::steady_clock::now();
 
   LoadResult r;
   r.clients = clients;
+  r.threads = threads;
   r.wall_sec = std::chrono::duration<double>(wall1 - wall0).count();
-  r.events = sched.events_processed() - events0;
+  r.events = events_done() - events0;
   r.requests = wrk.latencies().count() - requests0;
   r.sim_p50_ms = static_cast<double>(wrk.latencies().quantile(0.5)) / 1e6;
   r.sim_p99_ms = static_cast<double>(wrk.latencies().quantile(0.99)) / 1e6;
   wrk.stop();
-  sched.run();
+  if (psim) {
+    psim->run();
+  } else {
+    sched->run();
+  }
   return r;
 }
 
@@ -132,7 +168,8 @@ std::string emit_json(const std::vector<LoadResult>& results) {
      << "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
-    os << "    {\"clients\": " << r.clients << ", \"wall_sec\": " << r.wall_sec
+    os << "    {\"clients\": " << r.clients << ", \"threads\": " << r.threads
+       << ", \"wall_sec\": " << r.wall_sec
        << ", \"events\": " << r.events << ", \"requests\": " << r.requests
        << ", \"wall_events_per_sec\": " << r.events_per_sec()
        << ", \"events_per_request\": " << r.events_per_request()
@@ -182,7 +219,7 @@ int check_against(const std::string& path, const std::string& current_json) {
   const auto gate_at = base.find("\"gate\"", from);
   if (gate_at != std::string::npos) from = gate_at;
 
-  double base_eps = 0, base_p50 = 0, base_p99 = 0;
+  double base_eps = 0, base_p50 = 0, base_p99 = 0, base_rss = 0;
   if (!find_number(base, "wall_events_per_sec", from, base_eps) ||
       !find_number(base, "sim_p50_ms", from, base_p50) ||
       !find_number(base, "sim_p99_ms", from, base_p99)) {
@@ -190,16 +227,23 @@ int check_against(const std::string& path, const std::string& current_json) {
               << " has no gate numbers\n";
     return 1;
   }
+  const bool has_base_rss = find_number(base, "peak_rss_mib", from, base_rss);
   const auto cur_gate = current_json.find("\"gate\"");
-  double cur_eps = 0, cur_p50 = 0, cur_p99 = 0;
+  double cur_eps = 0, cur_p50 = 0, cur_p99 = 0, cur_rss = 0;
   find_number(current_json, "wall_events_per_sec", cur_gate, cur_eps);
   find_number(current_json, "sim_p50_ms", cur_gate, cur_p50);
   find_number(current_json, "sim_p99_ms", cur_gate, cur_p99);
+  find_number(current_json, "peak_rss_mib", cur_gate, cur_rss);
 
   int rc = 0;
   if (cur_eps < 0.9 * base_eps) {
     std::cerr << "perf_gate: FAIL — wall-clock throughput regressed >10%: "
               << cur_eps << " events/s vs baseline " << base_eps << "\n";
+    rc = 1;
+  }
+  if (has_base_rss && base_rss > 0 && cur_rss > 1.15 * base_rss) {
+    std::cerr << "perf_gate: FAIL — peak RSS regressed >15%: " << cur_rss
+              << " MiB vs baseline " << base_rss << " MiB\n";
     rc = 1;
   }
   for (auto [name, cur, ref] : {std::tuple{"sim_p50_ms", cur_p50, base_p50},
@@ -213,7 +257,8 @@ int check_against(const std::string& path, const std::string& current_json) {
   }
   if (rc == 0) {
     std::cerr << "perf_gate: OK — " << cur_eps << " events/s vs baseline "
-              << base_eps << " (>= 90%), sim p50/p99 within 1%\n";
+              << base_eps << " (>= 90%), sim p50/p99 within 1%"
+              << (has_base_rss ? ", peak RSS within 15%" : "") << "\n";
   }
   return rc;
 }
@@ -222,17 +267,25 @@ int check_against(const std::string& path, const std::string& current_json) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  int threads = 0;
   std::string json_path;
   std::string check_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+      if (threads < 1) {
+        std::cerr << "perf_gate: --threads wants a positive count\n";
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
       check_path = argv[++i];
     } else {
-      std::cerr << "usage: perf_gate [--smoke] [--json FILE] [--check FILE]\n";
+      std::cerr << "usage: perf_gate [--smoke] [--threads N] [--json FILE] "
+                   "[--check FILE]\n";
       return 2;
     }
   }
@@ -241,10 +294,11 @@ int main(int argc, char** argv) {
   if (smoke) {
     // Sub-second sanity pass: the sweep runs, produces traffic, and the
     // event machinery reports sane numbers.
-    results.push_back(run_load(8, 200'000'000, 500'000'000));
+    results.push_back(run_load(8, 200'000'000, 500'000'000, threads));
   } else {
     for (int clients : {20, 60, 80}) {
-      results.push_back(run_load(clients, 1'000'000'000, 2'000'000'000));
+      results.push_back(run_load(clients, 1'000'000'000, 2'000'000'000,
+                                 threads));
     }
   }
   for (const auto& r : results) {

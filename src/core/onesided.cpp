@@ -22,7 +22,7 @@ mem::Actor peer_actor(const rdma::Rnic& rnic) {
 
 TwoSidedEchoPeer::TwoSidedEchoPeer(sim::Core& core, rdma::Rnic& rnic,
                                    TenantId tenant, bool is_server)
-    : sched_(rnic.network().scheduler()),
+    : sched_(rnic.scheduler()),
       core_(core),
       rnic_(rnic),
       tenant_(tenant),
@@ -128,7 +128,7 @@ void TwoSidedEchoPeer::drain_cq() {
 
 OwrcEchoPeer::OwrcEchoPeer(sim::Core& core, rdma::Rnic& rnic, TenantId tenant,
                            bool is_server, bool cold_copy)
-    : sched_(rnic.network().scheduler()),
+    : sched_(rnic.scheduler()),
       core_(core),
       rnic_(rnic),
       tenant_(tenant),
@@ -264,7 +264,7 @@ void OwrcEchoPeer::process_arrival(const mem::BufferDescriptor& slot,
 
 OwdlEchoPeer::OwdlEchoPeer(sim::Core& core, rdma::Rnic& rnic, TenantId tenant,
                            bool is_server)
-    : sched_(rnic.network().scheduler()),
+    : sched_(rnic.scheduler()),
       core_(core),
       rnic_(rnic),
       tenant_(tenant),

@@ -30,14 +30,41 @@ bool Link::transmit(Bytes bytes, sim::EventFn delivered) {
   return true;
 }
 
-void Switch::attach(NodeId node) {
+void Switch::attach(NodeId node) { attach(node, sched_); }
+
+void Switch::attach(NodeId node, sim::Scheduler& sched) {
   PD_CHECK(!attached(node), "node " << node << " already attached");
   Port p;
-  p.tx = std::make_unique<Link>(sched_, port_bandwidth_,
+  p.node = node;
+  p.sched = &sched;
+  p.tx = std::make_unique<Link>(sched, port_bandwidth_,
                                 cost::kFabricPropagationNs / 2);
-  p.rx = std::make_unique<Link>(sched_, port_bandwidth_,
+  p.rx = std::make_unique<Link>(sched, port_bandwidth_,
                                 cost::kFabricPropagationNs / 2);
+  p.rng = port_fault_stream(node);
   ports_.emplace(node, std::move(p));
+}
+
+sim::Rng Switch::port_fault_stream(NodeId node) const {
+  // A pure function of (seed, node): independent of attach order and of
+  // how many draws other ports have consumed — the sharded replay
+  // property.
+  return sim::Rng(fault_seed_ ^
+                  (0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(
+                                                node.value()) +
+                                            1)));
+}
+
+void Switch::set_fault_seed(std::uint64_t seed) {
+  fault_seed_ = seed;
+  fault_rng_ = sim::Rng(seed);
+  for (auto& [node, p] : ports_) p.rng = port_fault_stream(node);
+}
+
+std::uint64_t Switch::frames() const {
+  std::uint64_t total = frames_;
+  for (const auto& [node, p] : ports_) total += p.frames;
+  return total;
 }
 
 bool Switch::attached(NodeId node) const {
@@ -61,7 +88,10 @@ bool Switch::node_down(NodeId node) { return port(node).tx->down(); }
 void Switch::set_node_loss(NodeId node, double p) {
   PD_CHECK(p >= 0.0 && p <= 1.0, "loss probability out of range: " << p);
   Port& port_ref = port(node);
-  sim::Rng* rng = p > 0.0 ? &fault_rng_ : nullptr;
+  // Sharded mode draws from the port's own stream (owner-shard-local);
+  // legacy mode keeps the switch-wide stream so replays stay bit-identical
+  // with the pre-sharding tree.
+  sim::Rng* rng = p > 0.0 ? (sharded() ? &port_ref.rng : &fault_rng_) : nullptr;
   port_ref.tx->set_loss(p, rng);
   port_ref.rx->set_loss(p, rng);
 }
@@ -80,14 +110,36 @@ void Switch::send(NodeId from, NodeId to, Bytes bytes,
   Port& src = port(from);
   Port& dst = port(to);
   const Bytes wire_bytes = bytes + kWireOverheadBytes;
-  ++frames_;
+
+  if (sharded() && src.sched != dst.sched) {
+    // Sharded cross-node path: the drop decision and the egress
+    // serialization queue are sender-owned state, so the frame's arrival
+    // time at the receiver's port is already known here at send time.
+    // Post it across NOW, while the whole egress serialization +
+    // propagation + switch hop (>= cross_node_lookahead()) still lies
+    // ahead — deferring the post into the egress-delivered callback would
+    // shrink the remaining horizon to the switch hop alone and break the
+    // epoch lookahead bound.
+    const sim::TimePoint deliver = src.tx->delivery_time(wire_bytes);
+    if (!src.tx->transmit(wire_bytes, [] {})) return;  // dropped at egress
+    ++src.frames;
+    Link* rx = dst.rx.get();
+    remote_post_(dst.node, deliver + cost::kSwitchLatencyNs,
+                 [rx, wire_bytes, done = std::move(delivered)]() mutable {
+                   rx->transmit(wire_bytes, std::move(done));
+                 });
+    return;
+  }
+
+  sim::Scheduler& sched = *src.sched;
+  if (sharded()) ++src.frames; else ++frames_;
   // Egress serialization -> switch hop -> ingress serialization. The final
   // callback rides src.in_flight (FIFO, see Port) so the two relay events
   // stay small enough for EventFn's inline buffer.
   src.in_flight.push_back(std::move(delivered));
   const bool accepted =
-      src.tx->transmit(wire_bytes, [this, &src, &dst, wire_bytes] {
-        sched_.schedule_after(cost::kSwitchLatencyNs, [&src, &dst, wire_bytes] {
+      src.tx->transmit(wire_bytes, [&sched, &src, &dst, wire_bytes] {
+        sched.schedule_after(cost::kSwitchLatencyNs, [&src, &dst, wire_bytes] {
           PD_CHECK(!src.in_flight.empty(), "fabric relay with no callback");
           sim::EventFn done = std::move(src.in_flight.front());
           src.in_flight.pop_front();

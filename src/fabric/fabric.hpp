@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 
@@ -44,6 +45,15 @@ class Link {
     fault_rng_ = rng;
   }
 
+  /// Absolute time at which a frame enqueued right now would exit the far
+  /// end (serialization queue + transfer + propagation). Pure query: the
+  /// sharded fabric uses it to learn the cross-shard arrival time at send
+  /// time, before the matching transmit() consumes queue capacity.
+  [[nodiscard]] sim::TimePoint delivery_time(Bytes bytes) const {
+    return std::max(busy_until_, sched_.now()) +
+           sim::transfer_time(bytes, bandwidth_) + propagation_;
+  }
+
   [[nodiscard]] Bytes bytes_sent() const { return bytes_sent_; }
   [[nodiscard]] std::uint64_t frames_dropped() const { return frames_dropped_; }
   /// Backlog currently queued on the link, in ns of serialization time.
@@ -64,6 +74,15 @@ class Link {
 /// Per-frame wire overhead (Ethernet + IB/RoCE headers).
 inline constexpr Bytes kWireOverheadBytes = 90;
 
+/// Minimum latency between an event on one node and its earliest possible
+/// effect on another, through this fabric: egress serialization (>= 1 ns by
+/// transfer_time's rounding) + propagation to the switch + the switch hop.
+/// This is the conservative lookahead the parallel simulation runs on; the
+/// receiver-side serialization and remaining propagation only add to it.
+[[nodiscard]] constexpr sim::Duration cross_node_lookahead() {
+  return 1 + cost::kFabricPropagationNs / 2 + cost::kSwitchLatencyNs;
+}
+
 class Switch {
  public:
   explicit Switch(sim::Scheduler& sched,
@@ -72,7 +91,20 @@ class Switch {
 
   /// Attach a node; creates its full-duplex port.
   void attach(NodeId node);
+  /// Shard-aware attach: the port's links (and their events) belong to
+  /// `sched` — the scheduler shard owning the node. With the default
+  /// overload every port shares the switch's scheduler (legacy mode).
+  void attach(NodeId node, sim::Scheduler& sched);
   [[nodiscard]] bool attached(NodeId node) const;
+
+  /// Cross-shard delivery hook for the parallel simulation: posts `fn` to
+  /// the shard owning `dst` at absolute time `t`. Installing it switches
+  /// send() to the sharded path whenever the two ports live on different
+  /// schedulers; port state stays owner-shard-local throughout.
+  using RemotePost =
+      std::function<void(NodeId dst, sim::TimePoint t, sim::EventFn fn)>;
+  void set_remote_post(RemotePost post) { remote_post_ = std::move(post); }
+  [[nodiscard]] bool sharded() const { return remote_post_ != nullptr; }
 
   /// Deliver `bytes` (payload; wire overhead added internally) from one
   /// attached node to another. `delivered` fires at the receiver.
@@ -90,15 +122,21 @@ class Switch {
   /// `set_fault_seed` before arming loss for reproducible plans.
   void set_node_loss(NodeId node, double p);
 
-  /// Reseed the fault stream used for loss draws.
-  void set_fault_seed(std::uint64_t seed) { fault_rng_ = sim::Rng(seed); }
+  /// Reseed the fault stream used for loss draws. In sharded mode every
+  /// port also gets a fresh per-port stream derived from (seed, node), so
+  /// draws stay owner-shard-local yet replay identically for a given seed.
+  void set_fault_seed(std::uint64_t seed);
 
-  [[nodiscard]] std::uint64_t frames() const { return frames_; }
+  [[nodiscard]] std::uint64_t frames() const;
   /// Frames dropped by down/lossy ports, summed over all links.
   [[nodiscard]] std::uint64_t frames_dropped() const;
 
  private:
   struct Port {
+    NodeId node{};
+    /// Scheduler shard owning this port; all of the port's state (links,
+    /// in_flight, rng, frames) is only ever touched from it.
+    sim::Scheduler* sched = nullptr;
     std::unique_ptr<Link> tx;
     std::unique_ptr<Link> rx;
     /// Delivery callbacks for frames in flight from this port, FIFO. The
@@ -106,15 +144,22 @@ class Switch {
     /// the relay events need only capture `this` + port pointers (staying
     /// inside EventFn's inline buffer) and pop their callback here.
     sim::FifoRing<sim::EventFn> in_flight;
+    /// Per-port loss-draw stream (sharded mode only; legacy mode draws
+    /// from the switch-wide fault_rng_ in global event order).
+    sim::Rng rng{0};
+    std::uint64_t frames = 0;  ///< egress frames (sharded mode)
   };
 
   Port& port(NodeId node);
+  [[nodiscard]] sim::Rng port_fault_stream(NodeId node) const;
 
   sim::Scheduler& sched_;
   BitsPerSec port_bandwidth_;
   std::unordered_map<NodeId, Port> ports_;
   std::uint64_t frames_ = 0;
+  std::uint64_t fault_seed_ = 0xFA17ED5EEDULL;
   sim::Rng fault_rng_{0xFA17ED5EEDULL};
+  RemotePost remote_post_;
 };
 
 }  // namespace pd::fabric

@@ -106,9 +106,109 @@ ChaosController::ChaosController(runtime::Cluster& cluster, FaultPlan plan)
 void ChaosController::arm() {
   PD_CHECK(!armed_, "chaos plan armed twice");
   armed_ = true;
+  if (cluster_.sharded()) {
+    arm_sharded();
+    return;
+  }
   sim::Scheduler& sched = cluster_.scheduler();
   for (const FaultEvent& e : plan_.events) {
     sched.schedule_background_at(e.at, [this, e] { apply(e); });
+  }
+}
+
+void ChaosController::count(const FaultEvent& e) {
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  if (auto* hub = obs::hub()) {
+    hub->registry
+        .counter("chaos.faults_injected",
+                 std::string("kind=") + to_string(e.kind))
+        .inc();
+  }
+}
+
+void ChaosController::arm_sharded() {
+  // Parallel mode: every fault is pre-split at arm time (before the run
+  // starts) into per-shard events that fire at the exact legacy times.
+  // Each piece executes on the scheduler that owns the state it mutates —
+  // a node's fabric port, RNIC, and engine core all live on the node's
+  // shard — so chaos never writes across shards, and because the whole
+  // timeline is scheduled up front its per-shard event order is fixed by
+  // the plan, not by thread interleaving. Same seed, same replay, for any
+  // --threads value.
+  auto* net = cluster_.rdma_net();
+  for (const FaultEvent& e : plan_.events) {
+    sim::Scheduler& owner = cluster_.scheduler_for(e.node);
+    owner.schedule_background_at(e.at, [this, e] { count(e); });
+    switch (e.kind) {
+      case FaultKind::kLinkDown:
+        PD_CHECK(net != nullptr, "link fault on a non-RDMA cluster");
+        owner.schedule_background_at(e.at, [this, e] {
+          cluster_.rdma_net()->fabric().set_node_down(e.node, true);
+        });
+        owner.schedule_background_at(e.at + e.duration, [this, e] {
+          cluster_.rdma_net()->fabric().set_node_down(e.node, false);
+        });
+        break;
+      case FaultKind::kLinkLoss:
+        PD_CHECK(net != nullptr, "link fault on a non-RDMA cluster");
+        owner.schedule_background_at(e.at, [this, e] {
+          cluster_.rdma_net()->fabric().set_node_loss(e.node, e.loss);
+        });
+        owner.schedule_background_at(e.at + e.duration, [this, e] {
+          cluster_.rdma_net()->fabric().set_node_loss(e.node, 0.0);
+        });
+        break;
+      case FaultKind::kQpFail:
+        PD_CHECK(net != nullptr, "qp fault on a non-RDMA cluster");
+        owner.schedule_background_at(e.at, [this, e] {
+          auto* n = cluster_.rdma_net();
+          if (n->has_rnic(e.node)) n->rnic(e.node).fail_qps(e.peer);
+        });
+        if (e.peer.valid()) {
+          cluster_.scheduler_for(e.peer).schedule_background_at(
+              e.at, [this, e] {
+                auto* n = cluster_.rdma_net();
+                if (n->has_rnic(e.peer)) n->rnic(e.peer).fail_qps(e.node);
+              });
+        }
+        break;
+      case FaultKind::kSrqDrain:
+        PD_CHECK(net != nullptr, "srq fault on a non-RDMA cluster");
+        owner.schedule_background_at(e.at, [this, e] {
+          auto* n = cluster_.rdma_net();
+          if (n->has_rnic(e.node)) n->rnic(e.node).drain_all_srqs();
+        });
+        break;
+      case FaultKind::kEngineStall:
+        owner.schedule_background_at(e.at, [this, e] {
+          cluster_.worker(e.node).engine_core().submit(e.duration);
+        });
+        break;
+      case FaultKind::kNodeCrash: {
+        PD_CHECK(net != nullptr, "crash fault on a non-RDMA cluster");
+        PD_CHECK(cluster_.has_worker(e.node), "unknown worker " << e.node);
+        owner.schedule_background_at(e.at, [this, e] {
+          cluster_.rdma_net()->fabric().set_node_down(e.node, true);
+        });
+        // fail_node_qps(), split: each RNIC drops its QPs to the crashed
+        // node on its own shard (the crashed node drops everything).
+        for (NodeId n : net->rnic_nodes()) {
+          cluster_.scheduler_for(n).schedule_background_at(
+              e.at, [this, e, n] {
+                auto* rn = cluster_.rdma_net();
+                if (n == e.node) {
+                  rn->rnic(n).fail_qps();
+                } else {
+                  rn->rnic(n).fail_qps(e.node);
+                }
+              });
+        }
+        owner.schedule_background_at(e.at + e.duration, [this, e] {
+          cluster_.rdma_net()->fabric().set_node_down(e.node, false);
+        });
+        break;
+      }
+    }
   }
 }
 

@@ -10,6 +10,7 @@
 // alone.
 #pragma once
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -78,20 +79,26 @@ class ChaosController {
   /// loss is part of the same deterministic replay.
   ChaosController(runtime::Cluster& cluster, FaultPlan plan);
 
-  /// Schedule every episode (and its recovery). Call before run().
+  /// Schedule every episode (and its recovery). Call before run(). On a
+  /// sharded (parallel) cluster the timeline is pre-split onto the shards
+  /// owning each piece of mutated state, at the exact same virtual times.
   void arm();
 
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
   /// Episodes applied so far (grows as virtual time passes).
-  [[nodiscard]] std::uint64_t injected() const { return injected_; }
+  [[nodiscard]] std::uint64_t injected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
 
  private:
   void apply(const FaultEvent& e);
   void recover(const FaultEvent& e);
+  void arm_sharded();
+  void count(const FaultEvent& e);
 
   runtime::Cluster& cluster_;
   FaultPlan plan_;
-  std::uint64_t injected_ = 0;
+  std::atomic<std::uint64_t> injected_{0};
   bool armed_ = false;
 };
 

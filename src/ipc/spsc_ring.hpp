@@ -29,6 +29,13 @@ class SpscRing {
   SpscRing(const SpscRing&) = delete;
   SpscRing& operator=(const SpscRing&) = delete;
 
+  /// Producer-side fullness probe (exact from the producer thread). Lets a
+  /// caller with a move-only T avoid losing the value to a failed push.
+  [[nodiscard]] bool full() const {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    return ((head + 1) & mask_) == tail_.load(std::memory_order_acquire);
+  }
+
   /// Producer side. Returns false when full (caller decides: drop or retry).
   bool try_push(T value) {
     const std::size_t head = head_.load(std::memory_order_relaxed);

@@ -4,13 +4,20 @@ namespace pd::obs {
 
 namespace {
 Hub* g_hub = nullptr;
+thread_local Hub* tl_hub = nullptr;
 }  // namespace
 
-Hub* hub() { return g_hub; }
+Hub* hub() { return tl_hub != nullptr ? tl_hub : g_hub; }
 
 Hub* install_hub(Hub* h) {
   Hub* prev = g_hub;
   g_hub = h;
+  return prev;
+}
+
+Hub* install_thread_hub(Hub* h) {
+  Hub* prev = tl_hub;
+  tl_hub = h;
   return prev;
 }
 

@@ -23,12 +23,20 @@ struct Hub {
   Tracer tracer{&registry};
 };
 
-/// Currently installed hub, or nullptr when observability is off.
+/// Currently installed hub, or nullptr when observability is off. A
+/// thread-local hub (sharded simulation workers) shadows the global one.
 [[nodiscard]] Hub* hub();
 
 /// Install `h` as the global hub (nullptr uninstalls). Returns the previous
 /// hub so callers can restore it.
 Hub* install_hub(Hub* h);
+
+/// Install `h` as THIS thread's hub (nullptr uninstalls the thread-local
+/// override, falling back to the global hub). The parallel simulation's
+/// shard enter/leave hooks use this so each shard records into its own
+/// registry with no cross-thread sharing; the shards' hubs are merged
+/// deterministically after the run.
+Hub* install_thread_hub(Hub* h);
 
 /// RAII installer; restores the previously installed hub on destruction.
 class Session {

@@ -116,6 +116,27 @@ const Histogram& Registry::histogram_at(std::string_view name,
 
 void Registry::reset() { instruments_.clear(); }
 
+void Registry::merge_from(const Registry& other) {
+  for (const auto& [key, inst] : other.instruments_) {
+    // Split the canonical key back into (name, labels).
+    std::string_view name = key;
+    std::string_view labels;
+    if (const auto brace = key.find('{'); brace != std::string::npos) {
+      name = std::string_view(key).substr(0, brace);
+      labels = std::string_view(key).substr(brace + 1,
+                                            key.size() - brace - 2);
+    }
+    if (inst.counter) {
+      counter(name, labels).inc(inst.counter->value());
+    } else if (inst.gauge) {
+      gauge(name, labels).add(inst.gauge->value());
+    } else if (inst.histogram) {
+      histogram(name, labels).merge(*inst.histogram);
+    }
+    // Probes: skipped — they sample live objects owned elsewhere.
+  }
+}
+
 std::string Registry::to_json() const {
   std::string out = "{\n";
   bool first = true;

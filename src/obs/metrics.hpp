@@ -88,6 +88,13 @@ class Registry {
   [[nodiscard]] std::size_t size() const { return instruments_.size(); }
   void reset();
 
+  /// Fold `other` into this registry: counters add, gauges add, histograms
+  /// merge; probes are skipped (they are callbacks into the other
+  /// registry's objects). Snapshot ordering is by instrument key (the map's
+  /// lexicographic order), NOT registration order, so merging shard
+  /// registries in any order yields byte-identical exports.
+  void merge_from(const Registry& other);
+
   /// Deterministic snapshot: one JSON object keyed by instrument name.
   /// Counters/gauges/probes dump scalars; histograms dump
   /// {count,min,max,mean,p50,p90,p99,p999}.

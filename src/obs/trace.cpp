@@ -51,8 +51,43 @@ void Tracer::end_span(std::uint32_t span_id, sim::TimePoint now) {
     }
     return;
   }
-  // Unknown id: the producer side was instrumented but this consumer's
-  // tracer never saw the begin (e.g. mixed baseline/palladium runs). Ignore.
+  // Unknown id. On a shard tracer the begin likely lives on another shard:
+  // remember the end for post-merge resolution. Otherwise (e.g. mixed
+  // baseline/palladium runs) ignore, as producers may outrun consumers.
+  if (collect_foreign_ends_) foreign_ends_.push_back({span_id, now});
+}
+
+void Tracer::set_shard(std::uint32_t k) {
+  next_span_id_ = (k << 28) | 1u;
+  next_trace_id_ = (static_cast<std::uint64_t>(k) << 56) | 1u;
+  collect_foreign_ends_ = true;
+}
+
+void Tracer::absorb(Tracer& other) {
+  spans_.insert(spans_.end(), std::make_move_iterator(other.spans_.begin()),
+                std::make_move_iterator(other.spans_.end()));
+  foreign_ends_.insert(foreign_ends_.end(), other.foreign_ends_.begin(),
+                       other.foreign_ends_.end());
+  traces_started_ += other.traces_started_;
+  other.spans_.clear();
+  other.foreign_ends_.clear();
+}
+
+void Tracer::resolve_foreign_ends() {
+  for (const ForeignEnd& fe : foreign_ends_) {
+    for (auto it = spans_.rbegin(); it != spans_.rend(); ++it) {
+      if (it->span_id != fe.span_id) continue;
+      if (it->closed()) break;
+      PD_CHECK(fe.end_ns >= it->begin_ns,
+               "span \"" << it->name << "\" closed before it began");
+      it->end_ns = fe.end_ns;
+      if (registry_ != nullptr) {
+        registry_->histogram("hop." + it->name).record(it->duration());
+      }
+      break;
+    }
+  }
+  foreign_ends_.clear();
 }
 
 std::size_t Tracer::open_spans() const {
@@ -115,6 +150,7 @@ void Tracer::reset() {
   next_trace_id_ = 1;
   next_span_id_ = 1;
   spans_.clear();
+  foreign_ends_.clear();
 }
 
 }  // namespace pd::obs

@@ -64,6 +64,23 @@ class Tracer {
   /// Sample every Nth trace (1 = all, default). 0 disables sampling entirely.
   void set_sample_every(std::uint64_t n) { sample_every_ = n; }
 
+  /// Sharded simulation support: tag this tracer's ids with shard `k` so
+  /// span/trace ids stay globally unique without cross-shard coordination
+  /// (span ids start at k<<28, trace ids at k<<56). Also enables
+  /// foreign-end collection: end_span on an id this tracer never opened
+  /// (a span begun on another shard) is remembered instead of ignored, and
+  /// resolved after the shard tracers are merged.
+  void set_shard(std::uint32_t k);
+
+  /// Append `other`'s spans and foreign ends to this tracer and clear them
+  /// from `other`. Call in fixed shard order for a deterministic merge.
+  void absorb(Tracer& other);
+
+  /// Close spans whose end was observed on a different shard (collected via
+  /// set_shard + absorb). Ids are globally unique, so each foreign end
+  /// matches at most one span; per-hop histograms are recorded as usual.
+  void resolve_foreign_ends();
+
   /// Begin a new trace: allocates a trace id (or drops the request per the
   /// sampling rate, returning an unsampled context) and opens the root
   /// "request" span on `track`.
@@ -92,12 +109,19 @@ class Tracer {
   void reset();
 
  private:
+  struct ForeignEnd {
+    std::uint32_t span_id = 0;
+    sim::TimePoint end_ns = 0;
+  };
+
   Registry* registry_;
   std::uint64_t sample_every_ = 1;
   std::uint64_t traces_started_ = 0;
   std::uint64_t next_trace_id_ = 1;
   std::uint32_t next_span_id_ = 1;
+  bool collect_foreign_ends_ = false;
   std::vector<SpanRecord> spans_;
+  std::vector<ForeignEnd> foreign_ends_;
 };
 
 }  // namespace pd::obs

@@ -24,9 +24,55 @@ ConnectionManager::ConnectionManager(Rnic& local, int max_active)
 void ConnectionManager::establish(NodeId remote, TenantId tenant, int count,
                                   std::function<void()> ready) {
   PD_CHECK(count > 0, "establish needs at least one connection");
-  Rnic& peer = net_.rnic(remote);
   auto remaining = std::make_shared<int>(count);
   auto done = std::make_shared<std::function<void()>>(std::move(ready));
+
+  if (net_.sharded()) {
+    // Sharded handshake: the peer's QP must be created and finalized on the
+    // peer's own shard, so the request and the answering QP id travel
+    // through the cross-shard mailboxes (one lookahead hop each way). Both
+    // ends still finalize at t0 + kRcConnectNs — the two sub-microsecond
+    // mailbox hops vanish under the tens-of-ms handshake cost, keeping
+    // completion times identical to the legacy synchronous path.
+    const sim::TimePoint t0 = local_.scheduler().now();
+    const sim::Duration hop = fabric::cross_node_lookahead();
+    Rnic* origin = &local_;
+    Rnic* peer = &net_.rnic(remote);
+    for (int i = 0; i < count; ++i) {
+      QueuePair& a = local_.create_qp(tenant);
+      a.remote_node_ = remote;
+      a.state_ = QpState::kConnecting;
+      pools_[PoolKey{remote, tenant}].push_back(&a);
+      ++stats_.establishments;
+      net_.post_to_node(remote, t0 + hop, [this, origin, peer, tenant, t0,
+                                           hop, a_id = a.id(), remaining,
+                                           done] {
+        QueuePair& b = peer->create_qp(tenant);
+        b.remote_node_ = origin->node();
+        b.remote_qp_ = a_id;
+        b.state_ = QpState::kConnecting;
+        peer->scheduler().schedule_at(t0 + cost::kRcConnectNs, [&b] {
+          if (b.state_ == QpState::kConnecting) b.state_ = QpState::kInactive;
+        });
+        net_.post_to_node(
+            origin->node(), t0 + 2 * hop,
+            [origin, a_id, b_id = b.id(), t0, remaining, done] {
+              QueuePair& a = origin->qp(a_id);
+              a.remote_qp_ = b_id;
+              origin->scheduler().schedule_at(
+                  t0 + cost::kRcConnectNs, [&a, remaining, done] {
+                    if (a.state_ == QpState::kConnecting) {
+                      a.state_ = QpState::kInactive;
+                    }
+                    if (--*remaining == 0 && *done) (*done)();
+                  });
+            });
+      });
+    }
+    return;
+  }
+
+  Rnic& peer = net_.rnic(remote);
   for (int i = 0; i < count; ++i) {
     QueuePair& a = local_.create_qp(tenant);
     QueuePair& b = peer.create_qp(tenant);
@@ -114,8 +160,8 @@ void ConnectionManager::send(NodeId remote, TenantId tenant,
   if (connecting) {
     // An externally-driven handshake (initial establish) is still in
     // flight; retry once it has had a chance to land.
-    net_.scheduler().schedule_after(kConnectingPollNs, [this, remote, tenant,
-                                                       wr] {
+    local_.scheduler().schedule_after(kConnectingPollNs, [this, remote, tenant,
+                                                          wr] {
       send(remote, tenant, wr);
     });
     return;
@@ -130,7 +176,7 @@ void ConnectionManager::start_rebuild(PoolKey key, const WorkRequest& wr) {
   ++stats_.reestablishments;
   Rebuild& rb = rebuilds_[key];
   rb.deferred.push_back(wr);
-  rb.started = net_.scheduler().now();
+  rb.started = local_.scheduler().now();
   run_rebuild(key);
 }
 
@@ -167,15 +213,15 @@ void ConnectionManager::on_rebuilt(PoolKey key) {
     // exponential backoff + jitter rather than hammering the peer.
     ++rb.attempt;
     ++stats_.rebuild_retries;
-    net_.scheduler().schedule_after(backoff_delay(rb.attempt),
-                                    [this, key] { run_rebuild(key); });
+    local_.scheduler().schedule_after(backoff_delay(rb.attempt),
+                                      [this, key] { run_rebuild(key); });
     return;
   }
   if (auto* h = obs::hub()) {
     h->registry
         .histogram("conn.qp_reestablish_ns",
                    "node=" + std::to_string(local_.node().value()))
-        .record(net_.scheduler().now() - rb.started);
+        .record(local_.scheduler().now() - rb.started);
   }
   auto wrs = std::move(rb.deferred);
   rebuilds_.erase(it);

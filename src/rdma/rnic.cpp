@@ -109,10 +109,43 @@ Rnic& RdmaNetwork::rnic(NodeId node) {
   return *it->second;
 }
 
+void RdmaNetwork::set_node_scheduler(NodeId node, sim::Scheduler& sched) {
+  PD_CHECK(rnics_.count(node) == 0,
+           "pin node " << node << " to a shard before creating its RNIC");
+  node_scheds_[node] = &sched;
+}
+
+sim::Scheduler& RdmaNetwork::scheduler_for(NodeId node) {
+  auto it = node_scheds_.find(node);
+  return it == node_scheds_.end() ? sched_ : *it->second;
+}
+
+void RdmaNetwork::set_remote_post(fabric::Switch::RemotePost post) {
+  remote_post_ = post;
+  switch_.set_remote_post(std::move(post));
+}
+
+void RdmaNetwork::post_to_node(NodeId node, sim::TimePoint t, sim::EventFn fn) {
+  if (remote_post_) {
+    remote_post_(node, t, std::move(fn));
+  } else {
+    scheduler_for(node).schedule_at(t, std::move(fn));
+  }
+}
+
+std::vector<NodeId> RdmaNetwork::rnic_nodes() const {
+  std::vector<NodeId> nodes;
+  nodes.reserve(rnics_.size());
+  for (const auto& [id, rnic_ptr] : rnics_) nodes.push_back(id);
+  std::sort(nodes.begin(), nodes.end(),
+            [](NodeId a, NodeId b) { return a.value() < b.value(); });
+  return nodes;
+}
+
 void RdmaNetwork::register_rnic(NodeId node, Rnic* rnic) {
   PD_CHECK(rnics_.emplace(node, rnic).second,
            "node " << node << " already has an RNIC");
-  switch_.attach(node);
+  switch_.attach(node, scheduler_for(node));
 }
 
 void RdmaNetwork::unregister_rnic(NodeId node) {
@@ -198,22 +231,30 @@ void QueuePair::fail() {
 // ---------------------------------------------------------------------------
 
 Rnic::Rnic(RdmaNetwork& net, NodeId node, mem::MemoryDomain& host_mem)
-    : sched_(net.scheduler()), net_(net), node_(node), host_mem_(host_mem) {
+    : sched_(net.scheduler_for(node)), net_(net), node_(node),
+      host_mem_(host_mem) {
   net_.register_rnic(node, this);
 }
 
 Rnic::~Rnic() { net_.unregister_rnic(node_); }
 
+// PoolId layout is (node << 16) | creation-order counter starting at 1
+// (see MemoryDomain::create_pool), so registered_ is indexed by the dense
+// low-half counter only — indexing by the full value would allocate
+// node.value()*64KiB of flag bytes per RNIC for nothing.
 void Rnic::register_memory(PoolId pool) {
   auto& tm = host_mem_.by_pool(pool);
   PD_CHECK(tm.exported_to_rdma(),
            "pool " << pool << " not exported for RDMA before registration");
-  if (registered_.size() <= pool.value()) registered_.resize(pool.value() + 1);
-  registered_[pool.value()] = 1;
+  const std::uint32_t idx = (pool.value() & 0xffff) - 1;
+  if (registered_.size() <= idx) registered_.resize(idx + 1);
+  registered_[idx] = 1;
 }
 
 bool Rnic::memory_registered(PoolId pool) const {
-  return pool.value() < registered_.size() && registered_[pool.value()] != 0;
+  if ((pool.value() >> 16) != node_.value()) return false;
+  const std::uint32_t idx = (pool.value() & 0xffff) - 1;
+  return idx < registered_.size() && registered_[idx] != 0;
 }
 
 QueuePair& Rnic::create_qp(TenantId tenant) {

@@ -46,6 +46,26 @@ class RdmaNetwork {
 
   [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
   [[nodiscard]] fabric::Switch& fabric() { return switch_; }
+
+  /// Sharded mode: pin `node` (its RNIC, fabric port, and every event they
+  /// schedule) to a specific scheduler shard. Must run before the node's
+  /// Rnic is constructed; unpinned nodes stay on the shared scheduler.
+  void set_node_scheduler(NodeId node, sim::Scheduler& sched);
+  /// Scheduler owning `node` (the shared scheduler unless pinned).
+  [[nodiscard]] sim::Scheduler& scheduler_for(NodeId node);
+
+  /// Install the cross-shard delivery hook (forwarded to the fabric switch;
+  /// see fabric::Switch::set_remote_post). Installing it marks the network
+  /// sharded.
+  void set_remote_post(fabric::Switch::RemotePost post);
+  [[nodiscard]] bool sharded() const { return remote_post_ != nullptr; }
+  /// Run `fn` at absolute simulated time `t` on the shard owning `node`
+  /// (plain local schedule when not sharded).
+  void post_to_node(NodeId node, sim::TimePoint t, sim::EventFn fn);
+
+  /// Nodes with a registered RNIC, sorted by id — a deterministic
+  /// iteration order for fault plans regardless of hash-map layout.
+  [[nodiscard]] std::vector<NodeId> rnic_nodes() const;
   Rnic& rnic(NodeId node);
   [[nodiscard]] bool has_rnic(NodeId node) const {
     return rnics_.count(node) != 0;
@@ -72,6 +92,8 @@ class RdmaNetwork {
   fabric::Switch switch_;
   std::unordered_map<NodeId, Rnic*> rnics_;
   std::unordered_map<NodeId, DatagramHandler> datagram_handlers_;
+  std::unordered_map<NodeId, sim::Scheduler*> node_scheds_;
+  fabric::Switch::RemotePost remote_post_;
 };
 
 struct RnicCounters {
@@ -149,6 +171,9 @@ class Rnic {
 
   [[nodiscard]] NodeId node() const { return node_; }
   [[nodiscard]] RdmaNetwork& network() { return net_; }
+  /// The scheduler shard this RNIC's events run on (node-local in sharded
+  /// mode, the cluster scheduler otherwise).
+  [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
   [[nodiscard]] mem::MemoryDomain& host_mem() { return host_mem_; }
   [[nodiscard]] const RnicCounters& counters() const { return counters_; }
   [[nodiscard]] int active_qps() const { return active_qps_; }

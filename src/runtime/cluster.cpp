@@ -41,10 +41,11 @@ bool uses_rdma(SystemKind kind) {
 WorkerNode::WorkerNode(Cluster& cluster, NodeId id)
     : cluster_(cluster),
       id_(id),
+      sched_(cluster.scheduler_for(id)),
       mem_(id),
-      cpu_(cluster.scheduler(), "node" + std::to_string(id.value()) + "/cpu",
+      cpu_(sched_, "node" + std::to_string(id.value()) + "/cpu",
            cluster.config().cpu_cores_per_node, cost::kHostCoreSpeed),
-      local_ipc_(cluster.scheduler()) {
+      local_ipc_(sched_) {
   const ClusterConfig& cfg = cluster.config();
   const SystemKind sys = cfg.system;
 
@@ -52,7 +53,7 @@ WorkerNode::WorkerNode(Cluster& cluster, NodeId id)
     rnic_ = std::make_unique<rdma::Rnic>(*cluster.rdma_net_, id, mem_);
   }
   if (sys == SystemKind::kPalladiumDne || sys == SystemKind::kPalladiumOnPath) {
-    dpu_ = std::make_unique<dpu::Dpu>(cluster.scheduler(), id, cfg.dpu_cores);
+    dpu_ = std::make_unique<dpu::Dpu>(sched_, id, cfg.dpu_cores);
   }
 
   switch (sys) {
@@ -63,23 +64,22 @@ WorkerNode::WorkerNode(Cluster& cluster, NodeId id)
                             ? core::EngineKind::kDneOffPath
                             : core::EngineKind::kDneOnPath;
       dataplane_ = std::make_unique<core::NetworkEngine>(
-          cluster.scheduler(), kind, cfg.engine, *engine_core_, *rnic_, mem_,
-          dpu_.get());
+          sched_, kind, cfg.engine, *engine_core_, *rnic_, mem_, dpu_.get());
       break;
     }
     case SystemKind::kPalladiumCne: {
       // The CNE claims a host core for the engine loop.
       engine_core_ = &cpu_.core(cpu_.size() - 1);
       dataplane_ = std::make_unique<core::NetworkEngine>(
-          cluster.scheduler(), core::EngineKind::kCne, cfg.engine,
-          *engine_core_, *rnic_, mem_, nullptr);
+          sched_, core::EngineKind::kCne, cfg.engine, *engine_core_, *rnic_,
+          mem_, nullptr);
       break;
     }
     case SystemKind::kSpright:
     case SystemKind::kNightcore: {
       engine_core_ = &cpu_.core(cpu_.size() - 1);
       dataplane_ = std::make_unique<baselines::TcpRelayEngine>(
-          cluster.scheduler(), id, *engine_core_, mem_, cluster.eth_,
+          sched_, id, *engine_core_, mem_, cluster.eth_,
           cluster.tcp_directory_, proto::StackKind::kKernel,
           /*broker_local=*/sys == SystemKind::kNightcore);
       break;
@@ -87,8 +87,7 @@ WorkerNode::WorkerNode(Cluster& cluster, NodeId id)
     case SystemKind::kFuyao: {
       engine_core_ = &cpu_.core(cpu_.size() - 1);
       dataplane_ = std::make_unique<baselines::FuyaoEngine>(
-          cluster.scheduler(), id, *engine_core_, mem_, *rnic_,
-          cluster.fuyao_directory_);
+          sched_, id, *engine_core_, mem_, *rnic_, cluster.fuyao_directory_);
       break;
     }
   }
@@ -122,12 +121,77 @@ Cluster::Cluster(sim::Scheduler& sched, ClusterConfig config)
   fuyao_directory_ = std::make_shared<baselines::FuyaoDirectory>();
 }
 
+Cluster::Cluster(sim::ParallelSim& psim, ClusterConfig config)
+    : Cluster(psim.shard(0), config) {
+  PD_CHECK(is_palladium(config_.system),
+           "parallel simulation supports Palladium systems only "
+           "(baseline data planes assume a single scheduler)");
+  psim_ = &psim;
+  psim.set_lookahead(fabric::cross_node_lookahead());
+  rdma_net_->set_remote_post(
+      [this](NodeId dst, sim::TimePoint t, sim::EventFn fn) {
+        psim_->post(shard_of(dst), t, std::move(fn));
+      });
+  // Each shard records into its own observability hub (installed
+  // thread-locally around its execute phase): no cross-thread sharing on
+  // the hot path, deterministic merge afterwards. Tracing starts disabled.
+  shard_hubs_.reserve(psim.shard_count());
+  for (std::size_t k = 0; k < psim.shard_count(); ++k) {
+    auto hub = std::make_unique<obs::Hub>();
+    hub->tracer.set_shard(static_cast<std::uint32_t>(k));
+    hub->tracer.set_sample_every(0);
+    shard_hubs_.push_back(std::move(hub));
+  }
+  psim.set_shard_hooks(
+      [this](std::size_t k) { obs::install_thread_hub(shard_hubs_[k].get()); },
+      [](std::size_t) { obs::install_thread_hub(nullptr); });
+}
+
 Cluster::~Cluster() = default;
+
+sim::Scheduler& Cluster::scheduler_for(NodeId node) {
+  if (psim_ == nullptr) return sched_;
+  auto it = node_shard_.find(node);
+  return it == node_shard_.end() ? sched_ : psim_->shard(it->second);
+}
+
+std::size_t Cluster::shard_of(NodeId node) const {
+  auto it = node_shard_.find(node);
+  return it == node_shard_.end() ? 0 : it->second;
+}
+
+void Cluster::enable_shard_tracing(std::uint64_t n) {
+  PD_CHECK(sharded(), "shard tracing is a parallel-mode feature");
+  for (auto& hub : shard_hubs_) hub->tracer.set_sample_every(n);
+}
+
+void Cluster::merge_observability(obs::Hub& into) {
+  PD_CHECK(sharded(), "merge_observability is a parallel-mode feature");
+  for (auto& hub : shard_hubs_) {
+    into.registry.merge_from(hub->registry);
+    into.tracer.absorb(hub->tracer);
+    hub->registry.reset();
+  }
+  into.tracer.resolve_foreign_ends();
+}
 
 WorkerNode& Cluster::add_worker(NodeId id) {
   PD_CHECK(!setup_done_, "topology frozen after finish_setup");
   PD_CHECK(by_id_.find(id) == by_id_.end(), "worker " << id << " exists");
   if (!eth_.attached(id)) eth_.attach(id);
+  if (psim_ != nullptr) {
+    const std::size_t shard = next_shard_++;
+    PD_CHECK(shard < psim_->shard_count(),
+             "more workers than shards: construct ParallelSim with 1 + "
+             "workers shards");
+    node_shard_[id] = shard;
+    rdma_net_->set_node_scheduler(id, psim_->shard(shard));
+    node_jitter_.emplace(
+        id, sim::Rng(config_.seed ^
+                     (0xC0FFEE5EEDULL * (static_cast<std::uint64_t>(
+                                             id.value()) +
+                                         1))));
+  }
   auto node = std::make_unique<WorkerNode>(*this, id);
   WorkerNode* raw = node.get();
   nodes_.push_back(std::move(node));
@@ -219,7 +283,11 @@ void Cluster::finish_setup() {
       }
     }
   }
-  sched_.run();  // drain connection setup traffic
+  if (psim_ != nullptr) {
+    psim_->run();  // drain connection setup traffic across all shards
+  } else {
+    sched_.run();  // drain connection setup traffic
+  }
 }
 
 void Cluster::crash_node(NodeId node) {
@@ -235,10 +303,15 @@ void Cluster::restart_node(NodeId node) {
   rdma_net_->fabric().set_node_down(node, false);
 }
 
-sim::Duration Cluster::jittered(sim::Duration nominal) {
+sim::Duration Cluster::jittered(NodeId node, sim::Duration nominal) {
   if (config_.compute_jitter <= 0.0 || nominal == 0) return nominal;
+  // Parallel mode: per-node streams keep draws shard-local (no data race)
+  // and independent of cross-node event interleaving (deterministic for
+  // any thread count). Legacy mode keeps the shared stream, preserving
+  // bit-identical replays of earlier trees.
+  sim::Rng& rng = psim_ != nullptr ? node_jitter_.at(node) : rng_;
   const double factor =
-      1.0 + config_.compute_jitter * (2.0 * rng_.next_double() - 1.0);
+      1.0 + config_.compute_jitter * (2.0 * rng.next_double() - 1.0);
   return static_cast<sim::Duration>(static_cast<double>(nominal) * factor);
 }
 
@@ -282,7 +355,7 @@ bool Cluster::inject_request(FunctionId entry, NodeId node_id,
   h.payload_len = chain.request_payload;
   core::trace_start(h, "ingress",
                     "node" + std::to_string(node_id.value()) + "/client",
-                    sched_.now());
+                    scheduler_for(node_id).now());
   auto span = pool.access(*d, entry_actor);
   core::write_header(span, h);
   const auto sized =

@@ -15,7 +15,9 @@
 #include "baselines/fuyao_engine.hpp"
 #include "baselines/tcp_engine.hpp"
 #include "core/engine.hpp"
+#include "obs/hub.hpp"
 #include "runtime/chain.hpp"
+#include "sim/parallel.hpp"
 #include "sim/random.hpp"
 
 namespace pd::runtime {
@@ -64,6 +66,9 @@ class WorkerNode {
   WorkerNode(Cluster& cluster, NodeId id);
 
   [[nodiscard]] NodeId id() const { return id_; }
+  /// The scheduler shard this node's events run on (the cluster scheduler
+  /// in legacy mode, the node's own shard in parallel mode).
+  [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
   [[nodiscard]] mem::MemoryDomain& memory() { return mem_; }
   [[nodiscard]] sim::CoreSet& cpu() { return cpu_; }
   [[nodiscard]] dpu::Dpu* dpu() { return dpu_.get(); }
@@ -86,6 +91,7 @@ class WorkerNode {
 
   Cluster& cluster_;
   NodeId id_;
+  sim::Scheduler& sched_;
   mem::MemoryDomain mem_;
   sim::CoreSet cpu_;
   std::unique_ptr<dpu::Dpu> dpu_;
@@ -106,6 +112,15 @@ struct FunctionSpec {
 class Cluster {
  public:
   Cluster(sim::Scheduler& sched, ClusterConfig config);
+  /// Parallel mode (PR 4 tentpole): the cluster shards across `psim`'s
+  /// schedulers — shard 0 hosts the edge (clients, ingress, Ethernet,
+  /// control plane), shard 1+i hosts the i-th worker added — and
+  /// finish_setup() drives psim instead of a single scheduler. Requires a
+  /// Palladium system (baseline data planes assume one scheduler) and a
+  /// ParallelSim built with 1 + max workers shards. Simulated results are
+  /// bit-identical for any worker-thread count, but differ from legacy
+  /// single-scheduler runs (per-node RNG streams replace shared ones).
+  Cluster(sim::ParallelSim& psim, ClusterConfig config);
   ~Cluster();
 
   Cluster(const Cluster&) = delete;
@@ -172,6 +187,12 @@ class Cluster {
   // --- accessors -------------------------------------------------------------
 
   [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
+  [[nodiscard]] bool sharded() const { return psim_ != nullptr; }
+  [[nodiscard]] sim::ParallelSim* parallel() { return psim_; }
+  /// Scheduler owning `node` (sched_ for the edge and in legacy mode).
+  [[nodiscard]] sim::Scheduler& scheduler_for(NodeId node);
+  /// Shard index owning `node` (0 for the edge and unknown nodes).
+  [[nodiscard]] std::size_t shard_of(NodeId node) const;
   [[nodiscard]] const ClusterConfig& config() const { return config_; }
   [[nodiscard]] const ChainTable& chains() const { return chains_; }
   [[nodiscard]] rdma::RdmaNetwork* rdma_net() { return rdma_net_.get(); }
@@ -191,8 +212,22 @@ class Cluster {
   /// connections lazily on their next send toward the node.
   void restart_node(NodeId node);
 
-  /// Apply the configured compute jitter to a nominal duration.
-  [[nodiscard]] sim::Duration jittered(sim::Duration nominal);
+  /// Apply the configured compute jitter to a nominal duration for work on
+  /// `node`. Legacy mode draws from the cluster-wide stream (byte-identical
+  /// with earlier trees); parallel mode draws from the node's own
+  /// deterministic stream so draws stay shard-local and replayable.
+  [[nodiscard]] sim::Duration jittered(NodeId node, sim::Duration nominal);
+
+  // --- parallel-mode observability -------------------------------------------
+
+  /// Enable request tracing on the per-shard hubs (off by default in
+  /// parallel mode; sample every `n`th trace, 0 disables again).
+  void enable_shard_tracing(std::uint64_t n);
+  /// Fold every shard hub into `into` deterministically (shard order):
+  /// counters add, histograms merge, spans concatenate and cross-shard span
+  /// ends resolve. Call after the run; shard registries are reset so a
+  /// second merge cannot double-count.
+  void merge_observability(obs::Hub& into);
 
   /// Tenant owning a deployed function (invalid() for entries).
   [[nodiscard]] TenantId tenant_of_function(FunctionId fn) const;
@@ -221,6 +256,13 @@ class Cluster {
   ChainTable chains_;
   sim::Rng rng_{0};
   bool setup_done_ = false;
+
+  // Parallel mode only.
+  sim::ParallelSim* psim_ = nullptr;
+  std::unordered_map<NodeId, std::size_t> node_shard_;
+  std::size_t next_shard_ = 1;  ///< shard 0 is the edge
+  std::unordered_map<NodeId, sim::Rng> node_jitter_;
+  std::vector<std::unique_ptr<obs::Hub>> shard_hubs_;
 };
 
 }  // namespace pd::runtime

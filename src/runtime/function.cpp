@@ -16,7 +16,7 @@ void FunctionInstance::on_message(const mem::BufferDescriptor& d) {
   core::MessageHeader h = core::read_header(bytes);
   if (core::trace_hop(h, "fn:" + spec_.name,
                       "node" + std::to_string(node_.id().value()) + "/fn",
-                      node_.cluster().scheduler().now())) {
+                      node_.scheduler().now())) {
     core::write_header(bytes, h);
   }
   PD_CHECK(h.dst() == spec_.id,
@@ -64,7 +64,8 @@ void FunctionInstance::on_message(const mem::BufferDescriptor& d) {
   const bool last_hop = h.hop_index + 1 == chain.hops.size();
   const FunctionId next_dst =
       last_hop ? FunctionId{h.client_id} : chain.hops[h.hop_index + 1].fn;
-  const sim::Duration compute = node_.cluster().jittered(hop.compute_ns);
+  const sim::Duration compute =
+      node_.cluster().jittered(node_.id(), hop.compute_ns);
   compute_total_ += compute;
   core_.submit(compute + node_.cluster().send_cost(node_.id(), next_dst),
                [this, d] { advance_chain(d); });

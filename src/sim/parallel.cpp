@@ -1,0 +1,224 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace pd::sim {
+
+namespace {
+
+thread_local std::size_t tl_shard = ParallelSim::kNoShard;
+
+TimePoint sat_add(TimePoint t, Duration d) {
+  if (t >= Scheduler::kNoEvent - d) return Scheduler::kNoEvent;
+  return t + d;
+}
+
+}  // namespace
+
+ParallelSim::ParallelSim(std::size_t shards, unsigned os_threads) {
+  PD_CHECK(shards > 0, "parallel sim needs at least one shard");
+  shards_.resize(shards);
+  for (Shard& s : shards_) {
+    s.sched = std::make_unique<Scheduler>();
+    s.inbox.reserve(shards);
+    for (std::size_t src = 0; src < shards; ++src) {
+      s.inbox.push_back(std::make_unique<Mailbox>());
+    }
+  }
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned want = os_threads == 0 ? hw : os_threads;
+  threads_ = std::max(1u, std::min<unsigned>(
+                              want, static_cast<unsigned>(shards)));
+}
+
+ParallelSim::~ParallelSim() = default;
+
+void ParallelSim::set_lookahead(Duration l) {
+  PD_CHECK(l >= 1, "lookahead must be at least 1 ns");
+  PD_CHECK(!running_, "lookahead change mid-run");
+  lookahead_ = l;
+}
+
+void ParallelSim::set_shard_hooks(ShardHook enter, ShardHook leave) {
+  enter_shard_ = std::move(enter);
+  leave_shard_ = std::move(leave);
+}
+
+std::size_t ParallelSim::current_shard() { return tl_shard; }
+
+void ParallelSim::post(std::size_t dst, TimePoint t, EventFn fn,
+                       bool foreground) {
+  PD_CHECK(dst < shards_.size(), "post to unknown shard " << dst);
+  const std::size_t src = tl_shard;
+  if (!running_ || src == dst) {
+    // Setup phase (single-threaded, nothing running) or a post back to the
+    // executing shard itself: an ordinary local event.
+    Scheduler& sched = *shards_[dst].sched;
+    if (foreground) {
+      sched.schedule_at(t, std::move(fn));
+    } else {
+      sched.schedule_background_at(t, std::move(fn));
+    }
+    return;
+  }
+  PD_CHECK(src != kNoShard, "cross-shard post from outside a shard phase");
+  PD_CHECK(t >= epoch_floor_ + lookahead_,
+           "cross-shard post at t=" << t << " violates lookahead (epoch="
+                                    << epoch_floor_ << " L=" << lookahead_
+                                    << ")");
+  if (foreground) in_flight_fg_.fetch_add(1, std::memory_order_relaxed);
+  Mailbox& mb = *shards_[dst].inbox[src];
+  CrossEvent e{t, foreground, std::move(fn)};
+  if (!mb.spilling && !mb.ring.full()) {
+    const bool ok = mb.ring.try_push(std::move(e));
+    PD_CHECK(ok, "SPSC mailbox push raced its own producer");
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mb.mu);
+  mb.spilling = true;
+  mb.spill.push_back(std::move(e));
+}
+
+void ParallelSim::drain(std::size_t k) {
+  Shard& s = shards_[k];
+  Scheduler& sched = *s.sched;
+  auto deliver = [&](CrossEvent&& e) {
+    if (e.foreground) {
+      sched.schedule_at(e.t, std::move(e.fn));
+      in_flight_fg_.fetch_sub(1, std::memory_order_relaxed);
+    } else {
+      sched.schedule_background_at(e.t, std::move(e.fn));
+    }
+  };
+  for (std::size_t src = 0; src < shards_.size(); ++src) {
+    Mailbox& mb = *s.inbox[src];
+    while (auto e = mb.ring.try_pop()) deliver(std::move(*e));
+    if (mb.spilling) {
+      std::lock_guard<std::mutex> lock(mb.mu);
+      for (CrossEvent& e : mb.spill) deliver(std::move(e));
+      mb.spill.clear();
+      mb.spilling = false;
+    }
+  }
+  s.next = sched.next_event_time();
+}
+
+bool ParallelSim::plan(TimePoint deadline, bool until_mode) {
+  ++epochs_;
+  TimePoint min1 = Scheduler::kNoEvent;
+  TimePoint min2 = Scheduler::kNoEvent;
+  std::size_t owner = kNoShard;
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    const TimePoint next = shards_[k].next;
+    if (next < min1) {
+      min2 = min1;
+      min1 = next;
+      owner = k;
+    } else if (next < min2) {
+      min2 = next;
+    }
+  }
+  if (until_mode) {
+    if (min1 > deadline) return true;  // every remaining event is later
+  } else {
+    std::uint64_t fg = in_flight_fg_.load(std::memory_order_relaxed);
+    for (const Shard& s : shards_) fg += s.sched->foreground_live();
+    if (fg == 0 || min1 == Scheduler::kNoEvent) return true;
+  }
+  epoch_floor_ = min1;
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    Shard& s = shards_[k];
+    // Influence from another shard cannot land before (their earliest
+    // event) + L; influence reflected off our own earliest post needs 2L.
+    const TimePoint other = k == owner ? min2 : min1;
+    const TimePoint base = std::min(other, sat_add(s.next, lookahead_));
+    TimePoint h = sat_add(base, lookahead_);
+    if (until_mode) h = std::min(h, deadline + 1);
+    s.horizon = h;
+  }
+  return false;
+}
+
+void ParallelSim::execute(std::size_t k) {
+  tl_shard = k;
+  if (enter_shard_) enter_shard_(k);
+  shards_[k].sched->run_window(shards_[k].horizon);
+  if (leave_shard_) leave_shard_(k);
+  tl_shard = kNoShard;
+}
+
+void ParallelSim::drive_serial(TimePoint deadline, bool until_mode) {
+  for (;;) {
+    for (std::size_t k = 0; k < shards_.size(); ++k) drain(k);
+    if (plan(deadline, until_mode)) return;
+    for (std::size_t k = 0; k < shards_.size(); ++k) execute(k);
+  }
+}
+
+void ParallelSim::drive_threaded(TimePoint deadline, bool until_mode) {
+  struct Sync {
+    int phase = 0;
+    bool stop = false;
+  };
+  Sync sync;
+  // Completion runs exactly once per barrier cycle, after every thread
+  // arrives and before any is released — the serial plan slice.
+  std::barrier bar(static_cast<std::ptrdiff_t>(threads_),
+                   [this, &sync, deadline, until_mode]() noexcept {
+                     if (sync.phase == 0) {
+                       sync.stop = plan(deadline, until_mode);
+                     }
+                     sync.phase ^= 1;
+                   });
+  auto worker = [this, &sync, &bar](unsigned ti) {
+    for (;;) {
+      for (std::size_t k = ti; k < shards_.size(); k += threads_) drain(k);
+      bar.arrive_and_wait();  // -> plan
+      if (sync.stop) return;
+      for (std::size_t k = ti; k < shards_.size(); k += threads_) execute(k);
+      bar.arrive_and_wait();  // posts visible before the next drain
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads_ - 1);
+  for (unsigned ti = 1; ti < threads_; ++ti) pool.emplace_back(worker, ti);
+  worker(0);
+  for (std::thread& t : pool) t.join();
+}
+
+std::size_t ParallelSim::drive(TimePoint deadline, bool until_mode) {
+  PD_CHECK(!running_, "re-entrant parallel run");
+  const std::uint64_t before = events_processed();
+  running_ = true;
+  if (threads_ == 1) {
+    drive_serial(deadline, until_mode);
+  } else {
+    drive_threaded(deadline, until_mode);
+  }
+  running_ = false;
+  if (until_mode) {
+    for (Shard& s : shards_) s.sched->advance_to(deadline);
+  }
+  return static_cast<std::size_t>(events_processed() - before);
+}
+
+std::size_t ParallelSim::run() { return drive(0, /*until_mode=*/false); }
+
+std::size_t ParallelSim::run_until(TimePoint deadline) {
+  for (Shard& s : shards_) {
+    PD_CHECK(deadline >= s.sched->now(), "deadline in the past");
+  }
+  return drive(deadline, /*until_mode=*/true);
+}
+
+std::uint64_t ParallelSim::events_processed() const {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.sched->events_processed();
+  return total;
+}
+
+}  // namespace pd::sim

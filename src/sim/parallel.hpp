@@ -1,0 +1,148 @@
+// Conservative parallel discrete-event simulation (PR 4 tentpole).
+//
+// A ParallelSim partitions the cluster into shards — one sim::Scheduler
+// per simulated node (plus shard 0 for the "edge": client, ingress, and
+// everything else control-plane) — and advances them in lockstep epochs.
+// Shards never touch each other's state directly: every cross-shard
+// effect is an absolute-time event posted through a per-(src,dst) SPSC
+// mailbox and drained into the destination's scheduler at the next epoch
+// boundary, in deterministic (src shard, post order) order.
+//
+// Safety (no causality violation) comes from the fabric's minimum
+// cross-node latency L (egress serialization + propagation/2 + switch
+// hop): an event executing at time t can influence another shard no
+// earlier than t + L. Each epoch, shard k may therefore run every event
+// strictly before
+//
+//   h_k = min( min_{j != k} next_j,  next_k + L ) + L
+//
+// where next_j is shard j's earliest pending timestamp after the drain.
+// The first term bounds direct influence from other shards; the second
+// bounds the reflected path k -> j -> k (k's own earliest post arrives at
+// next_k + L, and any reaction needs another L to come back). The shard
+// owning the global minimum always has h_k > next_k, so every epoch fires
+// at least one event and virtual time advances.
+//
+// Determinism across worker-thread counts is structural: phases are
+// barrier-separated (drain | plan | execute), mailboxes are drained in
+// fixed shard order, and each shard's execution touches only its own
+// state — so the merged event order is a pure function of the model, not
+// of the OS schedule. One OS thread, four OS threads, or the serial
+// fallback all produce bit-identical simulations.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "ipc/spsc_ring.hpp"
+#include "sim/scheduler.hpp"
+
+namespace pd::sim {
+
+class ParallelSim {
+ public:
+  /// `shards`: number of schedulers (topology-determined: 1 + worker
+  /// nodes). `os_threads`: worker threads driving them; 0 = auto
+  /// (min(shards, hardware_concurrency)). An explicit value is honored up
+  /// to `shards` — determinism never depends on it.
+  explicit ParallelSim(std::size_t shards, unsigned os_threads = 0);
+  ~ParallelSim();
+
+  ParallelSim(const ParallelSim&) = delete;
+  ParallelSim& operator=(const ParallelSim&) = delete;
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] Scheduler& shard(std::size_t k) { return *shards_[k].sched; }
+  /// OS threads the drivers will actually use.
+  [[nodiscard]] unsigned os_threads() const { return threads_; }
+
+  /// Conservative lookahead L in ns. Defaults to 1 (always safe); the
+  /// cluster raises it to the fabric's minimum cross-node latency. Must be
+  /// set before the first run.
+  void set_lookahead(Duration l);
+  [[nodiscard]] Duration lookahead() const { return lookahead_; }
+
+  /// Hooks run around a shard's execute phase on whichever thread drives
+  /// it (the runtime installs the shard's observability hub here).
+  using ShardHook = std::function<void(std::size_t shard)>;
+  void set_shard_hooks(ShardHook enter, ShardHook leave);
+
+  /// Post `fn` to run on shard `dst` at absolute time `t`. From model code
+  /// inside a run, `t` must respect the lookahead (t >= epoch start + L);
+  /// outside a run (setup phase) any future time is accepted and the event
+  /// is scheduled directly. `foreground` mirrors Scheduler::schedule_at vs
+  /// schedule_background_at.
+  void post(std::size_t dst, TimePoint t, EventFn fn, bool foreground = true);
+
+  /// Shard index the calling thread is currently executing, or npos when
+  /// not inside a shard's execute phase (setup / main thread).
+  static constexpr std::size_t kNoShard = static_cast<std::size_t>(-1);
+  [[nodiscard]] static std::size_t current_shard();
+
+  /// Run epochs until no foreground event remains on any shard (the
+  /// parallel analog of Scheduler::run). Returns events processed.
+  std::size_t run();
+  /// Run every event with t <= deadline, then align all shards' clocks on
+  /// the deadline (the parallel analog of Scheduler::run_until).
+  std::size_t run_until(TimePoint deadline);
+
+  [[nodiscard]] bool running() const { return running_; }
+  /// Sum of events processed across shards.
+  [[nodiscard]] std::uint64_t events_processed() const;
+  /// Epoch barriers executed so far (diagnostics: epochs per wall second
+  /// bound the win real cores can deliver).
+  [[nodiscard]] std::uint64_t epochs() const { return epochs_; }
+
+ private:
+  struct CrossEvent {
+    TimePoint t = 0;
+    bool foreground = true;
+    EventFn fn;
+  };
+
+  /// Single-producer (src shard, execute phase) / single-consumer (dst
+  /// shard, drain phase) channel. The phases never overlap, so the ring's
+  /// SPSC contract holds with room to spare; `spill` absorbs bursts past
+  /// the ring capacity without blocking (order is preserved: once an epoch
+  /// spills, the rest of its pushes spill too, and the drain empties the
+  /// ring before the spill).
+  struct Mailbox {
+    ipc::SpscRing<CrossEvent> ring{256};
+    std::mutex mu;
+    std::vector<CrossEvent> spill;
+    bool spilling = false;
+  };
+
+  struct Shard {
+    std::unique_ptr<Scheduler> sched;
+    /// Inbound mailboxes, indexed by source shard.
+    std::vector<std::unique_ptr<Mailbox>> inbox;
+    TimePoint next = Scheduler::kNoEvent;  ///< after drain, for planning
+    TimePoint horizon = 0;                 ///< h_k for the current epoch
+  };
+
+  void drain(std::size_t k);
+  void execute(std::size_t k);
+  /// Serial section between the drain and execute phases: computes the
+  /// epoch horizons and the stop condition. Returns true to stop.
+  bool plan(TimePoint deadline, bool until_mode);
+  std::size_t drive(TimePoint deadline, bool until_mode);
+  void drive_serial(TimePoint deadline, bool until_mode);
+  void drive_threaded(TimePoint deadline, bool until_mode);
+
+  std::vector<Shard> shards_;
+  unsigned threads_ = 1;
+  Duration lookahead_ = 1;
+  ShardHook enter_shard_;
+  ShardHook leave_shard_;
+  bool running_ = false;
+  TimePoint epoch_floor_ = 0;  ///< g of the current epoch (post() checks)
+  std::atomic<std::uint64_t> in_flight_fg_{0};
+  std::uint64_t epochs_ = 0;
+};
+
+}  // namespace pd::sim

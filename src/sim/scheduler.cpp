@@ -128,6 +128,21 @@ std::size_t Scheduler::run_until(TimePoint deadline) {
   return n;
 }
 
+std::size_t Scheduler::run_window(TimePoint end) {
+  std::size_t n = 0;
+  while (!heap_.empty() && heap_[0].t < end) {
+    if (pop_one()) ++n;
+  }
+  return n;
+}
+
+void Scheduler::advance_to(TimePoint t) {
+  PD_CHECK(t >= now_, "advance_to into the past: t=" << t << " now=" << now_);
+  PD_CHECK(heap_.empty() || heap_[0].t >= t,
+           "advance_to over a pending event at t=" << heap_[0].t);
+  now_ = t;
+}
+
 std::size_t Scheduler::run_steps(std::size_t steps) {
   std::size_t n = 0;
   while (n < steps && pop_one()) ++n;

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common/check.hpp"
@@ -66,6 +67,35 @@ class Scheduler {
   /// cancelled / never existed.
   bool cancel(EventId id);
 
+  /// Sentinel returned by next_event_time() for an empty queue.
+  static constexpr TimePoint kNoEvent =
+      std::numeric_limits<TimePoint>::max();
+
+  /// Earliest pending timestamp (kNoEvent when the queue is empty). The
+  /// parallel driver reads this between epochs to compute the global
+  /// lower bound; it never mutates state.
+  [[nodiscard]] TimePoint next_event_time() const {
+    return heap_.empty() ? kNoEvent : heap_[0].t;
+  }
+
+  /// Foreground events scheduled but not yet fired/cancelled. The parallel
+  /// driver sums this across shards for its termination check (the
+  /// shard-local analog of run()'s stopping condition).
+  [[nodiscard]] std::size_t foreground_live() const {
+    return foreground_live_;
+  }
+
+  /// Process every event with timestamp strictly below `end` (one epoch
+  /// window of a conservative parallel run). Does not advance now() past
+  /// the last fired event, so the next window may start earlier than
+  /// `end`. Returns events processed.
+  std::size_t run_window(TimePoint end);
+
+  /// Move the clock to `t` without firing anything. Only legal when no
+  /// pending event precedes `t` (the parallel driver uses it to align all
+  /// shards on a run_until deadline).
+  void advance_to(TimePoint t);
+
   /// Run until the event queue drains. Returns number of events processed.
   std::size_t run();
 
@@ -77,6 +107,9 @@ class Scheduler {
   std::size_t run_steps(std::size_t n);
 
   [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  /// Slab slots ever allocated — the high-water mark of concurrent pending
+  /// events (the slab reuses slots and only grows). Footprint diagnostics.
+  [[nodiscard]] std::size_t slab_slots() const { return slab_.size(); }
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
 
  private:

@@ -1,0 +1,194 @@
+// Determinism suite for the sharded parallel simulation (ISSUE 4).
+//
+// The contract under test: a Cluster built on a ParallelSim produces
+// BIT-IDENTICAL simulated results — event counts, request latencies,
+// merged metrics JSON, trace span exports, chaos injections — for every
+// worker-thread count. Threads may only change wall-clock speed, never
+// behavior. Each scenario runs at --threads 1/2/4 and byte-compares the
+// artifacts, including a seeded chaos replay (the hardest case: faults
+// mutate fabric/RNIC/engine state on several shards at once).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "ingress/palladium_ingress.hpp"
+#include "obs/hub.hpp"
+#include "runtime/boutique.hpp"
+#include "runtime/cluster.hpp"
+#include "sim/parallel.hpp"
+#include "workload/http_client.hpp"
+
+namespace {
+
+using namespace pd;
+
+constexpr NodeId kNode1{1};
+constexpr NodeId kNode2{2};
+
+struct RunResult {
+  std::uint64_t events = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t injected = 0;
+  sim::Duration p50 = 0;
+  sim::Duration p99 = 0;
+  std::string metrics_json;
+  std::string trace_json;
+};
+
+/// One Online Boutique sweep on a 3-shard parallel cluster (edge + two
+/// workers) driven by `os_threads` OS threads. `chaos_seed` != 0 arms a
+/// fault plan over both workers.
+RunResult run_boutique(std::size_t os_threads, std::uint64_t chaos_seed,
+                       bool tracing) {
+  sim::ParallelSim psim(/*shards=*/3, os_threads);
+  runtime::ClusterConfig cfg;
+  cfg.cpu_cores_per_node = 8;
+  cfg.pool_buffers = 1024;
+  cfg.system = runtime::SystemKind::kPalladiumDne;
+  runtime::Cluster cluster(psim, cfg);
+  cluster.add_worker(kNode1);
+  cluster.add_worker(kNode2);
+  runtime::OnlineBoutique::deploy(cluster, kNode1, kNode2);
+
+  ingress::PalladiumIngress::Config icfg;
+  icfg.initial_workers = 2;
+  icfg.request_deadline = 0;
+  ingress::PalladiumIngress ing(cluster, icfg);
+  ing.expose_chain("/run", runtime::OnlineBoutique::kHomeQuery);
+  ing.finish_setup();
+  cluster.finish_setup();
+  if (tracing) cluster.enable_shard_tracing(1);
+
+  // finish_setup ran the QP handshakes to quiescence, so "now" is already
+  // tens of ms in; place the fault window (and the traffic stop) relative
+  // to it. The post-setup now is itself deterministic across thread
+  // counts, so the generated plan is too.
+  sim::TimePoint stop = psim.shard(0).now() + 40'000'000;
+  std::unique_ptr<fault::ChaosController> chaos;
+  if (chaos_seed != 0) {
+    fault::FaultPlanConfig fcfg;
+    fcfg.start = psim.shard(0).now() + 2'000'000;
+    fcfg.horizon = fcfg.start + 30'000'000;
+    fcfg.episodes = 8;
+    chaos = std::make_unique<fault::ChaosController>(
+        cluster,
+        fault::FaultPlan::generate(chaos_seed, {kNode1, kNode2}, fcfg));
+    chaos->arm();
+    stop = fcfg.horizon + 10'000'000;
+  }
+
+  workload::HttpLoadGen::Config wcfg;
+  wcfg.target = "/run";
+  wcfg.body = std::string(64, 'x');
+  wcfg.client_cores = 4;
+  workload::HttpLoadGen wrk(psim.shard(0), ing, wcfg);
+  wrk.add_clients(4);
+
+  psim.run_until(stop);
+  wrk.stop();
+  psim.run();
+
+  obs::Hub merged;
+  cluster.merge_observability(merged);
+
+  RunResult r;
+  r.events = psim.events_processed();
+  r.requests = wrk.latencies().count();
+  r.injected = chaos ? chaos->injected() : 0;
+  r.p50 = wrk.latencies().quantile(0.5);
+  r.p99 = wrk.latencies().quantile(0.99);
+  r.metrics_json = merged.registry.to_json();
+  r.trace_json = merged.tracer.to_chrome_json();
+  return r;
+}
+
+TEST(Pdes, BoutiqueBitIdenticalAcrossThreadCounts) {
+  const RunResult ref = run_boutique(1, /*chaos_seed=*/0, /*tracing=*/true);
+  ASSERT_GT(ref.events, 0u);
+  ASSERT_GT(ref.requests, 0u);
+  ASSERT_FALSE(ref.metrics_json.empty());
+  // Tracing must actually have produced spans to make the byte-compare
+  // meaningful.
+  ASSERT_NE(ref.trace_json.find("\"request\""), std::string::npos);
+
+  for (std::size_t threads : {2u, 4u}) {
+    SCOPED_TRACE("os_threads=" + std::to_string(threads));
+    const RunResult got = run_boutique(threads, 0, true);
+    EXPECT_EQ(got.events, ref.events);
+    EXPECT_EQ(got.requests, ref.requests);
+    EXPECT_EQ(got.p50, ref.p50);
+    EXPECT_EQ(got.p99, ref.p99);
+    EXPECT_EQ(got.metrics_json, ref.metrics_json);
+    EXPECT_EQ(got.trace_json, ref.trace_json);
+  }
+}
+
+TEST(Pdes, ChaosReplayBitIdenticalAcrossThreadCounts) {
+  for (std::uint64_t seed : {11ull, 22ull, 33ull}) {
+    SCOPED_TRACE("chaos_seed=" + std::to_string(seed));
+    const RunResult ref = run_boutique(1, seed, /*tracing=*/false);
+    ASSERT_GT(ref.events, 0u);
+    ASSERT_GT(ref.requests, 0u);
+    ASSERT_GT(ref.injected, 0u);
+
+    for (std::size_t threads : {2u, 4u}) {
+      SCOPED_TRACE("os_threads=" + std::to_string(threads));
+      const RunResult got = run_boutique(threads, seed, false);
+      EXPECT_EQ(got.events, ref.events);
+      EXPECT_EQ(got.requests, ref.requests);
+      EXPECT_EQ(got.injected, ref.injected);
+      EXPECT_EQ(got.p50, ref.p50);
+      EXPECT_EQ(got.p99, ref.p99);
+      EXPECT_EQ(got.metrics_json, ref.metrics_json);
+    }
+  }
+}
+
+// Satellite 3: metric snapshots depend only on the instrument key set,
+// never on the order instruments were registered or merged.
+TEST(MetricsOrdering, ExportIndependentOfRegistrationOrder) {
+  obs::Registry a;
+  a.counter("zeta").inc(3);
+  a.histogram("lat", "node=1").record(5);
+  a.counter("alpha", "k=v").inc(1);
+  a.gauge("depth").set(2.5);
+
+  obs::Registry b;
+  b.gauge("depth").set(2.5);
+  b.counter("alpha", "k=v").inc(1);
+  b.histogram("lat", "node=1").record(5);
+  b.counter("zeta").inc(3);
+
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_EQ(a.to_csv(), b.to_csv());
+}
+
+TEST(MetricsOrdering, MergeOrderIndependent) {
+  obs::Registry s1;
+  s1.counter("msgs", "node=1").inc(7);
+  s1.histogram("lat").record(100);
+  obs::Registry s2;
+  s2.counter("msgs", "node=1").inc(5);
+  s2.counter("msgs", "node=2").inc(2);
+  s2.histogram("lat").record(300);
+  obs::Registry s3;
+  s3.gauge("occ").add(1.5);
+  s3.histogram("lat").record(200);
+
+  obs::Registry m1;
+  m1.merge_from(s1);
+  m1.merge_from(s2);
+  m1.merge_from(s3);
+  obs::Registry m2;
+  m2.merge_from(s3);
+  m2.merge_from(s1);
+  m2.merge_from(s2);
+
+  EXPECT_EQ(m1.to_json(), m2.to_json());
+  EXPECT_EQ(m1.to_csv(), m2.to_csv());
+}
+
+}  // namespace

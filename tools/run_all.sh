@@ -13,6 +13,10 @@
 #   tools/run_all.sh bench   build, then run the wall-clock perf gate sweep
 #                            against the committed BENCH_PR3.json baseline;
 #                            fails on >10% events/sec regression
+#   tools/run_all.sh tsan    build with -DPD_SANITIZE=thread into build-tsan/
+#                            and smoke the parallel epoch-barrier loop (the
+#                            pdes determinism suite + a threaded perf_gate
+#                            smoke) under ThreadSanitizer
 set -e
 cd "$(dirname "$0")/.."
 
@@ -35,6 +39,21 @@ if [ "$1" = "chaos" ]; then
     exit 1
   fi
   echo "chaos sweep passed: 10 seeds, no request silently lost"
+  exit 0
+fi
+
+if [ "$1" = "tsan" ]; then
+  cmake -B build-tsan -G Ninja -DPD_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-tsan --target pdes_test perf_gate
+  TSAN_OPTIONS=halt_on_error=1 \
+    ctest --test-dir build-tsan -L pdes --output-on-failure 2>&1 \
+    | tee tsan_output.txt
+  # The determinism suite runs the sharded boutique at 1/2/4 worker
+  # threads; the perf_gate smoke adds the run_until + drain path.
+  TSAN_OPTIONS=halt_on_error=1 \
+    ./build-tsan/bench/perf_gate --smoke --threads 2 > /dev/null
+  echo "tsan smoke passed: parallel epoch loop is data-race-clean"
   exit 0
 fi
 
