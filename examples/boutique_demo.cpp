@@ -9,16 +9,26 @@
 //   $ ./examples/boutique_demo --chaos 42   # seeded fault injection: link
 //                                           # outages, frame loss, QP/SRQ
 //                                           # faults, node crashes
+//   $ ./examples/boutique_demo --critpath   # p99 critical-path attribution
+//                                           # -> boutique_critpath.json
+//   $ ./examples/boutique_demo --flame      # exact busy-time flamegraph
+//                                           # -> boutique_flame.folded
+//   $ ./examples/boutique_demo --slo        # per-tenant SLO watchdog +
+//                                           # burn-rate alerts
+//   $ ./examples/boutique_demo --threads 4  # sharded parallel simulation
+//                                           # (bit-identical for any count)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "fault/fault.hpp"
 #include "ingress/palladium_ingress.hpp"
+#include "obs/critpath.hpp"
 #include "obs/hub.hpp"
 #include "runtime/boutique.hpp"
 #include "runtime/function.hpp"
 #include "runtime/metrics_export.hpp"
+#include "sim/parallel.hpp"
 #include "workload/http_client.hpp"
 
 using namespace pd;
@@ -26,48 +36,104 @@ using namespace pd;
 int main(int argc, char** argv) {
   bool trace = false;
   bool chaos = false;
+  bool slo = false;
+  bool critpath = false;
+  bool flame = false;
   std::uint64_t chaos_seed = 0;
+  std::size_t threads = 0;  // 0 = legacy single-scheduler simulation
+  std::int64_t seconds = 5;
+  std::string prefix = "boutique";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) trace = true;
+    if (std::strcmp(argv[i], "--slo") == 0) slo = true;
+    if (std::strcmp(argv[i], "--critpath") == 0) critpath = true;
+    if (std::strcmp(argv[i], "--flame") == 0) flame = true;
     if (std::strcmp(argv[i], "--chaos") == 0 && i + 1 < argc) {
       chaos = true;
       chaos_seed = std::strtoull(argv[++i], nullptr, 10);
     }
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::strtoull(argv[++i], nullptr, 10);
+    }
+    if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
+      seconds = std::strtoll(argv[++i], nullptr, 10);
+    }
+    if (std::strcmp(argv[i], "--prefix") == 0 && i + 1 < argc) {
+      prefix = argv[++i];
+    }
   }
+  const bool tracing = trace || critpath;
+  const bool observing = tracing || slo || flame;
+  const sim::Duration horizon = seconds * 1'000'000'000;
 
-  // With --trace, sample every 500th request end-to-end (a 5 s run serves
-  // ~100K requests; sampling keeps the trace file Perfetto-sized) and dump
-  // a full metrics snapshot alongside.
+  // With tracing on, sample every 500th request end-to-end (a 5 s run
+  // serves ~100K requests; sampling keeps the trace Perfetto-sized) and
+  // dump a full metrics snapshot alongside.
   obs::Hub hub;
   std::unique_ptr<obs::Session> session;
-  if (trace) {
-    hub.tracer.set_sample_every(500);
+  std::unique_ptr<obs::ProfileSession> profiling;
+  if (observing) {
+    // In parallel mode the per-shard hubs do the recording (merged into
+    // `hub` after the run); the globally installed hub must not sample.
+    hub.tracer.set_sample_every(threads == 0 && tracing ? 500 : 0);
     session = std::make_unique<obs::Session>(hub);
   }
+  if (flame) profiling = std::make_unique<obs::ProfileSession>(hub.profiler);
 
-  sim::Scheduler sched;
+  // Legacy mode runs everything on one scheduler; --threads N shards the
+  // cluster (edge + one shard per worker) across N OS threads with
+  // bit-identical simulated results for every N.
+  sim::Scheduler serial_sched;
+  std::unique_ptr<sim::ParallelSim> psim;
+  if (threads > 0) psim = std::make_unique<sim::ParallelSim>(3, threads);
+
   runtime::ClusterConfig cfg;
   cfg.system = runtime::SystemKind::kPalladiumDne;
   cfg.cpu_cores_per_node = 16;
-  runtime::Cluster cluster(sched, cfg);
-  cluster.add_worker(NodeId{1});
-  cluster.add_worker(NodeId{2});
+  auto cluster = psim != nullptr
+                     ? std::make_unique<runtime::Cluster>(*psim, cfg)
+                     : std::make_unique<runtime::Cluster>(serial_sched, cfg);
+  sim::Scheduler& sched = cluster->scheduler();
+  cluster->add_worker(NodeId{1});
+  cluster->add_worker(NodeId{2});
+  if (psim != nullptr) {
+    if (tracing) cluster->enable_shard_tracing(500);
+    if (flame) cluster->enable_shard_profiling();
+  }
 
   // Hot functions (frontend/checkout/recommendation) on node 1, the other
   // seven on node 2 — the paper's placement.
-  runtime::OnlineBoutique::deploy(cluster, NodeId{1}, NodeId{2});
+  runtime::OnlineBoutique::deploy(*cluster, NodeId{1}, NodeId{2});
 
   // HTTP/TCP terminates at the cluster edge; only payloads enter the
   // RDMA fabric (early transport conversion, §3.6).
   ingress::PalladiumIngress::Config icfg;
   icfg.initial_workers = 2;
-  ingress::PalladiumIngress gateway(cluster, icfg);
+  ingress::PalladiumIngress gateway(*cluster, icfg);
   gateway.expose_chain("/home", runtime::OnlineBoutique::kHomeQuery);
   gateway.expose_chain("/cart", runtime::OnlineBoutique::kViewCart);
   gateway.expose_chain("/product", runtime::OnlineBoutique::kProductQuery);
   gateway.expose_chain("/checkout", runtime::OnlineBoutique::kCheckoutChain);
   gateway.finish_setup();
-  cluster.finish_setup();
+  cluster->finish_setup();
+
+  if (slo) {
+    // Healthy-run p99s sit near 1.2 ms (interactive pages) / 1.5 ms
+    // (checkout); the targets leave ~2x headroom so only real trouble
+    // (chaos, overload) burns budget.
+    cluster->add_slo({.name = "boutique-home",
+                      .tenant = runtime::OnlineBoutique::kTenant,
+                      .chain = runtime::OnlineBoutique::kHomeQuery,
+                      .target_ns = 2'500'000});
+    cluster->add_slo({.name = "boutique-checkout",
+                      .tenant = runtime::OnlineBoutique::kTenant,
+                      .chain = runtime::OnlineBoutique::kCheckoutChain,
+                      .target_ns = 3'500'000});
+    cluster->add_slo({.name = "boutique-all",
+                      .tenant = runtime::OnlineBoutique::kTenant,
+                      .target_ns = 3'500'000,
+                      .budget = 0.05});
+  }
 
   // Three client populations hammering different pages.
   struct Page {
@@ -76,20 +142,20 @@ int main(int argc, char** argv) {
   };
   const Page pages[] = {{"/home", 16}, {"/product", 12}, {"/checkout", 4}};
 
-  // Seeded chaos: fault episodes spread across the middle 4 s of the run,
+  // Seeded chaos: fault episodes spread across the middle of the run,
   // leaving a clean first half-second and enough tail to watch recovery.
   std::unique_ptr<fault::ChaosController> chaos_ctl;
   if (chaos) {
     fault::FaultPlanConfig fcfg;
     fcfg.start = sched.now() + 500'000'000;
-    fcfg.horizon = 4'500'000'000;
+    fcfg.horizon = horizon - 500'000'000;
     fcfg.episodes = 40;
     fcfg.min_gap = 20'000'000;
     fcfg.max_gap = 120'000'000;
     const fault::FaultPlan plan =
         fault::FaultPlan::generate(chaos_seed, {NodeId{1}, NodeId{2}}, fcfg);
     std::printf("%s", plan.describe().c_str());
-    chaos_ctl = std::make_unique<fault::ChaosController>(cluster, plan);
+    chaos_ctl = std::make_unique<fault::ChaosController>(*cluster, plan);
     chaos_ctl->arm();
   }
 
@@ -103,14 +169,30 @@ int main(int argc, char** argv) {
     gens.back()->add_clients(page.clients);
   }
 
-  sched.run_until(5'000'000'000);  // 5 s
-  for (auto& g : gens) g->stop();
-  sched.run();
+  if (psim != nullptr) {
+    psim->run_until(horizon);
+    for (auto& g : gens) g->stop();
+    psim->run();
+  } else {
+    sched.run_until(horizon);
+    for (auto& g : gens) g->stop();
+    sched.run();
+  }
+  if (psim != nullptr) {
+    cluster->merge_observability(hub);
+  } else if (observing) {
+    hub.slo.finish(sched.now());
+  }
 
-  std::printf("Online Boutique over Palladium (DNE), 5 s, 32 HTTP clients:\n");
+  const double secs = static_cast<double>(seconds);
+  std::printf("Online Boutique over Palladium (DNE), %lld s, 32 HTTP clients",
+              static_cast<long long>(seconds));
+  if (threads > 0) std::printf(", %zu sim threads", threads);
+  std::printf(":\n");
   for (std::size_t i = 0; i < gens.size(); ++i) {
     std::printf("  %-10s %6.0f RPS  mean %6.2f ms  p99 %6.2f ms\n",
-                pages[i].target, static_cast<double>(gens[i]->completed()) / 5.0,
+                pages[i].target,
+                static_cast<double>(gens[i]->completed()) / secs,
                 gens[i]->latencies().mean_ns() / 1e6,
                 sim::to_ms(gens[i]->latencies().quantile(0.99)));
   }
@@ -121,14 +203,14 @@ int main(int argc, char** argv) {
                          "checkout",  "payment",        "email",
                          "ad"};
   for (std::uint32_t f = 1; f <= 10; ++f) {
-    auto& inst = cluster.instance(FunctionId{f});
+    auto& inst = cluster->instance(FunctionId{f});
     std::printf("  %-16s %8llu calls on node %u\n", names[f - 1],
                 static_cast<unsigned long long>(inst.invocations()),
-                cluster.placement_of(FunctionId{f}).value());
+                cluster->placement_of(FunctionId{f}).value());
   }
 
   for (NodeId n : {NodeId{1}, NodeId{2}}) {
-    auto* dne = cluster.worker(n).palladium_engine();
+    auto* dne = cluster->worker(n).palladium_engine();
     std::printf("node-%u DNE: tx=%llu rx=%llu replenished=%llu\n", n.value(),
                 static_cast<unsigned long long>(dne->counters().tx_msgs),
                 static_cast<unsigned long long>(dne->counters().rx_msgs),
@@ -144,7 +226,7 @@ int main(int argc, char** argv) {
     }
     std::uint64_t retransmits = 0, reestablishments = 0;
     for (NodeId n : {NodeId{1}, NodeId{2}}) {
-      auto* dne = cluster.worker(n).palladium_engine();
+      auto* dne = cluster->worker(n).palladium_engine();
       retransmits += dne->counters().retransmits;
       reestablishments += dne->connections().stats().reestablishments;
     }
@@ -155,7 +237,7 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(chaos_seed),
         static_cast<unsigned long long>(chaos_ctl->injected()),
         static_cast<unsigned long long>(
-            cluster.rdma_net()->fabric().frames_dropped()),
+            cluster->rdma_net()->fabric().frames_dropped()),
         static_cast<unsigned long long>(retransmits),
         static_cast<unsigned long long>(reestablishments),
         static_cast<unsigned long long>(sent),
@@ -165,18 +247,52 @@ int main(int argc, char** argv) {
                                    : "LOST REQUESTS");
   }
 
-  if (trace) {
-    hub.tracer.write_chrome_json("boutique_trace.json");
-    runtime::export_metrics(cluster, hub.registry);
-    hub.registry.write_json("boutique_metrics.json");
+  // Every sampled request that completed must have closed its whole span
+  // tree; leftovers on a healthy run mean an instrumentation leak (on a
+  // chaos run, requests genuinely in flight at the horizon are expected).
+  if (tracing && !chaos && hub.tracer.open_spans() > 0) {
+    std::fprintf(stderr,
+                 "WARNING: %zu spans still open after a healthy run — "
+                 "instrumentation is leaking spans\n",
+                 hub.tracer.open_spans());
+  }
+
+  if (slo) {
+    std::printf("\nSLO watchdog (%llu requests, %llu violations, "
+                "%zu alerts):\n%s",
+                static_cast<unsigned long long>(hub.slo.total_requests()),
+                static_cast<unsigned long long>(hub.slo.total_violations()),
+                hub.slo.alerts().size(), hub.slo.table().c_str());
+  }
+
+  if (critpath) {
+    const auto report =
+        obs::analyze(obs::to_read_spans(hub.tracer.spans()), 0.99);
+    std::printf("\n%s", obs::report_table(report).c_str());
+    obs::write_report_json(report, prefix + "_critpath.json");
+    std::printf("attribution report -> %s_critpath.json\n", prefix.c_str());
+  }
+
+  if (flame) {
+    hub.profiler.write_collapsed(prefix + "_flame.folded");
     std::printf(
-        "\n%zu spans from %zu sampled requests -> boutique_trace.json "
-        "(open in https://ui.perfetto.dev or chrome://tracing)\n"
-        "metrics snapshot -> boutique_metrics.json\n",
-        hub.tracer.spans().size(),
-        hub.tracer.spans().size() == 0
-            ? static_cast<std::size_t>(0)
-            : static_cast<std::size_t>(hub.tracer.spans().back().trace_id));
+        "\nexact profile: %llu busy-ns folded -> %s_flame.folded "
+        "(feed to flamegraph.pl / speedscope)\n",
+        static_cast<unsigned long long>(hub.profiler.total_ns()),
+        prefix.c_str());
+  }
+
+  if (trace) {
+    hub.tracer.write_chrome_json(prefix + "_trace.json");
+    std::printf(
+        "\n%zu spans from sampled requests -> %s_trace.json "
+        "(open in https://ui.perfetto.dev or chrome://tracing)\n",
+        hub.tracer.spans().size(), prefix.c_str());
+  }
+  if (observing) {
+    runtime::export_metrics(*cluster, hub.registry);
+    hub.registry.write_json(prefix + "_metrics.json");
+    std::printf("metrics snapshot -> %s_metrics.json\n", prefix.c_str());
   }
   return 0;
 }

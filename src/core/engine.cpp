@@ -4,6 +4,7 @@
 #include "dpu/mmap.hpp"
 #include "obs/hub.hpp"
 #include "proto/cost_model.hpp"
+#include "sim/profile.hpp"
 
 namespace pd::core {
 
@@ -204,6 +205,7 @@ void NetworkEngine::tx_iteration() {
   const sim::Duration work =
       static_cast<sim::Duration>(batch) *
       (cost::kDneSchedNs + cost::kDneTxStageNs + config_.extra_per_msg_ns);
+  sim::ProfileScope scope{"engine", "tx"};
   engine_core_.submit(work, [this, batch] {
     for (std::size_t i = 0; i < batch; ++i) {
       auto item = config_.use_dwrr ? dwrr_.dequeue() : fcfs_.dequeue();
@@ -213,6 +215,7 @@ void NetworkEngine::tx_iteration() {
         const auto bytes = item->length;
         const std::uint32_t dma_span = begin_soc_dma_span(*item);
         const sim::TimePoint t0 = sched_.now();
+        sim::ProfileScope dma_scope{"dma", "tx", item->tenant.value()};
         dpu_->dma().transfer(bytes, [this, d = *item, dma_span, t0] {
           end_soc_dma(dma_span, "tx", t0);
           transmit(d);
@@ -294,6 +297,7 @@ void NetworkEngine::rx_iteration() {
   }
   // rx_scratch_ stays untouched until this callback runs: kick_rx() bails
   // out while rx_busy_ and nothing else polls this CQ.
+  sim::ProfileScope scope{"engine", "rx"};
   engine_core_.submit(work, [this] {
     for (const auto& c : rx_scratch_) {
       if (c.is_recv) {
@@ -346,6 +350,7 @@ void NetworkEngine::handle_recv(const rdma::Completion& c) {
     // to the host pool before the function can touch it.
     const std::uint32_t dma_span = begin_soc_dma_span(c.buffer);
     const sim::TimePoint t0 = sched_.now();
+    sim::ProfileScope dma_scope{"dma", "rx", c.buffer.tenant.value()};
     dpu_->dma().transfer(c.byte_len,
                          [this, buffer = c.buffer, dst, dma_span, t0] {
                            end_soc_dma(dma_span, "rx", t0);
@@ -488,11 +493,22 @@ void NetworkEngine::on_retransmit_timeout(std::uint64_t seq) {
   }
   ++m.attempts;
   ++counters_.retransmits;
-  if (auto* h = obs::hub()) {
-    h->registry
+  if (auto* hub = obs::hub()) {
+    hub->registry
         .counter("engine.retransmits",
                  "node=" + std::to_string(node().value()))
         .inc();
+    if (m.retx_span == 0) {
+      // One "retransmit" span per message covers the whole recovery tail
+      // (first timeout until ACK/failure) so loss shows up as a transport
+      // hop in critical-path attribution rather than as anonymous queueing.
+      const MessageHeader h = read_header(pool_of(m.d).access(m.d, actor()));
+      if (h.trace_id != 0) {
+        m.retx_span = hub->tracer.begin_span(h.trace_id, h.root_span,
+                                             "retransmit", track_,
+                                             sched_.now());
+      }
+    }
   }
   pool_of(m.d).transfer(m.d, actor(), mem::actor_rnic(node()));
   rdma::WorkRequest wr;
@@ -509,6 +525,7 @@ void NetworkEngine::on_retransmit_timeout(std::uint64_t seq) {
 void NetworkEngine::finish_success(UnackedIter it) {
   UnackedMsg& m = it->second;
   if (m.timer != sim::kInvalidEvent) sched_.cancel(m.timer);
+  end_retransmit_span(m);
   pool_of(m.d).release(m.d, actor());
   ++counters_.recycled;
   unacked_.erase(it);
@@ -517,6 +534,7 @@ void NetworkEngine::finish_success(UnackedIter it) {
 void NetworkEngine::finish_failure(UnackedIter it) {
   UnackedMsg& m = it->second;
   if (m.timer != sim::kInvalidEvent) sched_.cancel(m.timer);
+  end_retransmit_span(m);
   ++counters_.send_failures;
   const mem::BufferDescriptor d = m.d;
   unacked_.erase(it);
@@ -597,6 +615,7 @@ void NetworkEngine::fill_srq(TenantId tenant, std::uint64_t n) {
   }
   counters_.replenished += posted;
   if (posted > 0) {
+    sim::ProfileScope scope{"engine", "replenish", tenant.value()};
     engine_core_.submit(static_cast<sim::Duration>(posted) *
                         cost::kDneReplenishNs);
   }
@@ -605,6 +624,14 @@ void NetworkEngine::fill_srq(TenantId tenant, std::uint64_t n) {
 // ---------------------------------------------------------------------------
 // Observability (record-only: never schedules events or charges cores)
 // ---------------------------------------------------------------------------
+
+void NetworkEngine::end_retransmit_span(UnackedMsg& m) {
+  if (m.retx_span == 0) return;
+  if (obs::Hub* hub = obs::hub()) {
+    hub->tracer.end_span(m.retx_span, sched_.now());
+  }
+  m.retx_span = 0;
+}
 
 void NetworkEngine::trace_stage(const mem::BufferDescriptor& d,
                                 std::string_view stage) {

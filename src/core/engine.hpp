@@ -196,6 +196,8 @@ class NetworkEngine : public DataPlane {
     bool in_flight = true;
     enum class Outcome : std::uint8_t { kPending, kAcked, kFailed };
     Outcome outcome = Outcome::kPending;
+    /// Open "retransmit" span covering loss recovery (0 = none/untraced).
+    std::uint32_t retx_span = 0;
   };
   using UnackedIter = std::unordered_map<std::uint64_t, UnackedMsg>::iterator;
 
@@ -217,6 +219,8 @@ class NetworkEngine : public DataPlane {
   /// Baton hop: end the span the message arrived with, open `stage` on this
   /// engine's track, and write the updated header back into the buffer.
   void trace_stage(const mem::BufferDescriptor& d, std::string_view stage);
+  /// Close the message's "retransmit" recovery span, if one is open.
+  void end_retransmit_span(UnackedMsg& m);
   /// Open a "soc_dma" span for the staging copy of `d` (0 when unsampled).
   std::uint32_t begin_soc_dma_span(const mem::BufferDescriptor& d);
   /// Close the staging span and record the copy's duration into the

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "sim/profile.hpp"
 
 namespace pd::dpu {
 
@@ -12,6 +13,9 @@ void SocDmaEngine::transfer(Bytes bytes, sim::EventFn done) {
       cost::kSocDmaBaseNs +
       static_cast<sim::Duration>(static_cast<double>(bytes) *
                                  cost::kSocDmaPerByteNs);
+  if (sim::BusyObserver* o = sim::busy_observer()) {
+    o->on_busy(name_, sim::current_profile_frame(), op_ns);
+  }
   busy_until_ = std::max(busy_until_, sched_.now()) + op_ns;
   ++transfers_;
   bytes_moved_ += bytes;
@@ -27,6 +31,8 @@ Dpu::Dpu(sim::Scheduler& sched, NodeId node, std::size_t arm_cores,
     : node_(node),
       cores_(sched, "dpu" + std::to_string(node.value()) + "/arm", arm_cores,
              core_speed),
-      dma_(sched) {}
+      dma_(sched) {
+  dma_.set_name("node" + std::to_string(node.value()) + "/dma");
+}
 
 }  // namespace pd::dpu

@@ -23,12 +23,17 @@ class SocDmaEngine {
   /// Transfers queue FIFO behind each other (kSocDmaParallelism == 1).
   void transfer(Bytes bytes, sim::EventFn done);
 
+  /// Resource name reported to the busy-time profiler ("nodeN/dma").
+  void set_name(std::string name) { name_ = std::move(name); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
   [[nodiscard]] std::uint64_t transfers() const { return transfers_; }
   [[nodiscard]] Bytes bytes_moved() const { return bytes_moved_; }
   [[nodiscard]] sim::Duration backlog() const;
 
  private:
   sim::Scheduler& sched_;
+  std::string name_ = "dma";
   sim::TimePoint busy_until_ = 0;
   std::uint64_t transfers_ = 0;
   Bytes bytes_moved_ = 0;

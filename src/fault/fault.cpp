@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "obs/hub.hpp"
+#include "sim/profile.hpp"
 
 namespace pd::fault {
 
@@ -181,6 +182,7 @@ void ChaosController::arm_sharded() {
         break;
       case FaultKind::kEngineStall:
         owner.schedule_background_at(e.at, [this, e] {
+          sim::ProfileScope scope{"fault", "engine_stall"};
           cluster_.worker(e.node).engine_core().submit(e.duration);
         });
         break;
@@ -247,11 +249,13 @@ void ChaosController::apply(const FaultEvent& e) {
       PD_CHECK(net != nullptr, "srq fault on a non-RDMA cluster");
       if (net->has_rnic(e.node)) net->rnic(e.node).drain_all_srqs();
       break;
-    case FaultKind::kEngineStall:
+    case FaultKind::kEngineStall: {
       // One opaque wedge on the engine core: everything behind it in the
       // run-to-completion loop waits it out.
+      sim::ProfileScope scope{"fault", "engine_stall"};
       cluster_.worker(e.node).engine_core().submit(e.duration);
       break;
+    }
     case FaultKind::kNodeCrash:
       cluster_.crash_node(e.node);
       sched.schedule_background_at(e.at + e.duration,

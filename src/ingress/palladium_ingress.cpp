@@ -4,7 +4,9 @@
 
 #include "core/message.hpp"
 #include "core/trace_hooks.hpp"
+#include "obs/hub.hpp"
 #include "proto/cost_model.hpp"
+#include "sim/profile.hpp"
 
 namespace pd::ingress {
 namespace {
@@ -182,6 +184,7 @@ void PalladiumIngress::on_client_bytes(int client, std::string_view bytes) {
                                  cost::kHttpParsePerByteNs);
   auto parser = std::make_shared<proto::HttpRequestParser>();
   auto data = std::make_shared<std::string>(bytes);
+  sim::ProfileScope scope{"ingress", "http_parse"};
   worker_core(c.worker).submit(parse_ns, [this, client, parser, data] {
     auto [status, consumed] = parser->feed(*data);
     PD_CHECK(status == proto::ParseStatus::kComplete,
@@ -214,6 +217,9 @@ void PalladiumIngress::forward_to_chain(int client,
   if (!send_request(request_id)) {
     // Pool pressure on the very first attempt: shed immediately.
     pending_.erase(request_id);
+    if (auto* hub = obs::hub()) {
+      hub->slo.record_error(chain.tenant, chain.id, sched_.now());
+    }
     proto::HttpResponse resp;
     resp.status = 503;
     resp.reason = "Overloaded";
@@ -260,6 +266,7 @@ bool PalladiumIngress::send_request(std::uint64_t request_id) {
   ClientConn& c = *clients_.at(static_cast<std::size_t>(pr.client));
 
   // RDMA transmission from the worker's run-to-completion loop.
+  sim::ProfileScope scope{"ingress", "rdma_tx", chain.tenant.value()};
   worker_core(c.worker).submit(
       cost::kDneSchedNs + cost::kDneTxStageNs,
       [this, sized, first_node = cluster_.placement_of(chain.hops.front().fn),
@@ -294,6 +301,10 @@ void PalladiumIngress::on_deadline(std::uint64_t request_id) {
     // Retry budget exhausted: fail the request explicitly.
     ++timeouts_;
     const int client = pr.client;
+    if (auto* hub = obs::hub()) {
+      hub->slo.record_error(cluster_.chains().by_id(pr.chain_id).tenant,
+                            pr.chain_id, sched_.now());
+    }
     pending_.erase(pit);
     respond_error(client, 504, "Gateway Timeout");
     return;
@@ -310,6 +321,7 @@ void PalladiumIngress::on_deadline(std::uint64_t request_id) {
 void PalladiumIngress::respond_error(int client, int status,
                                      const char* reason) {
   ClientConn& conn = *clients_.at(static_cast<std::size_t>(client));
+  sim::ProfileScope scope{"ingress", "http_serialize"};
   worker_core(conn.worker)
       .submit(cost::kHttpSerializeNs, [this, client, status, reason] {
         proto::HttpResponse resp;
@@ -371,6 +383,9 @@ void PalladiumIngress::handle_response(const rdma::Completion& c) {
     // deadline.
     ++bad_gateway_;
     const TenantId t = c.tenant;
+    if (auto* hub = obs::hub()) {
+      hub->slo.record_error(t, req.chain_id, sched_.now());
+    }
     pool.release(c.buffer, actor);
     post_receives(t, 1);
     respond_error(req.client, 502, "Bad Gateway");
@@ -382,11 +397,16 @@ void PalladiumIngress::handle_response(const rdma::Completion& c) {
                        sizeof(core::MessageHeader),
                    h.payload_len);
   const TenantId tenant = c.tenant;
+  if (auto* hub = obs::hub()) {
+    hub->slo.record(tenant, req.chain_id, sched_.now() - req.start,
+                    sched_.now());
+  }
   pool.release(c.buffer, actor);
   post_receives(tenant, 1);
 
   ClientConn& conn = *clients_.at(static_cast<std::size_t>(req.client));
   const auto serialize_ns = cost::kDneRxStageNs + cost::kHttpSerializeNs;
+  sim::ProfileScope scope{"ingress", "http_serialize", tenant.value()};
   worker_core(conn.worker).submit(serialize_ns, [this, client = req.client,
                                                  body = std::move(body)] {
     proto::HttpResponse resp;
@@ -428,6 +448,7 @@ void PalladiumIngress::apply_scaling(int new_count) {
   rebalance_connections();
   // Worker-process restart: a brief interruption while the pool respawns
   // (§3.6 / Fig. 14 (2)) — queued work waits behind the restart.
+  sim::ProfileScope scope{"ingress", "worker_restart"};
   for (int w = 0; w < active_workers_; ++w) {
     worker_core(w).submit(cost::kIngressWorkerRestartNs);
   }

@@ -1,0 +1,286 @@
+#include "obs/critpath.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.hpp"
+
+namespace pd::obs {
+
+namespace {
+const std::string kQueueHopName = "queue";
+}  // namespace
+
+const char* to_string(HopClass cls) {
+  switch (cls) {
+    case HopClass::kService: return "service";
+    case HopClass::kQueue: return "queue";
+    case HopClass::kTransport: return "transport";
+    case HopClass::kDma: return "dma";
+  }
+  return "?";
+}
+
+HopClass classify_hop(std::string_view name) {
+  if (name == "queue") return HopClass::kQueue;
+  if (name == "fabric" || name == "retransmit") return HopClass::kTransport;
+  if (name == "soc_dma") return HopClass::kDma;
+  return HopClass::kService;
+}
+
+std::vector<ReadSpan> to_read_spans(const std::vector<SpanRecord>& spans) {
+  std::vector<ReadSpan> out;
+  out.reserve(spans.size());
+  for (const SpanRecord& s : spans) {
+    if (!s.closed()) continue;
+    ReadSpan r;
+    r.name = s.name;
+    r.track = s.track;
+    r.trace_id = s.trace_id;
+    r.span_id = s.span_id;
+    r.parent_id = s.parent_id;
+    r.begin_ns = s.begin_ns;
+    r.dur_ns = s.end_ns - s.begin_ns;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::optional<RequestPath> critical_path(const std::vector<ReadSpan>& trace) {
+  const ReadSpan* root = nullptr;
+  for (const ReadSpan& s : trace) {
+    if (s.parent_id != 0) continue;
+    if (root == nullptr || (s.name == "request" && root->name != "request")) {
+      root = &s;
+    }
+  }
+  if (root == nullptr) return std::nullopt;
+
+  RequestPath path;
+  path.trace_id = root->trace_id;
+  path.total_ns = root->dur_ns;
+
+  // Clamp every other span of the trace to the root interval, then run a
+  // sweep over the elementary intervals between span boundaries. Each
+  // elementary interval is attributed to the covering span with the latest
+  // begin (ties: larger span id, i.e. the later-opened span); intervals no
+  // span covers are queueing.
+  struct Clamped {
+    const ReadSpan* s;
+    std::int64_t b, e;
+  };
+  std::vector<Clamped> covers;
+  std::vector<std::int64_t> bounds{root->begin_ns, root->end_ns()};
+  for (const ReadSpan& s : trace) {
+    if (&s == root) continue;
+    if (s.name == "retransmit") ++path.retransmit_spans;
+    const std::int64_t b = std::max(s.begin_ns, root->begin_ns);
+    const std::int64_t e = std::min(s.end_ns(), root->end_ns());
+    if (e <= b) continue;
+    covers.push_back({&s, b, e});
+    bounds.push_back(b);
+    bounds.push_back(e);
+  }
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+  for (std::size_t i = 0; i + 1 < bounds.size(); ++i) {
+    const std::int64_t b = bounds[i];
+    const std::int64_t e = bounds[i + 1];
+    const Clamped* winner = nullptr;
+    for (const Clamped& c : covers) {
+      if (c.b > b || c.e < e) continue;
+      if (winner == nullptr || c.s->begin_ns > winner->s->begin_ns ||
+          (c.s->begin_ns == winner->s->begin_ns &&
+           c.s->span_id > winner->s->span_id)) {
+        winner = &c;
+      }
+    }
+    const std::string& hop =
+        winner != nullptr ? winner->s->name : kQueueHopName;
+    if (!path.segments.empty() && path.segments.back().hop == hop) {
+      path.segments.back().ns += e - b;
+    } else {
+      path.segments.push_back(PathSegment{hop, classify_hop(hop), e - b});
+    }
+  }
+  return path;
+}
+
+namespace {
+// Exact order statistic: the value at ceil(q*N)-th position (1-based) of the
+// ascending-sorted totals, so reported quantiles are actual observed
+// requests, never interpolations.
+std::size_t quantile_index(double q, std::size_t n) {
+  PD_CHECK(n > 0, "quantile over empty set");
+  const auto rank =
+      static_cast<std::size_t>(std::ceil(q * static_cast<double>(n)));
+  return std::min(std::max<std::size_t>(rank, 1), n) - 1;
+}
+}  // namespace
+
+CritPathReport analyze(const std::vector<ReadSpan>& spans, double quantile) {
+  CritPathReport rep;
+  rep.quantile = quantile;
+
+  std::map<std::uint64_t, std::vector<ReadSpan>> by_trace;
+  for (const ReadSpan& s : spans) {
+    if (s.trace_id == 0) continue;
+    by_trace[s.trace_id].push_back(s);
+  }
+
+  std::vector<RequestPath> paths;
+  paths.reserve(by_trace.size());
+  for (const auto& [id, trace] : by_trace) {
+    auto path = critical_path(trace);
+    if (!path.has_value()) {
+      ++rep.incomplete;
+      continue;
+    }
+    paths.push_back(std::move(*path));
+  }
+  rep.traces = paths.size();
+  if (paths.empty()) return rep;
+
+  // (total, trace_id) pairs: sorting by total with trace-id tie-break makes
+  // the chosen quantile request deterministic even under exact ties.
+  std::vector<std::pair<std::int64_t, std::uint64_t>> totals;
+  totals.reserve(paths.size());
+  for (const RequestPath& p : paths) totals.emplace_back(p.total_ns, p.trace_id);
+  std::sort(totals.begin(), totals.end());
+  rep.p50_total_ns = totals[quantile_index(0.50, totals.size())].first;
+  const auto& [q_total, q_id] = totals[quantile_index(quantile, totals.size())];
+  rep.q_total_ns = q_total;
+  rep.q_trace_id = q_id;
+
+  for (const RequestPath& p : paths) {
+    const bool is_q = p.trace_id == rep.q_trace_id;
+    if (is_q) rep.q_breakdown = p.segments;
+    rep.retransmit_spans += p.retransmit_spans;
+    std::map<std::string, std::int64_t> in_path;
+    for (const PathSegment& seg : p.segments) {
+      HopAttribution& hop = rep.hops[seg.hop];
+      hop.cls = seg.cls;
+      ++hop.segments;
+      hop.total_ns += seg.ns;
+      if (is_q) hop.q_ns += seg.ns;
+      rep.class_ns[static_cast<std::size_t>(seg.cls)] += seg.ns;
+      in_path[seg.hop] += seg.ns;
+    }
+    for (const auto& [hop, ns] : in_path) ++rep.hops[hop].traces;
+  }
+  return rep;
+}
+
+std::string report_json(const CritPathReport& r) {
+  // Integer fields only (quantile as basis points) so the serialization is
+  // byte-stable across compilers and thread counts.
+  std::string out = "{\n";
+  out += "  \"quantile_bp\": " +
+         std::to_string(static_cast<std::int64_t>(
+             std::llround(r.quantile * 10000.0))) +
+         ",\n";
+  out += "  \"traces\": " + std::to_string(r.traces) + ",\n";
+  out += "  \"incomplete\": " + std::to_string(r.incomplete) + ",\n";
+  out += "  \"retransmit_spans\": " + std::to_string(r.retransmit_spans) +
+         ",\n";
+  out += "  \"p50_total_ns\": " + std::to_string(r.p50_total_ns) + ",\n";
+  out += "  \"q_total_ns\": " + std::to_string(r.q_total_ns) + ",\n";
+  out += "  \"q_trace_id\": " + std::to_string(r.q_trace_id) + ",\n";
+  out += "  \"q_breakdown\": [";
+  bool first = true;
+  for (const PathSegment& seg : r.q_breakdown) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"hop\": \"" + seg.hop + "\", \"class\": \"" +
+           to_string(seg.cls) + "\", \"ns\": " + std::to_string(seg.ns) + "}";
+  }
+  out += "],\n";
+  out += "  \"class_ns\": {";
+  for (std::size_t c = 0; c < 4; ++c) {
+    if (c != 0) out += ", ";
+    out += "\"" + std::string(to_string(static_cast<HopClass>(c))) +
+           "\": " + std::to_string(r.class_ns[c]);
+  }
+  out += "},\n";
+  out += "  \"hops\": {";
+  first = true;
+  for (const auto& [name, hop] : r.hops) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    \"" + name + "\": {\"class\": \"" + to_string(hop.cls) +
+           "\", \"traces\": " + std::to_string(hop.traces) +
+           ", \"segments\": " + std::to_string(hop.segments) +
+           ", \"total_ns\": " + std::to_string(hop.total_ns) +
+           ", \"q_ns\": " + std::to_string(hop.q_ns) + "}";
+  }
+  out += r.hops.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string report_csv(const CritPathReport& r) {
+  std::string out = "hop,class,traces,segments,total_ns,q_ns\n";
+  for (const auto& [name, hop] : r.hops) {
+    out += name;
+    out += ',';
+    out += to_string(hop.cls);
+    out += ',' + std::to_string(hop.traces);
+    out += ',' + std::to_string(hop.segments);
+    out += ',' + std::to_string(hop.total_ns);
+    out += ',' + std::to_string(hop.q_ns);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string report_table(const CritPathReport& r) {
+  char buf[192];
+  std::string out;
+  std::snprintf(buf, sizeof buf,
+                "critical-path attribution: %llu requests (%llu incomplete), "
+                "p50 %.3f ms, p%g %.3f ms (trace %llu)\n",
+                static_cast<unsigned long long>(r.traces),
+                static_cast<unsigned long long>(r.incomplete),
+                static_cast<double>(r.p50_total_ns) / 1e6, r.quantile * 100.0,
+                static_cast<double>(r.q_total_ns) / 1e6,
+                static_cast<unsigned long long>(r.q_trace_id));
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  %-14s %-10s %8s %12s %12s %7s\n", "hop",
+                "class", "traces", "total ms", "p99 ns", "p99 %");
+  out += buf;
+  for (const auto& [name, hop] : r.hops) {
+    const double pct = r.q_total_ns > 0 ? 100.0 * static_cast<double>(hop.q_ns) /
+                                              static_cast<double>(r.q_total_ns)
+                                        : 0.0;
+    std::snprintf(buf, sizeof buf, "  %-14s %-10s %8llu %12.3f %12lld %6.1f%%\n",
+                  name.c_str(), to_string(hop.cls),
+                  static_cast<unsigned long long>(hop.traces),
+                  static_cast<double>(hop.total_ns) / 1e6,
+                  static_cast<long long>(hop.q_ns), pct);
+    out += buf;
+  }
+  std::int64_t q_sum = 0;
+  for (const PathSegment& seg : r.q_breakdown) q_sum += seg.ns;
+  std::snprintf(buf, sizeof buf,
+                "  p99 hop sum %lld ns vs end-to-end %lld ns (delta %lld)\n",
+                static_cast<long long>(q_sum),
+                static_cast<long long>(r.q_total_ns),
+                static_cast<long long>(r.q_total_ns - q_sum));
+  out += buf;
+  if (r.retransmit_spans > 0) {
+    out += "  retransmit spans on analyzed paths: " +
+           std::to_string(r.retransmit_spans) + "\n";
+  }
+  return out;
+}
+
+void write_report_json(const CritPathReport& r, const std::string& path) {
+  std::ofstream f(path);
+  PD_CHECK(f.good(), "cannot open " << path << " for writing");
+  f << report_json(r);
+}
+
+}  // namespace pd::obs

@@ -1,0 +1,99 @@
+// Critical-path latency attribution (ISSUE 5 tentpole, part 1).
+//
+// Reconstructs each request's span tree from exported trace spans and
+// partitions the root "request" interval into non-overlapping attributed
+// segments, Dapper-style: every nanosecond of end-to-end latency lands on
+// exactly one hop (or on "queue" when no hop span covers it), so per-hop
+// contributions sum to the request total exactly — the Fig. 11/12
+// decomposition, computed instead of eyeballed.
+//
+// Classification: each segment's owning span is the *latest-starting* span
+// covering that instant. Under the baton protocol consecutive hops tile the
+// root, so this rule only matters for overlapping children — a "soc_dma"
+// staging copy begun mid engine-stage wins its overlap (later begin =
+// deeper/more specific work), which is exactly the on-path SoC-DMA share of
+// Fig. 11. Span names map onto four classes: "fabric" is transport,
+// "soc_dma" is DMA, "retransmit" is transport (loss recovery), uncovered
+// time is queueing, everything else ("ingress", "engine_*", "fn:*") is
+// service.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "obs/trace_reader.hpp"
+
+namespace pd::obs {
+
+enum class HopClass : std::uint8_t { kService, kQueue, kTransport, kDma };
+const char* to_string(HopClass cls);
+
+/// Name-based hop classification (see header comment for the table).
+HopClass classify_hop(std::string_view name);
+
+/// One attributed slice of a request's end-to-end interval.
+struct PathSegment {
+  std::string hop;  ///< owning span name, or "queue" for uncovered time
+  HopClass cls = HopClass::kService;
+  std::int64_t ns = 0;
+};
+
+/// One request's critical path. Segments are in time order and sum to
+/// total_ns exactly.
+struct RequestPath {
+  std::uint64_t trace_id = 0;
+  std::int64_t total_ns = 0;
+  std::vector<PathSegment> segments;
+  std::uint64_t retransmit_spans = 0;  ///< loss-recovery spans observed
+};
+
+/// Per-hop aggregate across every analyzed request.
+struct HopAttribution {
+  HopClass cls = HopClass::kService;
+  std::uint64_t traces = 0;    ///< requests whose path touches this hop
+  std::uint64_t segments = 0;  ///< attributed segments
+  std::int64_t total_ns = 0;   ///< summed contribution over all requests
+  std::int64_t q_ns = 0;       ///< contribution within the quantile request
+};
+
+struct CritPathReport {
+  double quantile = 0.99;
+  std::uint64_t traces = 0;      ///< complete requests analyzed
+  std::uint64_t incomplete = 0;  ///< skipped: unclosed root or orphan spans
+  std::uint64_t q_trace_id = 0;  ///< the request sitting at the quantile
+  std::int64_t q_total_ns = 0;   ///< exact order-statistic total latency
+  std::int64_t p50_total_ns = 0;
+  std::vector<PathSegment> q_breakdown;  ///< quantile request, time order
+  std::map<std::string, HopAttribution> hops;
+  std::int64_t class_ns[4] = {0, 0, 0, 0};  ///< rollup indexed by HopClass
+  std::uint64_t retransmit_spans = 0;
+};
+
+/// Closed tracer spans as ReadSpans (the analyzer's input shape), skipping
+/// unclosed ones — lets in-process callers bypass the JSON round trip.
+std::vector<ReadSpan> to_read_spans(const std::vector<SpanRecord>& spans);
+
+/// Critical path of one request. `trace` holds exactly the spans of one
+/// trace id; returns nullopt when there is no (closed) root span.
+std::optional<RequestPath> critical_path(const std::vector<ReadSpan>& trace);
+
+/// Full-trace analysis: per-request critical paths, per-hop aggregation,
+/// and the exact breakdown of the request at `quantile` (order statistic
+/// over per-request totals; ties resolve to the lowest trace id). Purely a
+/// function of the span set, so byte-identical whenever the trace is.
+CritPathReport analyze(const std::vector<ReadSpan>& spans,
+                       double quantile = 0.99);
+
+/// Deterministic serializations (integers only — no float formatting).
+std::string report_json(const CritPathReport& r);
+std::string report_csv(const CritPathReport& r);
+/// Human-readable per-hop table for the CLI.
+std::string report_table(const CritPathReport& r);
+
+void write_report_json(const CritPathReport& r, const std::string& path);
+
+}  // namespace pd::obs

@@ -14,6 +14,8 @@
 #pragma once
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 
 namespace pd::obs {
@@ -21,6 +23,8 @@ namespace pd::obs {
 struct Hub {
   Registry registry;
   Tracer tracer{&registry};
+  Profiler profiler;
+  SloWatchdog slo{&registry};
 };
 
 /// Currently installed hub, or nullptr when observability is off. A

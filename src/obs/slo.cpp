@@ -1,0 +1,163 @@
+#include "obs/slo.hpp"
+
+#include <cstdio>
+
+#include "common/check.hpp"
+#include "obs/metrics.hpp"
+
+namespace pd::obs {
+
+void SloWatchdog::add(SloSpec spec) {
+  PD_CHECK(!spec.name.empty(), "SLO spec needs a name");
+  PD_CHECK(spec.target_ns > 0, "SLO \"" << spec.name << "\" needs a target");
+  PD_CHECK(spec.window_ns > 0, "SLO \"" << spec.name << "\" needs a window");
+  PD_CHECK(spec.budget > 0.0, "SLO \"" << spec.name << "\" needs a budget");
+  for (const Tracked& t : tracked_) {
+    PD_CHECK(t.spec.name != spec.name,
+             "duplicate SLO spec \"" << spec.name << "\"");
+  }
+  Tracked t;
+  t.spec = std::move(spec);
+  tracked_.push_back(std::move(t));
+}
+
+void SloWatchdog::record(TenantId tenant, std::uint32_t chain,
+                         sim::Duration latency_ns, sim::TimePoint now) {
+  for (Tracked& t : tracked_) {
+    if (t.spec.tenant.valid() && t.spec.tenant != tenant) continue;
+    if (t.spec.chain != 0 && t.spec.chain != chain) continue;
+    const auto idx = static_cast<std::int64_t>(now / t.spec.window_ns);
+    if (t.window >= 0 && idx > t.window) close_window(t);
+    if (t.window < 0 || idx > t.window) t.window = idx;
+    ++t.requests;
+    ++t.total_requests;
+    if (latency_ns > t.spec.target_ns) {
+      ++t.violations;
+      ++t.total_violations;
+    }
+  }
+}
+
+void SloWatchdog::record_error(TenantId tenant, std::uint32_t chain,
+                               sim::TimePoint now) {
+  // An error is an unconditional violation: model it as an infinitely slow
+  // request against the same windows.
+  for (Tracked& t : tracked_) {
+    if (t.spec.tenant.valid() && t.spec.tenant != tenant) continue;
+    if (t.spec.chain != 0 && t.spec.chain != chain) continue;
+    const auto idx = static_cast<std::int64_t>(now / t.spec.window_ns);
+    if (t.window >= 0 && idx > t.window) close_window(t);
+    if (t.window < 0 || idx > t.window) t.window = idx;
+    ++t.requests;
+    ++t.total_requests;
+    ++t.violations;
+    ++t.total_violations;
+  }
+}
+
+void SloWatchdog::finish(sim::TimePoint) {
+  for (Tracked& t : tracked_) {
+    if (t.window >= 0 && t.requests > 0) close_window(t);
+  }
+}
+
+void SloWatchdog::close_window(Tracked& t) {
+  if (t.requests == 0) {
+    t.requests = t.violations = 0;
+    return;
+  }
+  const double frac = static_cast<double>(t.violations) /
+                      static_cast<double>(t.requests);
+  const double burn = frac / t.spec.budget;
+  t.last_burn = burn;
+  const sim::TimePoint w0 = t.window * t.spec.window_ns;
+  const sim::TimePoint w1 = w0 + t.spec.window_ns;
+  if (registry_ != nullptr) {
+    const std::string label = "slo=" + t.spec.name;
+    registry_->gauge("slo.burn_rate", label).set(burn);
+    registry_->counter("slo.windows", label).inc();
+    registry_->counter("slo.requests", label).inc(t.requests);
+    registry_->counter("slo.violations", label).inc(t.violations);
+  }
+  if (burn >= t.spec.burn_alert) {
+    ++t.alerts_fired;
+    alerts_.push_back(SloAlert{t.spec.name, w0, w1, t.requests, t.violations,
+                               burn});
+    if (registry_ != nullptr) {
+      registry_->counter("slo.alerts", "slo=" + t.spec.name).inc();
+    }
+  }
+  t.requests = t.violations = 0;
+}
+
+std::uint64_t SloWatchdog::total_requests() const {
+  std::uint64_t n = 0;
+  for (const Tracked& t : tracked_) n += t.total_requests;
+  return n;
+}
+
+std::uint64_t SloWatchdog::total_violations() const {
+  std::uint64_t n = 0;
+  for (const Tracked& t : tracked_) n += t.total_violations;
+  return n;
+}
+
+std::string SloWatchdog::table() const {
+  char buf[192];
+  std::string out;
+  std::snprintf(buf, sizeof buf, "  %-12s %10s %10s %10s %10s %10s\n", "slo",
+                "target ms", "requests", "violations", "alerts", "burn");
+  out += buf;
+  for (const Tracked& t : tracked_) {
+    std::snprintf(buf, sizeof buf,
+                  "  %-12s %10.2f %10llu %10llu %10llu %10.2f\n",
+                  t.spec.name.c_str(),
+                  static_cast<double>(t.spec.target_ns) / 1e6,
+                  static_cast<unsigned long long>(t.total_requests),
+                  static_cast<unsigned long long>(t.total_violations),
+                  static_cast<unsigned long long>(t.alerts_fired),
+                  t.last_burn);
+    out += buf;
+  }
+  for (const SloAlert& a : alerts_) {
+    std::snprintf(buf, sizeof buf,
+                  "  ALERT %-12s window [%.1f, %.1f) ms: %llu/%llu violating "
+                  "-> burn %.2f\n",
+                  a.slo.c_str(), static_cast<double>(a.window_start) / 1e6,
+                  static_cast<double>(a.window_end) / 1e6,
+                  static_cast<unsigned long long>(a.violations),
+                  static_cast<unsigned long long>(a.requests), a.burn);
+    out += buf;
+  }
+  return out;
+}
+
+void SloWatchdog::absorb(SloWatchdog& other) {
+  alerts_.insert(alerts_.end(), other.alerts_.begin(), other.alerts_.end());
+  for (Tracked& ot : other.tracked_) {
+    Tracked* mine = nullptr;
+    for (Tracked& t : tracked_) {
+      if (t.spec.name == ot.spec.name) {
+        mine = &t;
+        break;
+      }
+    }
+    if (mine == nullptr) {
+      tracked_.push_back(ot);
+    } else {
+      mine->total_requests += ot.total_requests;
+      mine->total_violations += ot.total_violations;
+      mine->alerts_fired += ot.alerts_fired;
+      if (ot.total_requests > 0) mine->last_burn = ot.last_burn;
+    }
+  }
+  other.tracked_.clear();
+  other.alerts_.clear();
+}
+
+void SloWatchdog::reset() {
+  tracked_.clear();
+  alerts_.clear();
+}
+
+}  // namespace pd::obs

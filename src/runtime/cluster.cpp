@@ -5,6 +5,7 @@
 #include "core/trace_hooks.hpp"
 #include "proto/cost_model.hpp"
 #include "runtime/function.hpp"
+#include "sim/profile.hpp"
 
 namespace pd::runtime {
 
@@ -143,8 +144,16 @@ Cluster::Cluster(sim::ParallelSim& psim, ClusterConfig config)
     shard_hubs_.push_back(std::move(hub));
   }
   psim.set_shard_hooks(
-      [this](std::size_t k) { obs::install_thread_hub(shard_hubs_[k].get()); },
-      [](std::size_t) { obs::install_thread_hub(nullptr); });
+      [this](std::size_t k) {
+        obs::install_thread_hub(shard_hubs_[k].get());
+        if (shard_profiling_) {
+          sim::install_thread_busy_observer(&shard_hubs_[k]->profiler);
+        }
+      },
+      [this](std::size_t) {
+        obs::install_thread_hub(nullptr);
+        if (shard_profiling_) sim::install_thread_busy_observer(nullptr);
+      });
 }
 
 Cluster::~Cluster() = default;
@@ -165,14 +174,65 @@ void Cluster::enable_shard_tracing(std::uint64_t n) {
   for (auto& hub : shard_hubs_) hub->tracer.set_sample_every(n);
 }
 
+void Cluster::enable_shard_profiling() {
+  PD_CHECK(sharded(), "shard profiling is a parallel-mode feature");
+  shard_profiling_ = true;
+}
+
+void Cluster::add_slo(obs::SloSpec spec) {
+  // Requests are admitted and completed on the edge (shard 0 in parallel
+  // mode), so that hub's watchdog sees every sample in one deterministic
+  // stream regardless of worker-thread count.
+  if (sharded()) {
+    shard_hubs_[0]->slo.add(std::move(spec));
+  } else {
+    obs::Hub* hub = obs::hub();
+    PD_CHECK(hub != nullptr, "add_slo needs an installed obs::Hub");
+    hub->slo.add(std::move(spec));
+  }
+}
+
 void Cluster::merge_observability(obs::Hub& into) {
   PD_CHECK(sharded(), "merge_observability is a parallel-mode feature");
-  for (auto& hub : shard_hubs_) {
-    into.registry.merge_from(hub->registry);
-    into.tracer.absorb(hub->tracer);
-    hub->registry.reset();
+  for (std::size_t k = 0; k < shard_hubs_.size(); ++k) {
+    obs::Hub& hub = *shard_hubs_[k];
+    // Close the trailing SLO window at the shard's final simulated time
+    // before folding, so partial-window alerts are not lost.
+    hub.slo.finish(psim_->shard(k).now());
+    into.registry.merge_from(hub.registry);
+    into.tracer.absorb(hub.tracer);
+    into.profiler.absorb(hub.profiler);
+    into.slo.absorb(hub.slo);
+    hub.registry.reset();
   }
   into.tracer.resolve_foreign_ends();
+}
+
+void Cluster::start_util_probes(obs::Registry& reg, sim::Duration period) {
+  PD_CHECK(util_probes_.empty(), "utilization probes already started");
+  auto add_probe = [&](NodeId id, const sim::Core& core,
+                       sim::Scheduler& sched) {
+    auto series = std::make_unique<sim::TimeSeries>(period, core.name());
+    auto probe =
+        std::make_unique<sim::UtilizationProbe>(sched, core, period, *series);
+    probe->start();
+    // Registry probe: read lazily at snapshot time, skipped by shard
+    // merges, so the gauge reflects the final completed window.
+    reg.probe("core_util",
+              "node=" + std::to_string(id.value()) + ",core=" + core.name(),
+              [p = probe.get()] { return p->last_util(); });
+    util_series_.push_back(std::move(series));
+    util_probes_.push_back(std::move(probe));
+  };
+  for (auto& node : nodes_) {
+    sim::Scheduler& sched = scheduler_for(node->id());
+    for (std::size_t i = 0; i < node->cpu().size(); ++i) {
+      add_probe(node->id(), node->cpu().core(i), sched);
+    }
+    if (&node->engine_core() != &node->cpu().core(node->cpu().size() - 1)) {
+      add_probe(node->id(), node->engine_core(), sched);
+    }
+  }
 }
 
 WorkerNode& Cluster::add_worker(NodeId id) {
@@ -402,9 +462,11 @@ void Cluster::io_send(FunctionId src, NodeId node_id, sim::Core& src_core,
       node.dataplane().submit(src, src_core, d, precharged);
     }
   };
+  const std::int64_t tenant = d.tenant.value();
   if (precharged) {
     if (config_.sidecar == SidecarMode::kNodeShared) {
       // Consolidated sidecar: policy check on the engine core instead.
+      sim::ProfileScope scope{"ipc", "sidecar", tenant};
       node.engine_core().submit(cost::kSidecarNs, dispatch);
     } else {
       dispatch();
@@ -413,8 +475,10 @@ void Cluster::io_send(FunctionId src, NodeId node_id, sim::Core& src_core,
   }
   const sim::Duration sidecar =
       config_.sidecar == SidecarMode::kPerFunctionEbpf ? cost::kSidecarNs : 0;
+  sim::ProfileScope scope{"ipc", "io_send", tenant};
   if (config_.sidecar == SidecarMode::kNodeShared) {
-    src_core.submit(cost::kIoLibraryNs, [this, &node, dispatch] {
+    src_core.submit(cost::kIoLibraryNs, [this, &node, dispatch, tenant] {
+      sim::ProfileScope inner{"ipc", "sidecar", tenant};
       node.engine_core().submit(cost::kSidecarNs, dispatch);
     });
   } else {
@@ -468,6 +532,7 @@ void Cluster::cross_domain_send(FunctionId src, NodeId node_id,
   const auto copy_ns =
       cost::kCopyBaseNs + static_cast<sim::Duration>(
                               static_cast<double>(len) * cost::kCopyColdPerByteNs);
+  sim::ProfileScope scope{"ipc", "cross_domain_copy", sized.tenant.value()};
   src_core.submit(copy_ns + cost::kIoLibraryNs + cost::kSidecarNs,
                   [this, src, dst, node_id, sized, &node, &src_core,
                    &dst_pool] {

@@ -223,6 +223,19 @@ class Cluster {
   /// Enable request tracing on the per-shard hubs (off by default in
   /// parallel mode; sample every `n`th trace, 0 disables again).
   void enable_shard_tracing(std::uint64_t n);
+  /// Enable exact busy-time profiling on the per-shard hubs: each shard
+  /// worker thread attributes its cores' busy intervals into its own
+  /// obs::Profiler, folded together by merge_observability. Call before
+  /// the run starts.
+  void enable_shard_profiling();
+  /// Register a latency SLO with the watchdog that observes this cluster's
+  /// requests (the edge shard's hub in parallel mode, the installed global
+  /// hub otherwise).
+  void add_slo(obs::SloSpec spec);
+  /// Start a UtilizationProbe on every worker core (host CPUs + a separate
+  /// engine core), exposing each probe's last completed window in `reg` as
+  /// `core_util{node,core}`.
+  void start_util_probes(obs::Registry& reg, sim::Duration period);
   /// Fold every shard hub into `into` deterministically (shard order):
   /// counters add, histograms merge, spans concatenate and cross-shard span
   /// ends resolve. Call after the run; shard registries are reset so a
@@ -256,6 +269,8 @@ class Cluster {
   ChainTable chains_;
   sim::Rng rng_{0};
   bool setup_done_ = false;
+  std::vector<std::unique_ptr<sim::TimeSeries>> util_series_;
+  std::vector<std::unique_ptr<sim::UtilizationProbe>> util_probes_;
 
   // Parallel mode only.
   sim::ParallelSim* psim_ = nullptr;
@@ -263,6 +278,7 @@ class Cluster {
   std::size_t next_shard_ = 1;  ///< shard 0 is the edge
   std::unordered_map<NodeId, sim::Rng> node_jitter_;
   std::vector<std::unique_ptr<obs::Hub>> shard_hubs_;
+  bool shard_profiling_ = false;
 };
 
 }  // namespace pd::runtime

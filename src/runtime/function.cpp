@@ -2,6 +2,7 @@
 
 #include "core/message.hpp"
 #include "core/trace_hooks.hpp"
+#include "sim/profile.hpp"
 
 namespace pd::runtime {
 
@@ -43,6 +44,7 @@ void FunctionInstance::on_message(const mem::BufferDescriptor& d) {
     e.seq = 0;
     core::write_header(bytes, e);
     const auto sized = pool.resize(d, actor(), core::message_bytes(0));
+    sim::ProfileScope scope{"fn", spec_.name, spec_.tenant.value()};
     core_.submit(node_.cluster().send_cost(node_.id(), client),
                  [this, sized] {
                    node_.cluster().io_send(spec_.id, node_.id(), core_, sized,
@@ -67,6 +69,7 @@ void FunctionInstance::on_message(const mem::BufferDescriptor& d) {
   const sim::Duration compute =
       node_.cluster().jittered(node_.id(), hop.compute_ns);
   compute_total_ += compute;
+  sim::ProfileScope scope{"fn", spec_.name, spec_.tenant.value()};
   core_.submit(compute + node_.cluster().send_cost(node_.id(), next_dst),
                [this, d] { advance_chain(d); });
 }

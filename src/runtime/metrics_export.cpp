@@ -3,6 +3,7 @@
 #include <string>
 
 #include "core/engine.hpp"
+#include "obs/hub.hpp"
 
 namespace pd::runtime {
 
@@ -69,6 +70,12 @@ void export_metrics(Cluster& cluster, obs::Registry& reg) {
     reg.counter("fabric.frames").set(cluster.rdma_net()->fabric().frames());
     reg.counter("fabric.frames_dropped")
         .set(cluster.rdma_net()->fabric().frames_dropped());
+  }
+
+  // When the installed hub collected an exact busy-time profile, fold its
+  // per-(component, tenant) summary in alongside the data-plane counters.
+  if (obs::Hub* hub = obs::hub(); hub != nullptr && !hub->profiler.empty()) {
+    hub->profiler.export_folded(reg);
   }
 }
 

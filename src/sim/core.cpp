@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/profile.hpp"
+
 namespace pd::sim {
 
 Core::Core(Scheduler& sched, std::string name, double speed)
@@ -40,6 +42,9 @@ Duration Core::backlog() const {
 
 void Core::submit(Duration ref_work, EventFn done) {
   const Duration scaled = consume_scaled(ref_work);
+  if (BusyObserver* o = busy_observer()) {
+    o->on_busy(name_, current_profile_frame(), scaled);
+  }
   free_at_ = std::max(free_at_, sched_.now()) + scaled;
   // Jobs complete FIFO (completion times are monotone and the scheduler
   // tie-breaks FIFO), so the event only needs `this`: the completion data
@@ -112,6 +117,7 @@ void UtilizationProbe::sample() {
           ? 1.0
           : static_cast<double>(busy - last_busy_) / static_cast<double>(period_);
   last_busy_ = busy;
+  last_util_ = std::min(util, 1.0);
   // Record at the *start* of the window the sample covers.
   out_.add(sched_.now() - period_, std::min(util, 1.0) * static_cast<double>(period_) /
                                         static_cast<double>(out_.bucket_width()));

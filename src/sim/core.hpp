@@ -98,6 +98,11 @@ class UtilizationProbe {
   void start();
   void stop();
 
+  /// Utilization of the most recently completed window, clamped to [0, 1].
+  /// Exported as the `core_util{node,core}` registry gauge so SLO/profiler
+  /// reports and the Fig. 14/15 series read the same measurement.
+  [[nodiscard]] double last_util() const { return last_util_; }
+
  private:
   void sample();
 
@@ -106,6 +111,7 @@ class UtilizationProbe {
   Duration period_;
   TimeSeries& out_;
   Duration last_busy_ = 0;
+  double last_util_ = 0.0;
   bool running_ = false;
   /// The pending sampling event, cancelled on stop() so a later start()
   /// cannot leave two sampling chains double-counting utilization.

@@ -1,0 +1,71 @@
+// Exact busy-time attribution hook (ISSUE 5 tentpole, profiler half).
+//
+// Every Core::submit (and SoC-DMA transfer) reports the scaled busy time it
+// charges to an installed BusyObserver, tagged with the thread-current
+// ProfileFrame: a (component, detail, tenant) triple established by the
+// innermost ProfileScope on the call stack. Because simulated work is
+// charged in whole jobs at submit time, summing the reported durations
+// reconstructs each core's busy_ns() exactly once the run drains — a
+// sampling-free profiler with zero statistical error.
+//
+// Like the obs hub, the observer is a single thread-local (shadowing a
+// global) pointer: a null observer makes the hook one predicted branch, and
+// installing one can never perturb simulation results — observers only
+// record, they never schedule events.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace pd::sim {
+
+/// Attribution frame for busy time. Views must stay valid for the duration
+/// of the submit call they annotate (observers copy what they keep).
+struct ProfileFrame {
+  std::string_view component = "other";  ///< "dne", "fn", "ingress", "ipc"...
+  std::string_view detail;               ///< stage or function name
+  std::int64_t tenant = -1;              ///< -1 = not tenant-scoped
+};
+
+/// Receives one callback per charged busy interval. `resource` is the name
+/// of the core (or DMA engine) doing the work; `scaled_ns` is the busy time
+/// in that resource's own nanoseconds.
+class BusyObserver {
+ public:
+  virtual ~BusyObserver() = default;
+  virtual void on_busy(std::string_view resource, const ProfileFrame& frame,
+                       Duration scaled_ns) = 0;
+};
+
+/// Currently installed observer, or nullptr when profiling is off. A
+/// thread-local observer (sharded simulation workers) shadows the global.
+[[nodiscard]] BusyObserver* busy_observer();
+
+/// Install `o` globally (nullptr uninstalls). Returns the previous one.
+BusyObserver* install_busy_observer(BusyObserver* o);
+
+/// Install `o` for THIS thread only (parallel shard enter/leave hooks).
+BusyObserver* install_thread_busy_observer(BusyObserver* o);
+
+/// The innermost active frame on this thread ("other" when none).
+[[nodiscard]] const ProfileFrame& current_profile_frame();
+
+/// RAII frame scope: work submitted while the scope is alive is attributed
+/// to (component, detail, tenant). Scopes nest; the previous frame is
+/// restored on destruction.
+class ProfileScope {
+ public:
+  explicit ProfileScope(std::string_view component,
+                        std::string_view detail = {},
+                        std::int64_t tenant = -1);
+  ~ProfileScope();
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  ProfileFrame prev_;
+};
+
+}  // namespace pd::sim

@@ -172,6 +172,33 @@ TEST(UtilizationProbe, StopThenRestartDoesNotDoubleSample) {
   EXPECT_NEAR(util.bucket_value(2), 1.0, 0.01);
 }
 
+TEST(UtilizationProbe, RestartDoesNotAttributeStoppedEraBusy) {
+  // Regression for the last_util() gauge (exported as core_util{node,core}):
+  // start() must re-baseline last_busy_ against the core's current
+  // busy_ns(). Without that, work completed while the probe was stopped
+  // leaks into the first window after a restart and the gauge reports a
+  // busy core when the window was actually idle.
+  Scheduler s;
+  Core core(s, "cpu0");
+  TimeSeries util(1'000'000);
+  UtilizationProbe probe(s, core, 1'000'000, util);
+  probe.start();
+  core.submit(400'000);
+  s.run_until(1'500'000);  // first window sampled: 40% busy
+  EXPECT_NEAR(probe.last_util(), 0.4, 0.01);
+  probe.stop();
+
+  core.submit(900'000);  // completes while the probe is stopped
+  s.run_until(3'500'000);
+  probe.start();
+  s.run_until(4'600'000);  // one full, completely idle window
+  probe.stop();
+  s.run();
+  // The 900 µs of stopped-era busy time must not be double-counted into
+  // the post-restart window.
+  EXPECT_DOUBLE_EQ(probe.last_util(), 0.0);
+}
+
 TEST(UtilizationProbe, StopCancelsPendingSample) {
   // After stop(), no further samples may fire even if the sim keeps
   // running past the next sampling tick.

@@ -17,6 +17,10 @@
 #                            and smoke the parallel epoch-barrier loop (the
 #                            pdes determinism suite + a threaded perf_gate
 #                            smoke) under ThreadSanitizer
+#   tools/run_all.sh obs     build, run the obs-report ctest label, then an
+#                            observability boutique sweep: critical-path +
+#                            flamegraph + SLO artifacts into obs_report/,
+#                            byte-compared across --threads 1/2/4
 set -e
 cd "$(dirname "$0")/.."
 
@@ -54,6 +58,36 @@ if [ "$1" = "tsan" ]; then
   TSAN_OPTIONS=halt_on_error=1 \
     ./build-tsan/bench/perf_gate --smoke --threads 2 > /dev/null
   echo "tsan smoke passed: parallel epoch loop is data-race-clean"
+  exit 0
+fi
+
+if [ "$1" = "obs" ]; then
+  cmake -B build -G Ninja
+  cmake --build build
+  ctest --test-dir build -L obs-report --output-on-failure 2>&1 \
+    | tee obs_output.txt
+  rm -rf obs_report && mkdir -p obs_report
+  # One boutique sweep per worker-thread count, each emitting the full
+  # artifact set: critical-path attribution JSON, collapsed-stack
+  # flamegraph, SLO watchdog log, trace, and metrics snapshot.
+  for t in 1 2 4; do
+    echo "=== boutique_demo --threads $t (critpath + flame + slo) ==="
+    ./build/examples/boutique_demo --threads "$t" --seconds 2 \
+      --trace --critpath --flame --slo --prefix "obs_report/t$t" | tail -8
+  done 2>&1 | tee -a obs_output.txt
+  # Determinism gate: the simulated-time observability artifacts must be
+  # byte-identical for every thread count.
+  for f in critpath.json flame.folded metrics.json; do
+    cmp obs_report/t1_$f obs_report/t2_$f
+    cmp obs_report/t1_$f obs_report/t4_$f
+    echo "obs_report/*_$f identical across --threads 1/2/4"
+  done 2>&1 | tee -a obs_output.txt
+  # The CLI path over the same artifacts: summary + critpath table, and
+  # loud failure on an empty input.
+  ./build/tools/trace_inspect --summary obs_report/t1_trace.json | head -20
+  ./build/tools/trace_inspect --critpath obs_report/t1_trace.json \
+    | tee -a obs_output.txt
+  echo "obs sweep passed: attribution exact and thread-count independent"
   exit 0
 fi
 

@@ -1,19 +1,29 @@
 // Inspect a Chrome trace-event JSON file produced by obs::Tracer.
 //
-//   $ tools/trace_inspect boutique_trace.json            # summary
-//   $ tools/trace_inspect boutique_trace.json <trace_id> # one request's tree
+//   $ tools/trace_inspect boutique_trace.json             # hop summary
+//   $ tools/trace_inspect --summary boutique_trace.json   # same, explicit
+//   $ tools/trace_inspect --critpath boutique_trace.json  # p99 critical-path
+//                                                         # attribution table
+//   $ tools/trace_inspect --critpath --json t.json        # machine-readable
+//   $ tools/trace_inspect boutique_trace.json <trace_id>  # one request tree
 //
-// The summary groups spans by name (count / mean / max duration) so a quick
-// look answers "where does a request spend its time" without leaving the
-// terminal; the per-trace view prints the span tree with simulated-time
-// offsets, which is the same structure Perfetto renders graphically.
+// The summary groups spans by name (count / mean / p50 / p99 / max) so a
+// quick look answers "where does a request spend its time" without leaving
+// the terminal; --critpath partitions each request's end-to-end interval
+// into attributed hop segments (Fig. 11/12); the per-trace view prints the
+// span tree with simulated-time offsets, the same structure Perfetto
+// renders graphically. Empty or malformed inputs exit non-zero so scripted
+// pipelines fail loudly instead of diffing an empty report.
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "obs/critpath.hpp"
 #include "obs/trace_reader.hpp"
 
 using pd::obs::ReadSpan;
@@ -33,24 +43,111 @@ void print_tree(const std::vector<ReadSpan>& spans, const ReadSpan& node,
   }
 }
 
+/// Exact order statistic (value at rank ceil(q*N)) over a sorted sample.
+std::int64_t exact_quantile(const std::vector<std::int64_t>& sorted, double q) {
+  const auto rank = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(sorted.size()))));
+  return sorted[std::min(rank, sorted.size()) - 1];
+}
+
+int summary(const char* path, const std::vector<ReadSpan>& spans) {
+  struct Agg {
+    std::vector<std::int64_t> durs;
+    std::int64_t total_ns = 0;
+  };
+  std::map<std::string, Agg> by_name;
+  std::uint64_t traces = 0;
+  for (const auto& s : spans) {
+    auto& a = by_name[s.name];
+    a.durs.push_back(s.dur_ns);
+    a.total_ns += s.dur_ns;
+    if (s.parent_id == 0) ++traces;
+  }
+
+  std::printf("%s: %zu spans, %llu traces\n\n", path, spans.size(),
+              static_cast<unsigned long long>(traces));
+  std::printf("  %-24s %8s %12s %12s %12s %12s\n", "span", "count", "mean us",
+              "p50 us", "p99 us", "max us");
+  for (auto& [name, a] : by_name) {
+    std::sort(a.durs.begin(), a.durs.end());
+    std::printf(
+        "  %-24s %8zu %12.2f %12.2f %12.2f %12.2f\n", name.c_str(),
+        a.durs.size(),
+        static_cast<double>(a.total_ns) / static_cast<double>(a.durs.size()) /
+            1e3,
+        static_cast<double>(exact_quantile(a.durs, 0.50)) / 1e3,
+        static_cast<double>(exact_quantile(a.durs, 0.99)) / 1e3,
+        static_cast<double>(a.durs.back()) / 1e3);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <trace.json> [trace_id]\n", argv[0]);
+  bool critpath = false;
+  bool as_json = false;
+  bool as_csv = false;
+  const char* path = nullptr;
+  const char* trace_arg = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--critpath") == 0) {
+      critpath = true;
+    } else if (std::strcmp(argv[i], "--summary") == 0) {
+      // default mode; accepted for explicitness
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      as_json = true;
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      as_csv = true;
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      trace_arg = argv[i];
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: %s [--summary|--critpath] [--json|--csv] "
+                 "<trace.json> [trace_id]\n",
+                 argv[0]);
     return 2;
   }
 
   std::vector<ReadSpan> spans;
   try {
-    spans = pd::obs::read_chrome_trace_file(argv[1]);
+    spans = pd::obs::read_chrome_trace_file(path);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
+  if (spans.empty()) {
+    // A trace with zero slices means the producer wasn't sampling (or the
+    // file is from something else entirely): every report would be empty.
+    std::fprintf(stderr, "error: %s contains no spans\n", path);
+    return 1;
+  }
 
-  if (argc >= 3) {
-    const auto want = static_cast<std::uint64_t>(std::strtoull(argv[2], nullptr, 10));
+  if (critpath) {
+    const auto report = pd::obs::analyze(spans, 0.99);
+    if (report.traces == 0) {
+      std::fprintf(stderr,
+                   "error: %s has no complete request (closed root) spans\n",
+                   path);
+      return 1;
+    }
+    if (as_json) {
+      std::fputs(pd::obs::report_json(report).c_str(), stdout);
+    } else if (as_csv) {
+      std::fputs(pd::obs::report_csv(report).c_str(), stdout);
+    } else {
+      std::fputs(pd::obs::report_table(report).c_str(), stdout);
+    }
+    return 0;
+  }
+
+  if (trace_arg != nullptr) {
+    const auto want =
+        static_cast<std::uint64_t>(std::strtoull(trace_arg, nullptr, 10));
     std::vector<ReadSpan> mine;
     for (const auto& s : spans) {
       if (s.trace_id == want) mine.push_back(s);
@@ -72,29 +169,5 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  struct Agg {
-    std::uint64_t count = 0;
-    std::int64_t total_ns = 0;
-    std::int64_t max_ns = 0;
-  };
-  std::map<std::string, Agg> by_name;
-  std::uint64_t traces = 0;
-  for (const auto& s : spans) {
-    auto& a = by_name[s.name];
-    ++a.count;
-    a.total_ns += s.dur_ns;
-    a.max_ns = std::max(a.max_ns, s.dur_ns);
-    if (s.parent_id == 0) ++traces;
-  }
-
-  std::printf("%s: %zu spans, %llu traces\n\n", argv[1], spans.size(),
-              static_cast<unsigned long long>(traces));
-  std::printf("  %-24s %8s %12s %12s\n", "span", "count", "mean us", "max us");
-  for (const auto& [name, a] : by_name) {
-    std::printf("  %-24s %8llu %12.2f %12.2f\n", name.c_str(),
-                static_cast<unsigned long long>(a.count),
-                static_cast<double>(a.total_ns) / static_cast<double>(a.count) / 1e3,
-                static_cast<double>(a.max_ns) / 1e3);
-  }
-  return 0;
+  return summary(path, spans);
 }
