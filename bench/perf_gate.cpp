@@ -17,6 +17,7 @@
 // on the model, so any drift means behavior changed, not just speed.
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -31,6 +32,7 @@
 #include <vector>
 
 #include "ingress/palladium_ingress.hpp"
+#include "obs/hub.hpp"
 #include "runtime/boutique.hpp"
 #include "runtime/cluster.hpp"
 #include "sim/parallel.hpp"
@@ -51,6 +53,11 @@ struct LoadResult {
   std::uint64_t requests = 0;
   double sim_p50_ms = 0;
   double sim_p99_ms = 0;
+  /// Flight-recorder peaks (simulated-time gauges): worst queue depth and
+  /// buffer-pool occupancy the load ever reached. Recorded into the BENCH
+  /// json so a PR that trades latency for queue growth is visible.
+  double peak_tx_backlog = 0;
+  double peak_pool_in_use = 0;
 
   [[nodiscard]] double events_per_sec() const {
     return wall_sec > 0 ? static_cast<double>(events) / wall_sec : 0;
@@ -102,6 +109,15 @@ LoadResult run_load(int clients, sim::Duration warm_ns, sim::Duration run_ns,
   ing.finish_setup();
   cluster->finish_setup();
 
+  // Flight recorder: sample queue depth / pool occupancy in simulated
+  // time. Legacy mode records into the installed hub; parallel mode into
+  // the per-shard hubs, merged below. The sampler is a handful of pure
+  // reads per simulated millisecond — noise next to the event loop.
+  obs::Hub hub;
+  obs::Session session(hub);
+  cluster->start_flight_recorder({});
+  ing.start_flight_probes();
+
   workload::HttpLoadGen::Config wcfg;
   wcfg.target = "/run";
   wcfg.body = std::string(128, 'x');
@@ -139,9 +155,10 @@ LoadResult run_load(int clients, sim::Duration warm_ns, sim::Duration run_ns,
   wrk.stop();
   if (psim) {
     psim->run();
-  } else {
-    sched->run();
+    cluster->merge_observability(hub);
   }
+  r.peak_tx_backlog = hub.timeseries.peak_over("engine.tx_backlog");
+  r.peak_pool_in_use = hub.timeseries.peak_over("pool.in_use");
   return r;
 }
 
@@ -174,8 +191,15 @@ std::string emit_json(const std::vector<LoadResult>& results) {
        << ", \"wall_events_per_sec\": " << r.events_per_sec()
        << ", \"events_per_request\": " << r.events_per_request()
        << ", \"sim_p50_ms\": " << r.sim_p50_ms
-       << ", \"sim_p99_ms\": " << r.sim_p99_ms << "}"
+       << ", \"sim_p99_ms\": " << r.sim_p99_ms
+       << ", \"peak_tx_backlog\": " << r.peak_tx_backlog
+       << ", \"peak_pool_in_use\": " << r.peak_pool_in_use << "}"
        << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+  double peak_backlog = 0, peak_pool = 0;
+  for (const auto& r : results) {
+    peak_backlog = std::max(peak_backlog, r.peak_tx_backlog);
+    peak_pool = std::max(peak_pool, r.peak_pool_in_use);
   }
   os << "  ],\n  \"gate\": {\"wall_events_per_sec\": "
      << (wall > 0 ? static_cast<double>(events) / wall : 0)
@@ -185,6 +209,8 @@ std::string emit_json(const std::vector<LoadResult>& results) {
                       : 0)
      << ", \"sim_p50_ms\": " << gate.sim_p50_ms
      << ", \"sim_p99_ms\": " << gate.sim_p99_ms
+     << ", \"peak_tx_backlog\": " << peak_backlog
+     << ", \"peak_pool_in_use\": " << peak_pool
      << ", \"peak_rss_mib\": " << peak_rss_mib() << "}\n}\n";
   return os.str();
 }

@@ -17,6 +17,11 @@
 //                                           # burn-rate alerts
 //   $ ./examples/boutique_demo --threads 4  # sharded parallel simulation
 //                                           # (bit-identical for any count)
+//   $ ./examples/boutique_demo --timeline   # flight-recorder gauge series
+//                                           # -> boutique_timeseries.{json,csv}
+//                                           # + ASCII dashboard
+//   $ ./examples/boutique_demo --strict     # healthy-run invariants become
+//                                           # hard failures (CI mode)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,6 +44,8 @@ int main(int argc, char** argv) {
   bool slo = false;
   bool critpath = false;
   bool flame = false;
+  bool timeline = false;
+  bool strict = false;
   std::uint64_t chaos_seed = 0;
   std::size_t threads = 0;  // 0 = legacy single-scheduler simulation
   std::int64_t seconds = 5;
@@ -48,6 +55,8 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--slo") == 0) slo = true;
     if (std::strcmp(argv[i], "--critpath") == 0) critpath = true;
     if (std::strcmp(argv[i], "--flame") == 0) flame = true;
+    if (std::strcmp(argv[i], "--timeline") == 0) timeline = true;
+    if (std::strcmp(argv[i], "--strict") == 0) strict = true;
     if (std::strcmp(argv[i], "--chaos") == 0 && i + 1 < argc) {
       chaos = true;
       chaos_seed = std::strtoull(argv[++i], nullptr, 10);
@@ -63,7 +72,7 @@ int main(int argc, char** argv) {
     }
   }
   const bool tracing = trace || critpath;
-  const bool observing = tracing || slo || flame;
+  const bool observing = tracing || slo || flame || timeline;
   const sim::Duration horizon = seconds * 1'000'000'000;
 
   // With tracing on, sample every 500th request end-to-end (a 5 s run
@@ -116,6 +125,12 @@ int main(int argc, char** argv) {
   gateway.expose_chain("/checkout", runtime::OnlineBoutique::kCheckoutChain);
   gateway.finish_setup();
   cluster->finish_setup();
+  if (timeline) {
+    // 1 ms sampling over the whole topology: engines, RNICs, buffer pools,
+    // DWRR state, QP health, cores, plus the gateway's edge-side gauges.
+    cluster->start_flight_recorder({});
+    gateway.start_flight_probes();
+  }
 
   if (slo) {
     // Healthy-run p99s sit near 1.2 ms (interactive pages) / 1.5 ms
@@ -250,11 +265,29 @@ int main(int argc, char** argv) {
   // Every sampled request that completed must have closed its whole span
   // tree; leftovers on a healthy run mean an instrumentation leak (on a
   // chaos run, requests genuinely in flight at the horizon are expected).
+  // Under --strict these healthy-run invariants are hard failures so CI
+  // can consume them.
+  int exit_code = 0;
   if (tracing && !chaos && hub.tracer.open_spans() > 0) {
     std::fprintf(stderr,
-                 "WARNING: %zu spans still open after a healthy run — "
+                 "%s: %zu spans still open after a healthy run — "
                  "instrumentation is leaking spans\n",
+                 strict ? "STRICT FAILURE" : "WARNING",
                  hub.tracer.open_spans());
+    if (strict) exit_code = 1;
+  }
+  if (strict && !chaos) {
+    std::uint64_t no_route = 0;
+    for (NodeId n : {NodeId{1}, NodeId{2}}) {
+      no_route += cluster->worker(n).palladium_engine()->counters().drops_no_route;
+    }
+    if (no_route != 0) {
+      std::fprintf(stderr,
+                   "STRICT FAILURE: %llu messages dropped with no route on a "
+                   "healthy run\n",
+                   static_cast<unsigned long long>(no_route));
+      exit_code = 1;
+    }
   }
 
   if (slo) {
@@ -289,10 +322,20 @@ int main(int argc, char** argv) {
         "(open in https://ui.perfetto.dev or chrome://tracing)\n",
         hub.tracer.spans().size(), prefix.c_str());
   }
+  if (timeline) {
+    std::printf("\n%s", hub.timeseries.dashboard().c_str());
+    hub.timeseries.write_json(prefix + "_timeseries.json");
+    hub.timeseries.write_csv(prefix + "_timeseries.csv");
+    std::printf(
+        "flight recorder: %zu series, %llu samples -> %s_timeseries.{json,csv}\n",
+        hub.timeseries.series_count(),
+        static_cast<unsigned long long>(hub.timeseries.samples_taken()),
+        prefix.c_str());
+  }
   if (observing) {
     runtime::export_metrics(*cluster, hub.registry);
     hub.registry.write_json(prefix + "_metrics.json");
     std::printf("metrics snapshot -> %s_metrics.json\n", prefix.c_str());
   }
-  return 0;
+  return exit_code;
 }

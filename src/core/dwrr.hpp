@@ -121,6 +121,14 @@ class DwrrScheduler {
   [[nodiscard]] std::uint32_t weight_of(TenantId tenant) const {
     return queues_.at(tenant).weight;
   }
+  /// Unspent deficit credit currently held by `tenant` (0 when unknown).
+  /// A persistently high value with a backlogged queue means the tenant's
+  /// head item exceeds its per-round quantum — the flight recorder
+  /// samples this to make DWRR starvation visible on a timeline.
+  [[nodiscard]] std::uint64_t deficit_of(TenantId tenant) const {
+    auto it = queues_.find(tenant);
+    return it == queues_.end() ? 0 : it->second.deficit;
+  }
 
  private:
   struct Entry {

@@ -160,6 +160,19 @@ class NetworkEngine : public DataPlane {
   [[nodiscard]] std::uint64_t rx_consumed(TenantId t) const {
     return rbr_outstanding_lookup(t);
   }
+  [[nodiscard]] const EngineConfig& config() const { return config_; }
+  /// Sequenced messages awaiting ACK (the reliability window occupancy;
+  /// headroom against config().max_unacked is a flight-recorder series).
+  [[nodiscard]] std::size_t unacked_count() const { return unacked_.size(); }
+  /// Messages queued in the tenant scheduler for `t` (DWRR or FCFS — the
+  /// FCFS baseline has no per-tenant split, so it reports its whole queue).
+  [[nodiscard]] std::size_t queued_for(TenantId t) const {
+    return config_.use_dwrr ? dwrr_.pending_for(t) : fcfs_.pending();
+  }
+  /// Current DWRR deficit credit for `t` (0 under FCFS).
+  [[nodiscard]] std::uint64_t dwrr_deficit(TenantId t) const {
+    return config_.use_dwrr ? dwrr_.deficit_of(t) : 0;
+  }
 
   [[nodiscard]] mem::Actor actor() const {
     return mem::actor_engine(rnic_.node());

@@ -114,7 +114,32 @@ void ChaosController::arm() {
   sim::Scheduler& sched = cluster_.scheduler();
   for (const FaultEvent& e : plan_.events) {
     sched.schedule_background_at(e.at, [this, e] { apply(e); });
+    arm_state_series(e, sched);
   }
+}
+
+void ChaosController::record_state(const FaultEvent& e, double v,
+                                   sim::TimePoint t) {
+  if (auto* rec = cluster_.flight_recorder(e.node)) {
+    rec->series("chaos.active_faults",
+                "node=" + std::to_string(e.node.value()))
+        .record(t, v);
+  }
+}
+
+void ChaosController::arm_state_series(const FaultEvent& e,
+                                       sim::Scheduler& owner) {
+  // Episodes never overlap (the plan lays them out sequentially), so a
+  // 0/1 edge series per node is an exact fault-state timeline. The two
+  // points of an instantaneous fault share a timestamp; FIFO tie-break
+  // preserves the 1-then-0 order.
+  owner.schedule_background_at(e.at,
+                               [this, e] { record_state(e, 1.0, e.at); });
+  const bool pulse =
+      e.kind == FaultKind::kQpFail || e.kind == FaultKind::kSrqDrain;
+  const sim::TimePoint tend = pulse ? e.at : e.at + e.duration;
+  owner.schedule_background_at(
+      tend, [this, e, tend] { record_state(e, 0.0, tend); });
 }
 
 void ChaosController::count(const FaultEvent& e) {
@@ -140,6 +165,7 @@ void ChaosController::arm_sharded() {
   for (const FaultEvent& e : plan_.events) {
     sim::Scheduler& owner = cluster_.scheduler_for(e.node);
     owner.schedule_background_at(e.at, [this, e] { count(e); });
+    arm_state_series(e, owner);
     switch (e.kind) {
       case FaultKind::kLinkDown:
         PD_CHECK(net != nullptr, "link fault on a non-RDMA cluster");

@@ -95,6 +95,13 @@ class ChaosController {
   void recover(const FaultEvent& e);
   void arm_sharded();
   void count(const FaultEvent& e);
+  /// Record the fault-state flight series for `e`'s node (1 while the
+  /// episode holds, a 1->0 pulse for instantaneous kinds). Runs on the
+  /// shard owning the node; resolves the recorder lazily so arming order
+  /// relative to Cluster::start_flight_recorder() does not matter.
+  void record_state(const FaultEvent& e, double v, sim::TimePoint t);
+  /// Schedule the record_state() timeline points for `e` on `owner`.
+  void arm_state_series(const FaultEvent& e, sim::Scheduler& owner);
 
   runtime::Cluster& cluster_;
   FaultPlan plan_;

@@ -1,5 +1,6 @@
 #include "ingress/palladium_ingress.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "core/message.hpp"
@@ -94,6 +95,39 @@ void PalladiumIngress::finish_setup() {
                                      [this] { autoscale_tick(); });
   }
   sched_.schedule_background_after(kSeriesBucket, [this] { sample_tick(); });
+}
+
+void PalladiumIngress::start_flight_probes() {
+  PD_CHECK(setup_done_, "start_flight_probes requires finish_setup first");
+  obs::FlightRecorder* rec = cluster_.flight_recorder(config_.node);
+  if (rec == nullptr) return;  // recorder not started: observability off
+  rec->probe("ingress.pending_requests", {}, [this] {
+    return static_cast<double>(pending_.size());
+  });
+  rec->probe("ingress.active_workers", {}, [this] {
+    return static_cast<double>(active_workers_);
+  });
+  rec->probe("ingress.clients", {}, [this] {
+    return static_cast<double>(clients_.size());
+  });
+  rec->probe("ingress.cq_depth", {}, [this] {
+    return static_cast<double>(rnic_->cq().depth());
+  });
+  // Deterministic per-tenant order (pools() iterates creation order,
+  // which finish_setup derives from a hash map — sort by tenant id).
+  std::vector<const mem::TenantMemory*> pools;
+  for (const auto& tm : mem_.pools()) pools.push_back(tm.get());
+  std::sort(pools.begin(), pools.end(),
+            [](const mem::TenantMemory* a, const mem::TenantMemory* b) {
+              return a->tenant() < b->tenant();
+            });
+  for (const mem::TenantMemory* tm : pools) {
+    rec->probe("ingress.pool_in_use",
+               "tenant=" + std::to_string(tm->tenant().value()),
+               [pool = &tm->pool()] {
+                 return static_cast<double>(pool->in_use());
+               });
+  }
 }
 
 void PalladiumIngress::sample_tick() {

@@ -70,6 +70,11 @@ class PalladiumIngress : public IngressFrontend {
   [[nodiscard]] sim::TimeSeries& useful_cpu_series() { return useful_cpu_series_; }
   [[nodiscard]] std::uint64_t scale_events() const { return scale_events_; }
 
+  /// Register the gateway's gauge series (pending requests, worker count,
+  /// CQ depth, per-tenant pool occupancy) on the edge shard's flight
+  /// recorder. No-op unless Cluster::start_flight_recorder() ran first.
+  void start_flight_probes();
+
   // Fault-model introspection.
   [[nodiscard]] std::uint64_t retries() const { return retries_; }
   /// Requests answered 504 after the deadline + retry budget ran out.

@@ -16,6 +16,7 @@
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace pd::obs {
@@ -25,6 +26,7 @@ struct Hub {
   Tracer tracer{&registry};
   Profiler profiler;
   SloWatchdog slo{&registry};
+  FlightRecorder timeseries;
 };
 
 /// Currently installed hub, or nullptr when observability is off. A

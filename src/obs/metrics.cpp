@@ -7,10 +7,7 @@
 #include "common/check.hpp"
 
 namespace pd::obs {
-namespace {
 
-/// Format a double without locale surprises and without trailing noise
-/// ("12", "12.5", "0.0312"). Deterministic across runs.
 std::string fmt_double(double v) {
   if (std::isnan(v)) return "null";
   char buf[64];
@@ -31,6 +28,51 @@ std::string json_escape(std::string_view s) {
   }
   return out;
 }
+
+std::string csv_field(std::string_view s) {
+  if (s.find_first_of(",\"\n") == std::string_view::npos) {
+    return std::string(s);
+  }
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::vector<std::string> parse_csv_line(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"' && cur.empty()) {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+namespace {
 
 void append_histogram_json(std::string& out, const sim::LatencyHistogram& h) {
   out += "{\"count\":" + std::to_string(h.count());
@@ -163,7 +205,9 @@ std::string Registry::to_json() const {
 std::string Registry::to_csv() const {
   std::string out = "key,kind,count,min_ns,max_ns,mean,p50_ns,p90_ns,p99_ns,p999_ns\n";
   for (const auto& [key, inst] : instruments_) {
-    out += key;
+    // Keys carry caller-supplied labels; quote so a comma inside
+    // `{a=1,b=2}` cannot shift the remaining columns.
+    out += csv_field(key);
     if (inst.counter) {
       out += ",counter,,,," + std::to_string(inst.counter->value()) + ",,,,";
     } else if (inst.gauge) {

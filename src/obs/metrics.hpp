@@ -62,6 +62,24 @@ class Histogram {
 /// expected to pass them pre-sorted when ordering matters for dedup.
 std::string metric_key(std::string_view name, std::string_view labels);
 
+/// Format a double without locale surprises and without trailing noise
+/// ("12", "12.5", "0.0312"). Deterministic across runs; NaN prints "null".
+std::string fmt_double(double v);
+
+/// Escape a string for embedding inside a JSON string literal.
+std::string json_escape(std::string_view s);
+
+/// RFC 4180 CSV field: returned verbatim unless it contains a comma,
+/// quote, or newline, in which case it is double-quoted with embedded
+/// quotes doubled. Label values with commas (`pool{node=1,tenant=7}`)
+/// would otherwise shift every following column.
+std::string csv_field(std::string_view s);
+
+/// Split one CSV line (no trailing newline) into fields, undoing
+/// csv_field()'s quoting. The inverse used by the round-trip tests and
+/// by tools that re-read our own exports.
+std::vector<std::string> parse_csv_line(std::string_view line);
+
 class Registry {
  public:
   Registry() = default;

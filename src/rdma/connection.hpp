@@ -61,6 +61,25 @@ class ConnectionManager {
   /// Number of usable (non-error) connections for (remote, tenant).
   [[nodiscard]] std::size_t healthy_count(NodeId remote, TenantId tenant) const;
 
+  /// Pool rebuilds currently in flight (fault recovery in progress).
+  [[nodiscard]] std::size_t rebuilds_in_flight() const {
+    return rebuilds_.size();
+  }
+  /// WRs parked waiting on a rebuild or a QP (re)activation — work the
+  /// data plane has accepted but the control plane cannot yet carry.
+  [[nodiscard]] std::size_t deferred_wrs() const {
+    std::size_t total = 0;
+    for (const auto& [key, r] : rebuilds_) {
+      (void)key;
+      total += r.deferred.size();
+    }
+    for (const auto& [qp, wrs] : pending_) {
+      (void)qp;
+      total += wrs.size();
+    }
+    return total;
+  }
+
   /// Install the deterministic stream used for backoff jitter (callers
   /// fork it off their seeded root Rng). Optional: the default stream is
   /// fixed-seeded, so runs are reproducible either way.

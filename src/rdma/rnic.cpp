@@ -301,6 +301,35 @@ std::size_t Rnic::srq_depth(TenantId tenant) const {
   return it == srqs_.end() ? 0 : it->second.size();
 }
 
+Rnic::QpStateCounts Rnic::qp_state_counts() const {
+  QpStateCounts c;
+  for (const auto& [id, qp] : qps_) {
+    (void)id;
+    switch (qp->state()) {
+      case QpState::kReset: ++c.reset; break;
+      case QpState::kConnecting: ++c.connecting; break;
+      case QpState::kInactive: ++c.inactive; break;
+      case QpState::kActive: ++c.active; break;
+      case QpState::kError: ++c.error; break;
+    }
+  }
+  return c;
+}
+
+int Rnic::sq_outstanding() const {
+  int total = 0;
+  for (const auto& [id, qp] : qps_) {
+    (void)id;
+    total += qp->outstanding();
+  }
+  return total;
+}
+
+std::size_t Rnic::rnr_depth(TenantId tenant) const {
+  auto it = rnr_queues_.find(tenant);
+  return it == rnr_queues_.end() ? 0 : it->second.size();
+}
+
 std::size_t Rnic::drain_srq(TenantId tenant) {
   auto it = srqs_.find(tenant);
   if (it == srqs_.end()) return 0;

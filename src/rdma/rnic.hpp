@@ -178,6 +178,22 @@ class Rnic {
   [[nodiscard]] const RnicCounters& counters() const { return counters_; }
   [[nodiscard]] int active_qps() const { return active_qps_; }
 
+  /// QP census by state — the control-plane churn series the flight
+  /// recorder samples (rebuild storms show as an error/connecting bulge).
+  struct QpStateCounts {
+    std::size_t reset = 0;
+    std::size_t connecting = 0;
+    std::size_t inactive = 0;
+    std::size_t active = 0;
+    std::size_t error = 0;
+  };
+  [[nodiscard]] QpStateCounts qp_state_counts() const;
+  /// WRs posted but not yet completion-harvested, summed over every QP
+  /// (the node's aggregate send-queue depth).
+  [[nodiscard]] int sq_outstanding() const;
+  /// Arrivals parked for `tenant` awaiting SRQ buffers (RNR state).
+  [[nodiscard]] std::size_t rnr_depth(TenantId tenant) const;
+
  private:
   friend class QueuePair;
   friend class ConnectionManager;

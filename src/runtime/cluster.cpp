@@ -1,5 +1,6 @@
 #include "runtime/cluster.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "core/trace_hooks.hpp"
@@ -203,9 +204,170 @@ void Cluster::merge_observability(obs::Hub& into) {
     into.tracer.absorb(hub.tracer);
     into.profiler.absorb(hub.profiler);
     into.slo.absorb(hub.slo);
+    // Flight series fold in shard order; the donor recorder is emptied
+    // (and its sampler stopped) so a second merge cannot double-count.
+    into.timeseries.merge_from(hub.timeseries);
     hub.registry.reset();
   }
   into.tracer.resolve_foreign_ends();
+}
+
+obs::FlightRecorder* Cluster::flight_recorder(NodeId node) {
+  if (!flight_started_) return nullptr;
+  if (sharded()) return &shard_hubs_[shard_of(node)]->timeseries;
+  obs::Hub* hub = obs::hub();
+  return hub == nullptr ? nullptr : &hub->timeseries;
+}
+
+void Cluster::start_flight_recorder(obs::FlightConfig cfg) {
+  PD_CHECK(!flight_started_, "flight recorder already started");
+  if (sharded()) {
+    for (auto& hub : shard_hubs_) hub->timeseries.configure(cfg);
+  } else {
+    obs::Hub* hub = obs::hub();
+    PD_CHECK(hub != nullptr,
+             "start_flight_recorder needs an installed obs::Hub");
+    hub->timeseries.configure(cfg);
+  }
+  flight_started_ = true;
+  for (auto& node : nodes_) register_flight_probes(*node, cfg);
+  // Sampling runs on every shard (the edge shard included: the ingress
+  // registers its own probes there), each on its own clock — background
+  // events, so the recorder never keeps a drain-to-idle run() alive.
+  if (sharded()) {
+    for (std::size_t k = 0; k < shard_hubs_.size(); ++k) {
+      shard_hubs_[k]->timeseries.start(psim_->shard(k));
+    }
+  } else {
+    obs::hub()->timeseries.start(sched_);
+  }
+}
+
+void Cluster::register_flight_probes(WorkerNode& node,
+                                     const obs::FlightConfig& cfg) {
+  obs::FlightRecorder* rec = flight_recorder(node.id());
+  if (rec == nullptr) return;
+  const std::string nl = "node=" + std::to_string(node.id().value());
+
+  // tenants_ is an unordered_map; registration iterates sorted ids so the
+  // per-tenant series set is created identically on every run.
+  std::vector<TenantId> tenants;
+  tenants.reserve(tenants_.size());
+  for (const auto& [t, w] : tenants_) {
+    (void)w;
+    tenants.push_back(t);
+  }
+  std::sort(tenants.begin(), tenants.end());
+
+  if (core::NetworkEngine* eng = node.palladium_engine()) {
+    rec->probe("engine.tx_backlog", nl,
+               [eng] { return static_cast<double>(eng->tx_backlog()); });
+    rec->probe("engine.unacked", nl,
+               [eng] { return static_cast<double>(eng->unacked_count()); });
+    rec->probe("engine.unacked_headroom", nl, [eng] {
+      const std::size_t cap = eng->config().max_unacked;
+      const std::size_t used = eng->unacked_count();
+      return static_cast<double>(cap > used ? cap - used : 0);
+    });
+    rdma::ConnectionManager& cm = eng->connections();
+    rec->probe("conn.active_qps", nl, [&cm] {
+      return static_cast<double>(cm.active_count());
+    });
+    rec->probe("conn.rebuilds_in_flight", nl, [&cm] {
+      return static_cast<double>(cm.rebuilds_in_flight());
+    });
+    rec->probe("conn.deferred_wrs", nl, [&cm] {
+      return static_cast<double>(cm.deferred_wrs());
+    });
+    for (TenantId t : tenants) {
+      const std::string tl = nl + ",tenant=" + std::to_string(t.value());
+      rec->probe("dwrr.queued", tl, [eng, t] {
+        return static_cast<double>(eng->queued_for(t));
+      });
+      rec->probe("dwrr.deficit", tl, [eng, t] {
+        return static_cast<double>(eng->dwrr_deficit(t));
+      });
+    }
+  }
+
+  if (rdma::Rnic* rnic = node.rnic()) {
+    rec->probe("rnic.cq_depth", nl, [rnic] {
+      return static_cast<double>(rnic->cq().depth());
+    });
+    rec->probe("rnic.sq_outstanding", nl, [rnic] {
+      return static_cast<double>(rnic->sq_outstanding());
+    });
+    rec->probe("qp.connecting", nl, [rnic] {
+      return static_cast<double>(rnic->qp_state_counts().connecting);
+    });
+    rec->probe("qp.active", nl, [rnic] {
+      return static_cast<double>(rnic->qp_state_counts().active);
+    });
+    rec->probe("qp.inactive", nl, [rnic] {
+      return static_cast<double>(rnic->qp_state_counts().inactive);
+    });
+    rec->probe("qp.error", nl, [rnic] {
+      return static_cast<double>(rnic->qp_state_counts().error);
+    });
+    for (TenantId t : tenants) {
+      const std::string tl = nl + ",tenant=" + std::to_string(t.value());
+      rec->probe("rnic.srq_depth", tl, [rnic, t] {
+        return static_cast<double>(rnic->srq_depth(t));
+      });
+      rec->probe("rnic.rnr_depth", tl, [rnic, t] {
+        return static_cast<double>(rnic->rnr_depth(t));
+      });
+    }
+  }
+
+  // Buffer pools: occupancy plus free/registered bytes per memory domain
+  // (pools() iterates creation order — deterministic).
+  mem::MemoryDomain& domain = node.memory();
+  for (const auto& tm : domain.pools()) {
+    const std::string pl =
+        nl + ",tenant=" + std::to_string(tm->tenant().value());
+    const mem::BufferPool* pool = &tm->pool();
+    rec->probe("pool.in_use", pl, [pool] {
+      return static_cast<double>(pool->in_use());
+    });
+    rec->probe("pool.free_bytes", pl, [pool] {
+      return static_cast<double>(pool->available()) *
+             static_cast<double>(pool->buffer_size());
+    });
+  }
+  rec->probe("mem.registered_bytes", nl, [m = &domain] {
+    Bytes total = 0;
+    for (const auto& tm : m->pools()) {
+      if (tm->exported_to_rdma()) total += tm->pool().footprint();
+    }
+    return static_cast<double>(total);
+  });
+
+  // Core utilization: busy-time delta per sampling window. The first
+  // window is seeded from the busy time at registration, so setup work
+  // is not charged to the run's first bucket.
+  rec->probe("core.util", nl + ",set=cpu",
+             [cpu = &node.cpu(),
+              denom = static_cast<double>(cfg.sample_period) *
+                      static_cast<double>(node.cpu().size()),
+              last = node.cpu().total_busy_ns()]() mutable {
+               const sim::Duration busy = cpu->total_busy_ns();
+               const double u = static_cast<double>(busy - last) / denom;
+               last = busy;
+               return u < 1.0 ? u : 1.0;
+             });
+  rec->probe("core.util", nl + ",set=engine",
+             [core = &node.engine_core(),
+              denom = static_cast<double>(cfg.sample_period),
+              last = node.engine_core().busy_ns()]() mutable {
+               const sim::Duration busy = core->busy_ns();
+               const double u = static_cast<double>(busy - last) / denom;
+               last = busy;
+               return u < 1.0 ? u : 1.0;
+             });
+  rec->probe("core.ring", nl + ",set=engine", [core = &node.engine_core()] {
+    return static_cast<double>(core->queue_len());
+  });
 }
 
 void Cluster::start_util_probes(obs::Registry& reg, sim::Duration period) {

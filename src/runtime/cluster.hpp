@@ -236,6 +236,19 @@ class Cluster {
   /// engine core), exposing each probe's last completed window in `reg` as
   /// `core_util{node,core}`.
   void start_util_probes(obs::Registry& reg, sim::Duration period);
+  /// Start the time-series flight recorder (ISSUE 6): registers gauge
+  /// probes over every engine / RNIC / connection manager / buffer pool /
+  /// core set, then begins periodic background sampling in simulated time
+  /// — on each shard's own hub in parallel mode (folded together by
+  /// merge_observability), on the installed global hub otherwise. Call
+  /// after finish_setup() so tenants and connections exist; the ingress
+  /// and the chaos controller add their own series via flight_recorder().
+  void start_flight_recorder(obs::FlightConfig cfg = {});
+  /// Recorder holding `node`'s series: the owning shard's hub in parallel
+  /// mode, the installed global hub otherwise. nullptr until
+  /// start_flight_recorder() runs, so callers can no-op cheaply.
+  [[nodiscard]] obs::FlightRecorder* flight_recorder(NodeId node);
+  [[nodiscard]] bool flight_recording() const { return flight_started_; }
   /// Fold every shard hub into `into` deterministically (shard order):
   /// counters add, histograms merge, spans concatenate and cross-shard span
   /// ends resolve. Call after the run; shard registries are reset so a
@@ -255,6 +268,10 @@ class Cluster {
                          const mem::BufferDescriptor& d, FunctionId dst,
                          TenantId dst_tenant);
 
+  /// Register `node`'s gauge probes on its shard's flight recorder. Every
+  /// probe reads only shard-local state (the determinism contract).
+  void register_flight_probes(WorkerNode& node, const obs::FlightConfig& cfg);
+
   sim::Scheduler& sched_;
   ClusterConfig config_;
   fabric::Switch eth_;  ///< Ethernet network (TCP paths)
@@ -269,6 +286,7 @@ class Cluster {
   ChainTable chains_;
   sim::Rng rng_{0};
   bool setup_done_ = false;
+  bool flight_started_ = false;
   std::vector<std::unique_ptr<sim::TimeSeries>> util_series_;
   std::vector<std::unique_ptr<sim::UtilizationProbe>> util_probes_;
 

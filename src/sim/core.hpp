@@ -35,6 +35,9 @@ class Core {
   [[nodiscard]] bool idle() const { return free_at_ <= sched_.now(); }
   /// Queue backlog in scaled nanoseconds (0 when idle).
   [[nodiscard]] Duration backlog() const;
+  /// Jobs in the core's FIFO ring (running + queued) — the ring occupancy
+  /// the flight recorder samples.
+  [[nodiscard]] std::size_t queue_len() const { return jobs_.size(); }
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] double speed() const { return speed_; }
 

@@ -5,7 +5,10 @@
 # and compares against a baseline. Fails loudly when wall-clock events/sec
 # drop more than 10% below the baseline, when peak RSS grows more than 15%,
 # or when the *simulated* p50/p99 drift more than 1% — the latter means the
-# model changed behavior, which a performance PR must never do.
+# model changed behavior, which a performance PR must never do. On top of
+# the gate numbers, tools/report_diff structurally compares the whole BENCH
+# json against the local baseline (simulated-time leaves only), so drift in
+# any per-load row — not just the gate block — fails the run.
 #
 # Wall-clock numbers are machine-dependent, so the gate prefers a LOCAL
 # baseline recorded on this machine (build/bench_baseline.<fingerprint>.json,
@@ -58,4 +61,16 @@ if [ ! -f "$LOCAL" ]; then
   exit 0
 fi
 
-exec "$GATE" --check "$LOCAL"
+# One sweep: JSON to a scratch file, gate numbers checked against the
+# baseline in-process, then the structural run-diff over the simulated-time
+# leaves (sim_p50/p99 and events-per-request of every load row; wall-clock
+# leaves are machine noise and excluded). 1% mirrors perf_gate's own drift
+# tripwire.
+CURRENT=build/bench_current.$FP.json
+rc=0
+"$GATE" --json "$CURRENT" --check "$LOCAL" || rc=1
+if [ -x build/tools/report_diff ]; then
+  build/tools/report_diff --only sim_ --only events_per_request --rel 0.01 \
+    "$LOCAL" "$CURRENT" || rc=1
+fi
+exit $rc

@@ -17,10 +17,12 @@
 #                            and smoke the parallel epoch-barrier loop (the
 #                            pdes determinism suite + a threaded perf_gate
 #                            smoke) under ThreadSanitizer
-#   tools/run_all.sh obs     build, run the obs-report ctest label, then an
-#                            observability boutique sweep: critical-path +
-#                            flamegraph + SLO artifacts into obs_report/,
-#                            byte-compared across --threads 1/2/4
+#   tools/run_all.sh obs     build, run the obs-report + obs-ts ctest labels,
+#                            then an observability boutique sweep: critical-
+#                            path + flamegraph + SLO + flight-recorder
+#                            timeline artifacts into obs_report/, byte-
+#                            compared across --threads 1/2/4 and diffed
+#                            against the committed golden via report_diff
 set -e
 cd "$(dirname "$0")/.."
 
@@ -64,29 +66,48 @@ fi
 if [ "$1" = "obs" ]; then
   cmake -B build -G Ninja
   cmake --build build
-  ctest --test-dir build -L obs-report --output-on-failure 2>&1 \
+  ctest --test-dir build -L "obs-report|obs-ts" --output-on-failure 2>&1 \
     | tee obs_output.txt
   rm -rf obs_report && mkdir -p obs_report
   # One boutique sweep per worker-thread count, each emitting the full
   # artifact set: critical-path attribution JSON, collapsed-stack
-  # flamegraph, SLO watchdog log, trace, and metrics snapshot.
+  # flamegraph, SLO watchdog log, trace, metrics snapshot, and the flight
+  # recorder's gauge timeline. --strict promotes healthy-run invariants
+  # (open spans, routeless drops) to hard failures.
   for t in 1 2 4; do
-    echo "=== boutique_demo --threads $t (critpath + flame + slo) ==="
-    ./build/examples/boutique_demo --threads "$t" --seconds 2 \
-      --trace --critpath --flame --slo --prefix "obs_report/t$t" | tail -8
+    echo "=== boutique_demo --threads $t (critpath + flame + slo + timeline) ==="
+    ./build/examples/boutique_demo --threads "$t" --seconds 2 --strict \
+      --trace --critpath --flame --slo --timeline \
+      --prefix "obs_report/t$t" | tail -8
   done 2>&1 | tee -a obs_output.txt
   # Determinism gate: the simulated-time observability artifacts must be
   # byte-identical for every thread count.
-  for f in critpath.json flame.folded metrics.json; do
+  for f in critpath.json flame.folded metrics.json timeseries.json \
+           timeseries.csv; do
     cmp obs_report/t1_$f obs_report/t2_$f
     cmp obs_report/t1_$f obs_report/t4_$f
     echo "obs_report/*_$f identical across --threads 1/2/4"
   done 2>&1 | tee -a obs_output.txt
-  # The CLI path over the same artifacts: summary + critpath table, and
-  # loud failure on an empty input.
+  # Run-diff gate: the timeline must structurally match the committed
+  # golden (same workload, same seed — any drift means behavior changed),
+  # and report_diff itself must fail loudly on a perturbed artifact.
+  ./build/tools/report_diff tools/golden/boutique_timeseries.json \
+    obs_report/t1_timeseries.json 2>&1 | tee -a obs_output.txt
+  sed 's/"samples": /"samples": 9/' obs_report/t1_timeseries.json \
+    > obs_report/perturbed.json
+  if ./build/tools/report_diff --quiet obs_report/t1_timeseries.json \
+      obs_report/perturbed.json; then
+    echo "obs sweep FAILED: report_diff passed a perturbed artifact" >&2
+    exit 1
+  fi
+  echo "report_diff: perturbed artifact rejected (as it must be)"
+  # The CLI path over the same artifacts: summary + critpath table, the
+  # timeline dashboard, and loud failure on an empty input.
   ./build/tools/trace_inspect --summary obs_report/t1_trace.json | head -20
   ./build/tools/trace_inspect --critpath obs_report/t1_trace.json \
     | tee -a obs_output.txt
+  ./build/tools/trace_inspect --timeline obs_report/t1_timeseries.json \
+    | head -20
   echo "obs sweep passed: attribution exact and thread-count independent"
   exit 0
 fi

@@ -6,6 +6,10 @@
 //                                                         # attribution table
 //   $ tools/trace_inspect --critpath --json t.json        # machine-readable
 //   $ tools/trace_inspect boutique_trace.json <trace_id>  # one request tree
+//   $ tools/trace_inspect --timeline boutique_timeseries.json [filter]
+//                                                         # sparkline dashboard
+//                                                         # from a flight-
+//                                                         # recorder export
 //
 // The summary groups spans by name (count / mean / p50 / p99 / max) so a
 // quick look answers "where does a request spend its time" without leaving
@@ -24,6 +28,8 @@
 #include <vector>
 
 #include "obs/critpath.hpp"
+#include "obs/runcompare.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace_reader.hpp"
 
 using pd::obs::ReadSpan;
@@ -82,17 +88,77 @@ int summary(const char* path, const std::vector<ReadSpan>& spans) {
   return 0;
 }
 
+/// Re-render the flight recorder's ASCII dashboard from an exported
+/// timeseries.json, so a run's queue/pool/fault timeline is inspectable
+/// after the fact without re-running the simulation.
+int timeline(const char* path, const char* filter) {
+  pd::obs::JsonValue doc;
+  try {
+    doc = pd::obs::json_parse_file(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  const auto* series = doc.find("series");
+  const auto* period = doc.find("sample_period_ns");
+  if (series == nullptr ||
+      series->kind != pd::obs::JsonValue::Kind::kObject) {
+    std::fprintf(stderr,
+                 "error: %s is not a flight-recorder export (no \"series\" "
+                 "object)\n",
+                 path);
+    return 1;
+  }
+  std::printf("%s: %zu series", path, series->members.size());
+  if (period != nullptr && period->kind == pd::obs::JsonValue::Kind::kNumber) {
+    std::printf(", sample period %.3f ms", period->number / 1e6);
+  }
+  std::printf("\n");
+  std::size_t shown = 0;
+  for (const auto& [key, val] : series->members) {
+    if (filter != nullptr && key.find(filter) == std::string::npos) continue;
+    const auto* points = val.find("points");
+    if (points == nullptr ||
+        points->kind != pd::obs::JsonValue::Kind::kArray) {
+      continue;
+    }
+    // Point rows are [t0, n, min, max, mean]; plot the per-bucket max so
+    // transient saturation stays visible after downsampling.
+    std::vector<double> maxes;
+    double peak = 0.0, last = 0.0;
+    for (const auto& row : points->elements) {
+      if (row.elements.size() < 5) continue;
+      maxes.push_back(row.elements[3].number);
+      peak = std::max(peak, row.elements[3].number);
+      last = row.elements[4].number;
+    }
+    std::printf("  %-44s peak %-10.4g last %-10.4g |%s|\n", key.c_str(), peak,
+                last, pd::obs::render_sparkline(maxes, 56).c_str());
+    ++shown;
+  }
+  if (shown == 0) {
+    std::fprintf(stderr, "error: no series%s%s in %s\n",
+                 filter != nullptr ? " matching " : "",
+                 filter != nullptr ? filter : "", path);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool critpath = false;
   bool as_json = false;
   bool as_csv = false;
+  bool as_timeline = false;
   const char* path = nullptr;
   const char* trace_arg = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--critpath") == 0) {
       critpath = true;
+    } else if (std::strcmp(argv[i], "--timeline") == 0) {
+      as_timeline = true;
     } else if (std::strcmp(argv[i], "--summary") == 0) {
       // default mode; accepted for explicitness
     } else if (std::strcmp(argv[i], "--json") == 0) {
@@ -108,10 +174,12 @@ int main(int argc, char** argv) {
   if (path == nullptr) {
     std::fprintf(stderr,
                  "usage: %s [--summary|--critpath] [--json|--csv] "
-                 "<trace.json> [trace_id]\n",
-                 argv[0]);
+                 "<trace.json> [trace_id]\n"
+                 "       %s --timeline <timeseries.json> [filter]\n",
+                 argv[0], argv[0]);
     return 2;
   }
+  if (as_timeline) return timeline(path, trace_arg);
 
   std::vector<ReadSpan> spans;
   try {
