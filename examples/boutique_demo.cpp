@@ -22,10 +22,17 @@
 //                                           # + ASCII dashboard
 //   $ ./examples/boutique_demo --strict     # healthy-run invariants become
 //                                           # hard failures (CI mode)
+//   $ ./examples/boutique_demo --overload flash_crowd
+//                                           # run an overload scenario twice
+//                                           # (control loop off, then on) and
+//                                           # print the before/after SLO
+//                                           # tables; also: noisy_neighbor,
+//                                           # diurnal, chaos_2x
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#include "control/scenario.hpp"
 #include "fault/fault.hpp"
 #include "ingress/palladium_ingress.hpp"
 #include "obs/critpath.hpp"
@@ -50,7 +57,11 @@ int main(int argc, char** argv) {
   std::size_t threads = 0;  // 0 = legacy single-scheduler simulation
   std::int64_t seconds = 5;
   std::string prefix = "boutique";
+  std::string overload;
   for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--overload") == 0 && i + 1 < argc) {
+      overload = argv[++i];
+    }
     if (std::strcmp(argv[i], "--trace") == 0) trace = true;
     if (std::strcmp(argv[i], "--slo") == 0) slo = true;
     if (std::strcmp(argv[i], "--critpath") == 0) critpath = true;
@@ -71,6 +82,30 @@ int main(int argc, char** argv) {
       prefix = argv[++i];
     }
   }
+  // --overload: delegate to the deterministic scenario runner — the same
+  // cluster assembly with the ISSUE 7 control loop off, then on — and show
+  // the before/after per-tenant SLO tables.
+  if (!overload.empty()) {
+    control::OverloadOptions oopts;
+    oopts.scenario = control::parse_scenario(overload);
+    oopts.threads = threads;
+    oopts.seconds = seconds == 5 ? 3 : seconds;
+    oopts.chaos_seed = chaos ? chaos_seed : 42;
+    std::printf("=== overload scenario %s: before (control OFF) ===\n",
+                overload.c_str());
+    oopts.control = false;
+    const auto before = control::run_overload(oopts);
+    std::printf("%s\n", before.table().c_str());
+    std::printf("=== overload scenario %s: after (control ON) ===\n",
+                overload.c_str());
+    oopts.control = true;
+    const auto after = control::run_overload(oopts);
+    std::printf("%s", after.table().c_str());
+    const bool ok = before.zero_loss && after.zero_loss;
+    if (!ok) std::fprintf(stderr, "FAILURE: requests were silently lost\n");
+    return ok ? 0 : 1;
+  }
+
   const bool tracing = trace || critpath;
   const bool observing = tracing || slo || flame || timeline;
   const sim::Duration horizon = seconds * 1'000'000'000;

@@ -1,0 +1,220 @@
+#include "control/autoscaler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/hub.hpp"
+
+namespace pd::control {
+
+// ---------------------------------------------------------------------------
+// EdgeController
+// ---------------------------------------------------------------------------
+
+EdgeController::EdgeController(ingress::PalladiumIngress& ingress,
+                               AdmissionController* admission,
+                               sim::Scheduler& sched,
+                               EdgeControllerConfig config)
+    : ingress_(ingress),
+      admission_(admission),
+      sched_(sched),
+      config_(std::move(config)) {
+  PD_CHECK(config_.period > 0, "controller period must be positive");
+  PD_CHECK(config_.up_hysteresis >= 1 && config_.down_hysteresis >= 1,
+           "hysteresis must be at least one period");
+}
+
+void EdgeController::start() {
+  PD_CHECK(!started_, "EdgeController started twice");
+  started_ = true;
+  sched_.schedule_background_after(config_.period, [this] { tick(); });
+}
+
+void EdgeController::tick() {
+  ++ticks_;
+  obs::Hub* hub = obs::hub();
+  double burn = 0.0;
+  double pressure_burn = 0.0;
+  if (hub != nullptr) {
+    hub->slo.roll(sched_.now());
+    // Both the scaling and the pressure signal watch the *protected*
+    // SLO when one is named. Folding every spec in (max_burn) would let a
+    // deliberately-shed aggressor keep its own burn pegged via 429
+    // record_error and drive an endless scale-up ladder — each step a
+    // worker-pool restart that stalls the very tenant being protected.
+    pressure_burn = config_.pressure_slo.empty()
+                        ? hub->slo.max_burn()
+                        : hub->slo.burn_of(config_.pressure_slo);
+    burn = pressure_burn;
+  }
+  const int workers = ingress_.active_workers();
+  const std::size_t pending = ingress_.pending_requests();
+  const auto per_worker = pending / static_cast<std::size_t>(workers);
+  const bool cores_quiet =
+      ingress_.worker_backlog_ns() <= config_.worker_backlog_quiet_ns;
+
+  if (hub != nullptr) {
+    // Integer-valued gauges only: these land in merged metrics snapshots
+    // that tooling byte-compares across thread counts.
+    hub->registry.gauge("control.workers", "").set(workers);
+    hub->registry.gauge("control.burn_x100", "")
+        .set(std::floor(burn * 100.0));
+    hub->registry.gauge("control.pending_per_worker", "")
+        .set(static_cast<double>(per_worker));
+    hub->registry.gauge("control.pressure", "")
+        .set(admission_ != nullptr && admission_->pressure() ? 1 : 0);
+  }
+
+  // --- horizontal worker scaling ------------------------------------------
+  const bool up_signal =
+      burn >= config_.burn_up || per_worker >= config_.pending_up;
+  const bool down_signal = burn <= config_.burn_down &&
+                           per_worker <= config_.pending_down && cores_quiet;
+  if (up_signal) {
+    ++up_run_;
+    down_run_ = 0;
+  } else if (down_signal) {
+    ++down_run_;
+    up_run_ = 0;
+  } else {
+    up_run_ = down_run_ = 0;
+  }
+  if (cooldown_ > 0) --cooldown_;
+
+  const int max_workers = ingress_.config().max_workers;
+  if (cooldown_ == 0 && up_run_ >= config_.up_hysteresis &&
+      workers < max_workers) {
+    ingress_.scale_to(workers + 1);
+    events_.push_back(ScaleEvent{sched_.now(), "ingress", workers, workers + 1,
+                                 burn >= config_.burn_up ? "burn" : "backlog"});
+    if (hub != nullptr) hub->registry.counter("control.scale_up", "").inc();
+    cooldown_ = config_.cooldown;
+    up_run_ = 0;
+  } else if (cooldown_ == 0 && down_run_ >= config_.down_hysteresis &&
+             workers > 1) {
+    ingress_.scale_to(workers - 1);
+    events_.push_back(
+        ScaleEvent{sched_.now(), "ingress", workers, workers - 1, "idle"});
+    if (hub != nullptr) hub->registry.counter("control.scale_down", "").inc();
+    cooldown_ = config_.cooldown;
+    down_run_ = 0;
+  }
+
+  // --- admission pressure ---------------------------------------------------
+  if (admission_ != nullptr) {
+    if (pressure_burn >= config_.pressure_on) {
+      ++p_on_run_;
+      p_off_run_ = 0;
+    } else if (pressure_burn <= config_.pressure_off && cores_quiet) {
+      ++p_off_run_;
+      p_on_run_ = 0;
+    } else {
+      p_on_run_ = p_off_run_ = 0;
+    }
+    if (!admission_->pressure() && p_on_run_ >= config_.pressure_on_hysteresis) {
+      admission_->set_pressure(true);
+      events_.push_back(ScaleEvent{sched_.now(), "pressure", 0, 1, "burn"});
+      if (hub != nullptr) hub->registry.counter("control.pressure_on", "").inc();
+      p_on_run_ = 0;
+    } else if (admission_->pressure() &&
+               p_off_run_ >= config_.pressure_off_hysteresis) {
+      admission_->set_pressure(false);
+      events_.push_back(ScaleEvent{sched_.now(), "pressure", 1, 0, "quiet"});
+      if (hub != nullptr) {
+        hub->registry.counter("control.pressure_off", "").inc();
+      }
+      p_off_run_ = 0;
+    }
+  }
+
+  sched_.schedule_background_after(config_.period, [this] { tick(); });
+}
+
+// ---------------------------------------------------------------------------
+// InstanceAutoscaler
+// ---------------------------------------------------------------------------
+
+InstanceAutoscaler::InstanceAutoscaler(runtime::FunctionInstance& fn,
+                                       sim::Scheduler& sched,
+                                       InstanceAutoscalerConfig config)
+    : fn_(fn), sched_(sched), config_(config) {
+  PD_CHECK(config_.period > 0, "controller period must be positive");
+  PD_CHECK(fn_.replica_capacity() >= 1, "instance has no cores");
+}
+
+void InstanceAutoscaler::start() {
+  PD_CHECK(!started_, "InstanceAutoscaler started twice");
+  started_ = true;
+  sched_.schedule_background_after(config_.period, [this] { tick(); });
+}
+
+void InstanceAutoscaler::tick() {
+  const std::uint64_t jobs = fn_.pending_jobs();
+  const auto active = fn_.active_replicas();
+  const std::uint64_t per_replica = jobs / active;
+
+  if (obs::Hub* hub = obs::hub()) {
+    hub->registry
+        .gauge("control.replicas", "fn=" + fn_.spec().name)
+        .set(static_cast<double>(active));
+  }
+
+  const bool up_signal =
+      per_replica >= config_.jobs_up && active < fn_.replica_capacity();
+  const bool down_signal = jobs <= config_.jobs_down && active > 1;
+  if (up_signal) {
+    ++up_run_;
+    down_run_ = 0;
+  } else if (down_signal) {
+    ++down_run_;
+    up_run_ = 0;
+  } else {
+    up_run_ = down_run_ = 0;
+  }
+  if (cooldown_ > 0) --cooldown_;
+
+  if (cooldown_ == 0 && up_run_ >= config_.up_hysteresis) {
+    fn_.set_active_replicas(active + 1);
+    events_.push_back(ScaleEvent{sched_.now(), "fn:" + fn_.spec().name,
+                                 static_cast<int>(active),
+                                 static_cast<int>(active + 1), "backlog"});
+    if (obs::Hub* hub = obs::hub()) {
+      hub->registry
+          .counter("control.replica_scale_up", "fn=" + fn_.spec().name)
+          .inc();
+    }
+    cooldown_ = config_.cooldown;
+    up_run_ = 0;
+  } else if (cooldown_ == 0 && down_run_ >= config_.down_hysteresis &&
+             active > 1) {
+    fn_.set_active_replicas(active - 1);
+    events_.push_back(ScaleEvent{sched_.now(), "fn:" + fn_.spec().name,
+                                 static_cast<int>(active),
+                                 static_cast<int>(active - 1), "idle"});
+    if (obs::Hub* hub = obs::hub()) {
+      hub->registry
+          .counter("control.replica_scale_down", "fn=" + fn_.spec().name)
+          .inc();
+    }
+    cooldown_ = config_.cooldown;
+    down_run_ = 0;
+  }
+
+  sched_.schedule_background_after(config_.period, [this] { tick(); });
+}
+
+std::vector<std::unique_ptr<InstanceAutoscaler>> attach_instance_autoscalers(
+    runtime::Cluster& cluster, InstanceAutoscalerConfig config) {
+  std::vector<std::unique_ptr<InstanceAutoscaler>> out;
+  for (FunctionId fn : cluster.deployed_functions()) {
+    runtime::FunctionInstance& inst = cluster.instance(fn);
+    if (inst.replica_capacity() <= 1) continue;  // nothing to actuate
+    auto& sched = cluster.scheduler_for(cluster.placement_of(fn));
+    out.push_back(
+        std::make_unique<InstanceAutoscaler>(inst, sched, config));
+    out.back()->start();
+  }
+  return out;
+}
+
+}  // namespace pd::control

@@ -1,0 +1,154 @@
+// SLO-driven feedback autoscalers (ISSUE 7 tentpole, part 1): the
+// "sensors -> actuators" layer that turns the observability stack (SLO
+// burn rates, queue backlogs) into scaling and admission decisions on the
+// simulated clock.
+//
+// Two controllers, each pinned to the shard that owns its actuator so
+// every decision reads only shard-local state (the PDES determinism
+// contract — byte-identical across --threads 1/2/4):
+//
+//  - EdgeController (edge shard): scales the ingress worker pool on SLO
+//    burn + pending-request backlog, and engages/releases the per-tenant
+//    admission gate's overload pressure. Consumes the edge hub's
+//    SloWatchdog via roll()/max_burn() — requests complete at the edge, so
+//    that is where the burn signal lives.
+//
+//  - InstanceAutoscaler (one per deployed function, on its node's shard):
+//    activates/deactivates pre-provisioned function replicas
+//    (Cluster::provision_replicas) from the instance's own compute
+//    backlog.
+//
+// Both use consecutive-period hysteresis plus post-action cooldowns, the
+// standard damping pair that keeps feedback loops from flapping on bursty
+// signals.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "control/admission.hpp"
+#include "ingress/palladium_ingress.hpp"
+#include "runtime/function.hpp"
+
+namespace pd::control {
+
+/// One actuation, for reports and tests ("did it scale, when, and why").
+struct ScaleEvent {
+  sim::TimePoint at = 0;
+  std::string actor;   ///< "ingress", "fn:<name>", "pressure"
+  int from = 0;
+  int to = 0;
+  std::string reason;  ///< "burn", "backlog", "idle", ...
+};
+
+struct EdgeControllerConfig {
+  sim::Duration period = 50'000'000;  // 50 ms control loop
+  /// Scale-up signal: SLO burn at/above this, or pending requests per
+  /// active worker at/above pending_up.
+  double burn_up = 1.0;
+  std::size_t pending_up = 48;
+  /// Scale-down signal: burn at/below burn_down AND backlog per worker
+  /// at/below pending_down.
+  double burn_down = 0.25;
+  std::size_t pending_down = 4;
+  int up_hysteresis = 2;    ///< consecutive up-signal periods before acting
+  int down_hysteresis = 8;  ///< consecutive down-signal periods before acting
+  int cooldown = 4;         ///< quiet periods after any scaling action
+  /// Admission pressure: engage when the watched SLO's burn holds at/above
+  /// pressure_on for pressure_on_hysteresis periods; release when it holds
+  /// at/below pressure_off for pressure_off_hysteresis periods.
+  double pressure_on = 1.0;
+  double pressure_off = 0.5;
+  int pressure_on_hysteresis = 2;
+  int pressure_off_hysteresis = 8;
+  /// SLO spec name whose burn drives admission pressure ("" = max over all
+  /// specs). Point this at the *protected* tenant's SLO: shedding the
+  /// aggressor keeps burning the aggressor's own SLO, and feeding that
+  /// back would latch pressure on forever.
+  std::string pressure_slo;
+  /// "Quiet" means the worker cores are drained too, not just that the
+  /// pending-request map is empty: a pool mid-restart has its requests
+  /// parked on the cores before parsing, invisible to pending_requests(),
+  /// and the burn signal decays during the stall. Down-scaling or
+  /// releasing pressure on that false idle re-restarts the pool and
+  /// extends the outage, so both hold while the cores carry more than
+  /// this much queued work.
+  sim::Duration worker_backlog_quiet_ns = 1'000'000;  // 1 ms
+};
+
+class EdgeController {
+ public:
+  EdgeController(ingress::PalladiumIngress& ingress,
+                 AdmissionController* admission, sim::Scheduler& sched,
+                 EdgeControllerConfig config = {});
+
+  /// Begin periodic evaluation (background events: the controller never
+  /// keeps an otherwise-drained simulation alive).
+  void start();
+
+  [[nodiscard]] const std::vector<ScaleEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+
+ private:
+  void tick();
+
+  ingress::PalladiumIngress& ingress_;
+  AdmissionController* admission_;
+  sim::Scheduler& sched_;
+  EdgeControllerConfig config_;
+  std::vector<ScaleEvent> events_;
+  std::uint64_t ticks_ = 0;
+  int up_run_ = 0;
+  int down_run_ = 0;
+  int cooldown_ = 0;
+  int p_on_run_ = 0;
+  int p_off_run_ = 0;
+  bool started_ = false;
+};
+
+struct InstanceAutoscalerConfig {
+  sim::Duration period = 50'000'000;  // 50 ms control loop
+  /// Scale up when pending compute jobs per active replica reach this.
+  std::uint64_t jobs_up = 4;
+  /// Scale down when total pending jobs are at/below this with >1 replica.
+  std::uint64_t jobs_down = 1;
+  int up_hysteresis = 2;
+  int down_hysteresis = 8;
+  int cooldown = 2;
+};
+
+class InstanceAutoscaler {
+ public:
+  InstanceAutoscaler(runtime::FunctionInstance& fn, sim::Scheduler& sched,
+                     InstanceAutoscalerConfig config = {});
+
+  void start();
+
+  [[nodiscard]] const std::vector<ScaleEvent>& events() const {
+    return events_;
+  }
+
+ private:
+  void tick();
+
+  runtime::FunctionInstance& fn_;
+  sim::Scheduler& sched_;
+  InstanceAutoscalerConfig config_;
+  std::vector<ScaleEvent> events_;
+  int up_run_ = 0;
+  int down_run_ = 0;
+  int cooldown_ = 0;
+  bool started_ = false;
+};
+
+/// One InstanceAutoscaler per deployed function that has spare replica
+/// capacity, each on its owning node's scheduler shard, in sorted function
+/// order (deterministic construction). Call start() is done here; the
+/// returned vector just owns them.
+std::vector<std::unique_ptr<InstanceAutoscaler>> attach_instance_autoscalers(
+    runtime::Cluster& cluster, InstanceAutoscalerConfig config = {});
+
+}  // namespace pd::control

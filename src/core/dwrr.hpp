@@ -60,6 +60,23 @@ class DwrrScheduler {
     return queues_.find(tenant) != queues_.end();
   }
 
+  /// Deregister `tenant` mid-round, handing back whatever it still has
+  /// queued so the caller can complete each item explicitly (never silent
+  /// loss). Items come back in FIFO order; unspent deficit credit is
+  /// discarded with the queue and the cursor keeps pointing at the tenant
+  /// it was on (the PR 3 remove_tenant fix does the index surgery).
+  [[nodiscard]] std::vector<Item> drain_tenant(TenantId tenant) {
+    auto it = queues_.find(tenant);
+    PD_CHECK(it != queues_.end(), "unknown tenant " << tenant);
+    std::vector<Item> out;
+    out.reserve(it->second.items.size());
+    for (Entry& e : it->second.items) out.push_back(std::move(e.item));
+    pending_ -= it->second.items.size();
+    it->second.items.clear();
+    remove_tenant(tenant);
+    return out;
+  }
+
   /// Enqueue an item with `size` cost units (1 = per-request fairness).
   void enqueue(TenantId tenant, Item item, std::uint32_t size = 1) {
     auto it = queues_.find(tenant);

@@ -33,6 +33,11 @@ NetworkEngine::NetworkEngine(sim::Scheduler& sched, EngineKind kind,
            "DNE flavours require a DPU");
   PD_CHECK(config_.srq_fill > 0 && config_.rc_connections > 0,
            "bad engine config");
+  PD_CHECK(!config_.tenant_admission || config_.use_dwrr,
+           "tenant_admission requires DWRR scheduling");
+  PD_CHECK(!config_.tenant_admission || reliable(),
+           "tenant_admission partitions the reliability window; enable "
+           "retransmit_timeout");
 
   if (kind_ == EngineKind::kCne) {
     sockmap_ = std::make_unique<ipc::SockMap>(sched_);
@@ -97,10 +102,39 @@ void NetworkEngine::add_tenant(TenantId tenant, std::uint32_t weight) {
 
   tenants_.emplace(tenant, TenantState{weight});
   dwrr_.add_tenant(tenant, weight);
+  recompute_credit_caps();
 
   fill_srq(tenant, static_cast<std::uint64_t>(config_.srq_fill));
   for (NodeId peer : peers_) {
     conn_mgr_.establish(peer, tenant, config_.rc_connections, nullptr);
+  }
+}
+
+std::size_t NetworkEngine::remove_tenant(TenantId tenant) {
+  auto it = tenants_.find(tenant);
+  PD_CHECK(it != tenants_.end(), "removing unknown tenant " << tenant);
+  PD_CHECK(config_.use_dwrr,
+           "remove_tenant needs per-tenant queues (DWRR scheduling)");
+  // Drain first, deregister second: complete_with_error on each drained
+  // message must not find the tenant still schedulable (an error completion
+  // for a remote submitter would otherwise re-enter the queue being torn
+  // down — the guard in complete_with_error routes it to errors_dropped).
+  std::vector<mem::BufferDescriptor> queued = dwrr_.drain_tenant(tenant);
+  tenants_.erase(it);
+  recompute_credit_caps();
+  for (const mem::BufferDescriptor& d : queued) complete_with_error(d);
+  return queued.size();
+}
+
+void NetworkEngine::recompute_credit_caps() {
+  std::uint64_t total_weight = 0;
+  for (const auto& [tenant, state] : tenants_) total_weight += state.weight;
+  for (auto& [tenant, state] : tenants_) {
+    const auto share = static_cast<std::size_t>(
+        total_weight == 0
+            ? config_.max_unacked
+            : config_.max_unacked * state.weight / total_weight);
+    state.credit_cap = std::max(config_.min_tenant_credits, share);
   }
 }
 
@@ -159,8 +193,29 @@ void NetworkEngine::submit(FunctionId src, sim::Core& src_core,
 void NetworkEngine::on_ingest(const mem::BufferDescriptor& d) {
   // Runs on the engine core (charged by the channel). Queue under the
   // tenant and kick the TX stage.
-  PD_CHECK(tenants_.find(d.tenant) != tenants_.end(),
+  auto tit = tenants_.find(d.tenant);
+  PD_CHECK(tit != tenants_.end(),
            "message from unknown tenant " << d.tenant);
+  if (reliable() && config_.tenant_admission) {
+    // Tenant-scoped credit gate (ISSUE 7): occupancy counts both what the
+    // tenant has queued in the scheduler and what it has in the reliability
+    // window, so a tenant saturating either stage is shed individually.
+    const std::size_t occupancy =
+        queued_for(d.tenant) + tenant_unacked(d.tenant);
+    if (occupancy >= tit->second.credit_cap) {
+      ++counters_.requests_shed;
+      ++counters_.shed_admission;
+      if (auto* h = obs::hub()) {
+        h->registry
+            .counter("engine.shed_admission",
+                     "node=" + std::to_string(node().value()) +
+                         ",tenant=" + std::to_string(d.tenant.value()))
+            .inc();
+      }
+      complete_with_error(d);
+      return;
+    }
+  }
   if (reliable() && unacked_.size() >= config_.max_unacked) {
     // Load shedding at admission: too many sends already await ACKs (the
     // fabric or a peer is struggling). Fail explicitly instead of letting
@@ -207,7 +262,11 @@ void NetworkEngine::tx_iteration() {
       (cost::kDneSchedNs + cost::kDneTxStageNs + config_.extra_per_msg_ns);
   sim::ProfileScope scope{"engine", "tx"};
   engine_core_.submit(work, [this, batch] {
-    for (std::size_t i = 0; i < batch; ++i) {
+    // A tenant teardown (remove_tenant) may have drained the queues while
+    // this slice's core time was being charged: transmit only what is
+    // still there. The scheduling work was genuinely spent either way.
+    const std::size_t avail = std::min<std::size_t>(batch, tx_backlog());
+    for (std::size_t i = 0; i < avail; ++i) {
       auto item = config_.use_dwrr ? dwrr_.dequeue() : fcfs_.dequeue();
       PD_CHECK(item.has_value(), "TX iteration with empty queues");
       if (kind_ == EngineKind::kDneOnPath) {
@@ -267,6 +326,7 @@ void NetworkEngine::transmit(const mem::BufferDescriptor& d) {
     m.timer = sched_.schedule_after(config_.retransmit_timeout,
                                     [this, seq] { on_retransmit_timeout(seq); });
     unacked_.emplace(seq, m);
+    ++tenant_unacked_[d.tenant];
     wr_seq_.emplace(wr.wr_id, seq);
   }
   conn_mgr_.send(dest, d.tenant, wr);
@@ -526,6 +586,7 @@ void NetworkEngine::finish_success(UnackedIter it) {
   UnackedMsg& m = it->second;
   if (m.timer != sim::kInvalidEvent) sched_.cancel(m.timer);
   end_retransmit_span(m);
+  release_tenant_credit(m.d.tenant);
   pool_of(m.d).release(m.d, actor());
   ++counters_.recycled;
   unacked_.erase(it);
@@ -535,10 +596,16 @@ void NetworkEngine::finish_failure(UnackedIter it) {
   UnackedMsg& m = it->second;
   if (m.timer != sim::kInvalidEvent) sched_.cancel(m.timer);
   end_retransmit_span(m);
+  release_tenant_credit(m.d.tenant);
   ++counters_.send_failures;
   const mem::BufferDescriptor d = m.d;
   unacked_.erase(it);
   complete_with_error(d);
+}
+
+void NetworkEngine::release_tenant_credit(TenantId tenant) {
+  auto it = tenant_unacked_.find(tenant);
+  if (it != tenant_unacked_.end() && it->second > 0) --it->second;
 }
 
 void NetworkEngine::complete_with_error(const mem::BufferDescriptor& d) {
@@ -572,13 +639,19 @@ void NetworkEngine::complete_with_error(const mem::BufferDescriptor& d) {
   if (routes_.has_route(FunctionId{e.dst_fn})) {
     // The failed message came from a remote submitter (RX-side no-route):
     // ship the error completion back across the fabric like any message.
+    // A tenant mid-teardown (remove_tenant drained its queue) no longer has
+    // a scheduler slot — its error falls through to the terminal drop.
     if (config_.use_dwrr) {
-      dwrr_.enqueue(sized.tenant, sized);
+      if (dwrr_.has_tenant(sized.tenant)) {
+        dwrr_.enqueue(sized.tenant, sized);
+        kick_tx();
+        return;
+      }
     } else {
       fcfs_.enqueue(sized.tenant, sized);
+      kick_tx();
+      return;
     }
-    kick_tx();
-    return;
   }
   ++counters_.errors_dropped;
   pool.release(sized, actor());

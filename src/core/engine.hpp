@@ -87,6 +87,18 @@ struct EngineConfig {
   /// Receiver-side RNR parking bound per tenant; arrivals beyond it are
   /// dropped with a NACK datagram back to the sender.
   std::size_t rnr_queue_limit = 64;
+
+  // --- per-tenant admission (ISSUE 7: tenant-scoped credit gate) -----------
+  /// Partition `max_unacked` into per-tenant credit caps proportional to
+  /// DWRR weights: a tenant whose queued + unacked occupancy reaches its
+  /// cap is shed individually (explicit error completion) instead of
+  /// letting one aggressor exhaust the node-wide window for everyone.
+  /// Requires use_dwrr (per-tenant queue depths are meaningless under the
+  /// FCFS baseline).
+  bool tenant_admission = false;
+  /// Floor on any tenant's credit cap, so low-weight tenants keep enough
+  /// credits to make progress even on a crowded node.
+  std::size_t min_tenant_credits = 8;
 };
 
 struct EngineCounters {
@@ -102,6 +114,7 @@ struct EngineCounters {
   std::uint64_t dup_rx = 0;            ///< duplicate deliveries suppressed
   std::uint64_t send_failures = 0;     ///< messages failed after retries/NACK
   std::uint64_t requests_shed = 0;     ///< ingest shed at the admission cap
+  std::uint64_t shed_admission = 0;    ///< subset shed by the per-tenant gate
   std::uint64_t error_completions = 0; ///< explicit error completions emitted
   std::uint64_t errors_dropped = 0;    ///< terminal errors with no way back
 };
@@ -124,6 +137,13 @@ class NetworkEngine : public DataPlane {
   /// cross-processor, registers it with the RNIC, fills its SRQ, and
   /// establishes RC connections to all known peers.
   void add_tenant(TenantId tenant, std::uint32_t weight) override;
+
+  /// Deregister a tenant (autoscaler-driven scale-down). Drains whatever
+  /// the tenant still has queued in the scheduler into explicit error
+  /// completions — never silent loss — and returns how many were drained.
+  /// The tenant's local functions must be unregistered first. In-flight
+  /// sequenced messages keep their reliability state and resolve normally.
+  std::size_t remove_tenant(TenantId tenant);
 
   /// Make `remote` reachable (establishes per-tenant RC connection pools).
   void connect_peer(NodeId remote) override;
@@ -173,6 +193,20 @@ class NetworkEngine : public DataPlane {
   [[nodiscard]] std::uint64_t dwrr_deficit(TenantId t) const {
     return config_.use_dwrr ? dwrr_.deficit_of(t) : 0;
   }
+  /// Sequenced messages of tenant `t` awaiting ACK.
+  [[nodiscard]] std::size_t tenant_unacked(TenantId t) const {
+    auto it = tenant_unacked_.find(t);
+    return it == tenant_unacked_.end() ? 0 : it->second;
+  }
+  /// Per-tenant admission credit cap (0 when the tenant is unknown or the
+  /// tenant gate is disabled).
+  [[nodiscard]] std::size_t tenant_credit_cap(TenantId t) const {
+    auto it = tenants_.find(t);
+    return it == tenants_.end() ? 0 : it->second.credit_cap;
+  }
+  [[nodiscard]] bool has_tenant(TenantId t) const {
+    return tenants_.find(t) != tenants_.end();
+  }
 
   [[nodiscard]] mem::Actor actor() const {
     return mem::actor_engine(rnic_.node());
@@ -181,7 +215,11 @@ class NetworkEngine : public DataPlane {
  private:
   struct TenantState {
     std::uint32_t weight = 1;
+    /// Weight-proportional share of max_unacked (see tenant_admission).
+    std::size_t credit_cap = 0;
   };
+
+  void recompute_credit_caps();
 
   void on_ingest(const mem::BufferDescriptor& d);
   void kick_tx();
@@ -217,6 +255,7 @@ class NetworkEngine : public DataPlane {
   [[nodiscard]] bool reliable() const { return config_.retransmit_timeout > 0; }
   void on_datagram(NodeId from, const rdma::Datagram& dg);
   void on_retransmit_timeout(std::uint64_t seq);
+  void release_tenant_credit(TenantId tenant);
   void finish_success(UnackedIter it);
   void finish_failure(UnackedIter it);
   /// Turn an undeliverable/failed message (buffer owned by the engine) into
@@ -281,6 +320,8 @@ class NetworkEngine : public DataPlane {
 
   // Reliability state.
   std::unordered_map<std::uint64_t, UnackedMsg> unacked_;  ///< seq -> state
+  /// Per-tenant slice of unacked_ (occupancy for the tenant credit gate).
+  std::unordered_map<TenantId, std::size_t> tenant_unacked_;
   std::unordered_map<std::uint64_t, std::uint64_t> wr_seq_;  ///< wr_id -> seq
   std::uint64_t next_seq_ = 1;
   /// Receiver-side duplicate suppression: per sender node, a bounded FIFO

@@ -240,6 +240,26 @@ void PalladiumIngress::forward_to_chain(int client,
     return;
   }
   const auto& chain = cluster_.chains().by_id(it->second);
+
+  if (config_.admission != nullptr &&
+      config_.admission->try_admit(chain.tenant, sched_.now()) ==
+          control::Verdict::kShed) {
+    // Policy drop, not a fault: explicit 429, its own counter (distinct
+    // from the 502/504 fault paths), and a tagged marker trace so critpath
+    // attribution books it under "policy".
+    ++shed_admission_;
+    if (auto* hub = obs::hub()) {
+      hub->registry
+          .counter("ingress.shed_admission",
+                   "tenant=" + std::to_string(chain.tenant.value()))
+          .inc();
+      hub->slo.record_error(chain.tenant, chain.id, sched_.now());
+    }
+    tag_policy_marker("shed_admission");
+    respond_error(client, 429, "Too Many Requests");
+    return;
+  }
+
   const std::uint64_t request_id = next_request_++;
   PendingRequest pr;
   pr.client = client;
@@ -286,6 +306,9 @@ bool PalladiumIngress::send_request(std::uint64_t request_id) {
   core::trace_start(h, "ingress",
                     "node" + std::to_string(config_.node.value()) + "/ingress",
                     sched_.now());
+  // Remember the (latest attempt's) trace so the 504 path can tag it.
+  pr.trace_id = h.trace_id;
+  pr.root_span = h.root_span;
   auto span = pool.access(*d, actor);
   core::write_header(span, h);
   // Carry the real request body into the payload region (zero-copy from
@@ -332,12 +355,32 @@ void PalladiumIngress::on_deadline(std::uint64_t request_id) {
   pr.deadline = sim::kInvalidEvent;
 
   if (pr.attempts > config_.max_retries) {
-    // Retry budget exhausted: fail the request explicitly.
+    // Retry budget exhausted: fail the request explicitly. This is a
+    // policy decision (the gateway giving up), so it gets its own counter
+    // and a "deadline_expired" span on the request's trace — distinct from
+    // the generic 502/504 fault bookkeeping.
     ++timeouts_;
+    ++deadline_expired_;
     const int client = pr.client;
+    const TenantId tenant = cluster_.chains().by_id(pr.chain_id).tenant;
     if (auto* hub = obs::hub()) {
-      hub->slo.record_error(cluster_.chains().by_id(pr.chain_id).tenant,
-                            pr.chain_id, sched_.now());
+      hub->slo.record_error(tenant, pr.chain_id, sched_.now());
+      hub->registry
+          .counter("ingress.deadline_expired",
+                   "tenant=" + std::to_string(tenant.value()))
+          .inc();
+      if (pr.trace_id != 0) {
+        // Tag and terminate the trace: the in-fabric hop span stays open
+        // (the request genuinely never came back), but the root closes so
+        // attribution can book the tail as policy instead of losing the
+        // whole trace as incomplete.
+        const auto s = hub->tracer.begin_span(
+            pr.trace_id, pr.root_span, "deadline_expired",
+            "node" + std::to_string(config_.node.value()) + "/ingress",
+            sched_.now());
+        hub->tracer.end_span(s, sched_.now());
+        hub->tracer.end_span(pr.root_span, sched_.now());
+      }
     }
     pending_.erase(pit);
     respond_error(client, 504, "Gateway Timeout");
@@ -350,6 +393,19 @@ void PalladiumIngress::on_deadline(std::uint64_t request_id) {
   // (pool pressure) is fine: the re-armed deadline tries again.
   (void)send_request(request_id);
   arm_deadline(request_id);
+}
+
+void PalladiumIngress::tag_policy_marker(const char* tag) {
+  obs::Hub* hub = obs::hub();
+  if (hub == nullptr) return;
+  const std::string track =
+      "node" + std::to_string(config_.node.value()) + "/ingress";
+  const obs::TraceContext ctx = hub->tracer.start_trace(track, sched_.now());
+  if (!ctx.sampled()) return;
+  const auto s = hub->tracer.begin_span(ctx.trace_id, ctx.root_span, tag,
+                                        track, sched_.now());
+  hub->tracer.end_span(s, sched_.now());
+  hub->tracer.end_span(ctx.root_span, sched_.now());
 }
 
 void PalladiumIngress::respond_error(int client, int status,
@@ -474,6 +530,19 @@ void PalladiumIngress::autoscale_tick() {
   }
   sched_.schedule_background_after(config_.scale_check_period,
                                    [this] { autoscale_tick(); });
+}
+
+sim::Duration PalladiumIngress::worker_backlog_ns() {
+  sim::Duration total = 0;
+  for (int w = 0; w < active_workers_; ++w) total += worker_core(w).backlog();
+  return total;
+}
+
+void PalladiumIngress::scale_to(int n) {
+  PD_CHECK(setup_done_, "scale_to before finish_setup");
+  const int clamped = std::clamp(n, 1, config_.max_workers);
+  if (clamped == active_workers_) return;
+  apply_scaling(clamped);
 }
 
 void PalladiumIngress::apply_scaling(int new_count) {

@@ -16,6 +16,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "control/admission.hpp"
 #include "ingress/ingress.hpp"
 #include "proto/http.hpp"
 #include "proto/tcp.hpp"
@@ -47,6 +48,10 @@ class PalladiumIngress : public IngressFrontend {
     /// 0 disables deadlines (the pre-fault-model behaviour).
     sim::Duration request_deadline = 2'000'000;  // 2 ms
     int max_retries = 2;
+    /// Optional per-tenant admission gate, consulted before a request
+    /// enters the fabric (ISSUE 7). Not owned; must outlive the ingress.
+    /// Requests it sheds are answered 429 — explicit, never silent.
+    control::AdmissionController* admission = nullptr;
   };
 
   PalladiumIngress(runtime::Cluster& cluster, Config config);
@@ -63,12 +68,26 @@ class PalladiumIngress : public IngressFrontend {
   void expose_chain(std::string target, std::uint32_t chain_id) override;
 
   // Introspection for Figs. 13/14.
+  [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] int active_workers() const { return active_workers_; }
   [[nodiscard]] std::uint64_t responses() const { return responses_; }
   [[nodiscard]] sim::TimeSeries& response_series() { return response_series_; }
   [[nodiscard]] sim::TimeSeries& worker_series() { return worker_series_; }
   [[nodiscard]] sim::TimeSeries& useful_cpu_series() { return useful_cpu_series_; }
   [[nodiscard]] std::uint64_t scale_events() const { return scale_events_; }
+  [[nodiscard]] std::size_t pending_requests() const { return pending_.size(); }
+
+  /// Controller-driven horizontal scaling: set the worker pool to `n`
+  /// (clamped to [1, max_workers]). No-op when already at `n`; otherwise
+  /// the pool restarts exactly like the built-in autoscaler's transitions.
+  void scale_to(int n);
+
+  /// Work queued on the active worker cores, in scaled nanoseconds.
+  /// Requests parked behind a worker-restart blip have not been parsed
+  /// yet, so pending_requests() cannot see them — a feedback controller
+  /// that only watched pending_requests() would read a restarting pool as
+  /// idle and scale it down again, compounding the outage.
+  [[nodiscard]] sim::Duration worker_backlog_ns();
 
   /// Register the gateway's gauge series (pending requests, worker count,
   /// CQ depth, per-tenant pool occupancy) on the edge shard's flight
@@ -81,6 +100,15 @@ class PalladiumIngress : public IngressFrontend {
   [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
   /// Requests answered 502 on an explicit data-plane error completion.
   [[nodiscard]] std::uint64_t bad_gateway() const { return bad_gateway_; }
+  /// Requests answered 429 by the per-tenant admission gate (policy drop,
+  /// distinct from the generic 502/504 fault counters).
+  [[nodiscard]] std::uint64_t shed_admission() const { return shed_admission_; }
+  /// Requests answered 504 with the retry budget spent — same events the
+  /// timeouts() counter sees, exposed under the policy-drop name so
+  /// dashboards can pair it with shed_admission().
+  [[nodiscard]] std::uint64_t deadline_expired() const {
+    return deadline_expired_;
+  }
 
  private:
   struct ClientConn {
@@ -97,6 +125,11 @@ class PalladiumIngress : public IngressFrontend {
     std::string body;   ///< kept for deadline-driven re-sends
     int attempts = 1;   ///< sends so far (first + retries)
     sim::EventId deadline = sim::kInvalidEvent;
+    /// Trace context of the latest send attempt, kept so the 504 path can
+    /// tag the trace with a "deadline_expired" policy span and close the
+    /// root (0 = unsampled).
+    std::uint64_t trace_id = 0;
+    std::uint32_t root_span = 0;
   };
 
   void on_client_bytes(int client, std::string_view bytes);
@@ -107,6 +140,10 @@ class PalladiumIngress : public IngressFrontend {
   void arm_deadline(std::uint64_t request_id);
   void on_deadline(std::uint64_t request_id);
   void respond_error(int client, int status, const char* reason);
+  /// Emit a zero-length marker trace tagged `tag` ("shed_admission") so
+  /// critpath attribution sees the policy drop even though the request
+  /// never entered the fabric.
+  void tag_policy_marker(const char* tag);
   void on_cq_event();
   void handle_response(const rdma::Completion& c);
   void post_receives(TenantId tenant, int n);
@@ -137,6 +174,8 @@ class PalladiumIngress : public IngressFrontend {
   std::uint64_t retries_ = 0;
   std::uint64_t timeouts_ = 0;
   std::uint64_t bad_gateway_ = 0;
+  std::uint64_t shed_admission_ = 0;
+  std::uint64_t deadline_expired_ = 0;
   std::uint64_t scale_events_ = 0;
   bool setup_done_ = false;
 

@@ -19,6 +19,7 @@ const char* to_string(HopClass cls) {
     case HopClass::kQueue: return "queue";
     case HopClass::kTransport: return "transport";
     case HopClass::kDma: return "dma";
+    case HopClass::kPolicy: return "policy";
   }
   return "?";
 }
@@ -27,6 +28,11 @@ HopClass classify_hop(std::string_view name) {
   if (name == "queue") return HopClass::kQueue;
   if (name == "fabric" || name == "retransmit") return HopClass::kTransport;
   if (name == "soc_dma") return HopClass::kDma;
+  // Deliberate control-plane drops: admission sheds and expired deadlines
+  // are policy, not faults — attribution must not lump them into service.
+  if (name == "shed_admission" || name == "deadline_expired") {
+    return HopClass::kPolicy;
+  }
   return HopClass::kService;
 }
 
@@ -199,7 +205,7 @@ std::string report_json(const CritPathReport& r) {
   }
   out += "],\n";
   out += "  \"class_ns\": {";
-  for (std::size_t c = 0; c < 4; ++c) {
+  for (std::size_t c = 0; c < 5; ++c) {
     if (c != 0) out += ", ";
     out += "\"" + std::string(to_string(static_cast<HopClass>(c))) +
            "\": " + std::to_string(r.class_ns[c]);

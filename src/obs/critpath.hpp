@@ -12,10 +12,11 @@
 // root, so this rule only matters for overlapping children — a "soc_dma"
 // staging copy begun mid engine-stage wins its overlap (later begin =
 // deeper/more specific work), which is exactly the on-path SoC-DMA share of
-// Fig. 11. Span names map onto four classes: "fabric" is transport,
+// Fig. 11. Span names map onto five classes: "fabric" is transport,
 // "soc_dma" is DMA, "retransmit" is transport (loss recovery), uncovered
-// time is queueing, everything else ("ingress", "engine_*", "fn:*") is
-// service.
+// time is queueing, "shed_admission" / "deadline_expired" are policy
+// (deliberate control-plane drops, distinct from faults), everything else
+// ("ingress", "engine_*", "fn:*") is service.
 #pragma once
 
 #include <cstdint>
@@ -29,7 +30,8 @@
 
 namespace pd::obs {
 
-enum class HopClass : std::uint8_t { kService, kQueue, kTransport, kDma };
+enum class HopClass : std::uint8_t { kService, kQueue, kTransport, kDma,
+                                     kPolicy };
 const char* to_string(HopClass cls);
 
 /// Name-based hop classification (see header comment for the table).
@@ -69,7 +71,7 @@ struct CritPathReport {
   std::int64_t p50_total_ns = 0;
   std::vector<PathSegment> q_breakdown;  ///< quantile request, time order
   std::map<std::string, HopAttribution> hops;
-  std::int64_t class_ns[4] = {0, 0, 0, 0};  ///< rollup indexed by HopClass
+  std::int64_t class_ns[5] = {0, 0, 0, 0, 0};  ///< rollup indexed by HopClass
   std::uint64_t retransmit_spans = 0;
 };
 

@@ -1,5 +1,6 @@
 #include "obs/slo.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/check.hpp"
@@ -61,8 +62,39 @@ void SloWatchdog::finish(sim::TimePoint) {
   }
 }
 
+void SloWatchdog::roll(sim::TimePoint now) {
+  for (Tracked& t : tracked_) {
+    if (t.window < 0) continue;  // no sample yet: nothing to evaluate
+    const auto idx = static_cast<std::int64_t>(now / t.spec.window_ns);
+    if (idx <= t.window) continue;
+    close_window(t);
+    // One or more whole windows elapsed with zero samples after the one we
+    // just closed: the burn signal decays to quiet, not to the stale value.
+    if (idx > t.window + 1) t.last_burn = 0.0;
+    t.window = idx;
+  }
+}
+
+double SloWatchdog::burn_of(std::string_view name) const {
+  for (const Tracked& t : tracked_) {
+    if (t.spec.name == name) return t.last_burn;
+  }
+  return 0.0;
+}
+
+double SloWatchdog::max_burn() const {
+  double burn = 0.0;
+  for (const Tracked& t : tracked_) burn = std::max(burn, t.last_burn);
+  return burn;
+}
+
 void SloWatchdog::close_window(Tracked& t) {
   if (t.requests == 0) {
+    // A whole window elapsed with zero samples: silence decays the burn
+    // signal to quiet rather than holding the last stale value (a
+    // controller polling at exactly the window period would otherwise
+    // never see the burn drop after load stops).
+    t.last_burn = 0.0;
     t.requests = t.violations = 0;
     return;
   }
@@ -88,6 +120,16 @@ void SloWatchdog::close_window(Tracked& t) {
     }
   }
   t.requests = t.violations = 0;
+}
+
+std::vector<SloWatchdog::SpecTotals> SloWatchdog::totals() const {
+  std::vector<SpecTotals> out;
+  out.reserve(tracked_.size());
+  for (const Tracked& t : tracked_) {
+    out.push_back(SpecTotals{t.spec.name, t.total_requests, t.total_violations,
+                             t.alerts_fired});
+  }
+  return out;
 }
 
 std::uint64_t SloWatchdog::total_requests() const {

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -62,6 +63,28 @@ class SloWatchdog {
 
   /// Close the trailing partial window. Call once after the run drains.
   void finish(sim::TimePoint now);
+
+  /// Roll every spec's window forward to `now` without recording a sample.
+  /// Controllers call this on their tick so burn rates stay fresh even when
+  /// a tenant stops completing requests (a stalled tenant would otherwise
+  /// freeze its last burn forever). A window that passed with no samples at
+  /// all decays the burn to 0 — silence is not an SLO violation.
+  void roll(sim::TimePoint now);
+
+  /// Most recent per-window burn rate of the named spec (0 when unknown).
+  [[nodiscard]] double burn_of(std::string_view name) const;
+  /// Max of burn_of over every spec — the "is anyone suffering" signal.
+  [[nodiscard]] double max_burn() const;
+
+  /// Per-spec lifetime totals, in registration order (structured form of
+  /// table() for report tooling).
+  struct SpecTotals {
+    std::string name;
+    std::uint64_t requests = 0;
+    std::uint64_t violations = 0;
+    std::uint64_t alerts = 0;
+  };
+  [[nodiscard]] std::vector<SpecTotals> totals() const;
 
   /// Alert events in evaluation order (deterministic).
   [[nodiscard]] const std::vector<SloAlert>& alerts() const { return alerts_; }

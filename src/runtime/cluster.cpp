@@ -549,6 +549,21 @@ FunctionInstance& Cluster::instance(FunctionId fn) {
   return *it->second;
 }
 
+void Cluster::provision_replicas(FunctionId fn, int extra) {
+  PD_CHECK(extra >= 0, "negative replica count");
+  WorkerNode& node = worker(placement_of(fn));
+  FunctionInstance& inst = instance(fn);
+  for (int i = 0; i < extra; ++i) inst.add_replica(node.assign_core());
+}
+
+std::vector<FunctionId> Cluster::deployed_functions() const {
+  std::vector<FunctionId> out;
+  out.reserve(instances_.size());
+  for (const auto& [fn, inst] : instances_) out.push_back(fn);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 bool Cluster::inject_request(FunctionId entry, NodeId node_id,
                              std::uint32_t chain_id, std::uint64_t request_id,
                              sim::Core* entry_core) {

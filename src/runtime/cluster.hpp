@@ -145,6 +145,15 @@ class Cluster {
   /// the coordinator's job on a deployment event).
   FunctionInstance& deploy(const FunctionSpec& spec, NodeId node);
 
+  /// Pre-provision `extra` replica cores for a deployed function on its
+  /// node (ISSUE 7). Replicas start inactive; the instance autoscaler (or
+  /// a direct set_active_replicas call) activates them.
+  void provision_replicas(FunctionId fn, int extra);
+
+  /// Ids of all deployed functions, sorted (deterministic iteration for
+  /// controllers attaching per-function state).
+  [[nodiscard]] std::vector<FunctionId> deployed_functions() const;
+
   /// Register a non-function entry point (ingress worker / load driver)
   /// so chains can route responses back to it.
   void register_entry(FunctionId entry, TenantId tenant, NodeId node,

@@ -1,5 +1,7 @@
 #include "runtime/function.hpp"
 
+#include <algorithm>
+
 #include "core/message.hpp"
 #include "core/trace_hooks.hpp"
 #include "sim/profile.hpp"
@@ -8,7 +10,20 @@ namespace pd::runtime {
 
 FunctionInstance::FunctionInstance(WorkerNode& node, FunctionSpec spec,
                                    sim::Core& core)
-    : node_(node), spec_(std::move(spec)), core_(core) {}
+    : node_(node), spec_(std::move(spec)), core_(core) {
+  replicas_.push_back(&core_);
+}
+
+void FunctionInstance::add_replica(sim::Core& core) {
+  for (sim::Core* c : replicas_) {
+    PD_CHECK(c != &core, "replica core added twice");
+  }
+  replicas_.push_back(&core);
+}
+
+void FunctionInstance::set_active_replicas(std::size_t n) {
+  active_ = std::min(std::max<std::size_t>(n, 1), replicas_.size());
+}
 
 void FunctionInstance::on_message(const mem::BufferDescriptor& d) {
   ++invocations_;
@@ -69,9 +84,18 @@ void FunctionInstance::on_message(const mem::BufferDescriptor& d) {
   const sim::Duration compute =
       node_.cluster().jittered(node_.id(), hop.compute_ns);
   compute_total_ += compute;
+  // Round-robin over the active replicas: deterministic (cursor state lives
+  // on this instance, all deliveries arrive on the owning shard) and enough
+  // to spread a hot function's compute once the autoscaler widens it.
+  sim::Core& exec = *replicas_[rr_ % active_];
+  ++rr_;
+  ++inflight_;
   sim::ProfileScope scope{"fn", spec_.name, spec_.tenant.value()};
-  core_.submit(compute + node_.cluster().send_cost(node_.id(), next_dst),
-               [this, d] { advance_chain(d); });
+  exec.submit(compute + node_.cluster().send_cost(node_.id(), next_dst),
+              [this, d] {
+                --inflight_;
+                advance_chain(d);
+              });
 }
 
 void FunctionInstance::advance_chain(const mem::BufferDescriptor& d) {

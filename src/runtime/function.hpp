@@ -1,7 +1,14 @@
 // The function runtime: executes application compute per hop and uses the
 // unified I/O library (send/recv, §3.5) to advance the chain without the
 // user code ever choosing a transport.
+//
+// ISSUE 7: an instance can hold pre-provisioned replica cores
+// (Cluster::provision_replicas) and vary how many are active; compute jobs
+// round-robin across the active replicas, which is what the per-function
+// instance autoscaler actuates on its node's SLO/backlog signals.
 #pragma once
+
+#include <vector>
 
 #include "mem/descriptor.hpp"
 #include "runtime/cluster.hpp"
@@ -15,6 +22,24 @@ class FunctionInstance {
   /// Message delivery entry point (wired into the data plane and the local
   /// sockmap by Cluster::deploy). The instance owns the buffer on entry.
   void on_message(const mem::BufferDescriptor& d);
+
+  // --- replicas (instance autoscaling) -------------------------------------
+
+  /// Pre-provision another core this function may scale onto. New replicas
+  /// start inactive; set_active_replicas widens the dispatch set.
+  void add_replica(sim::Core& core);
+  /// Activate the first `n` provisioned replicas (clamped to
+  /// [1, replica_capacity()]). Shrinking never cancels queued jobs — work
+  /// already dispatched to a deactivated replica completes there.
+  void set_active_replicas(std::size_t n);
+  [[nodiscard]] std::size_t active_replicas() const { return active_; }
+  [[nodiscard]] std::size_t replica_capacity() const {
+    return replicas_.size();
+  }
+  /// Compute jobs accepted but not yet executed (queued + running across
+  /// all replicas) — the instance autoscaler's backlog signal. Reads only
+  /// this instance's own counter, so it is safe from the owning shard.
+  [[nodiscard]] std::uint64_t pending_jobs() const { return inflight_; }
 
   [[nodiscard]] const FunctionSpec& spec() const { return spec_; }
   [[nodiscard]] sim::Core& core() { return core_; }
@@ -36,6 +61,11 @@ class FunctionInstance {
   WorkerNode& node_;
   FunctionSpec spec_;
   sim::Core& core_;
+  /// Dispatchable cores; replicas_[0] is the primary (== &core_).
+  std::vector<sim::Core*> replicas_;
+  std::size_t active_ = 1;
+  std::size_t rr_ = 0;          ///< round-robin cursor over active replicas
+  std::uint64_t inflight_ = 0;  ///< accepted-not-yet-executed compute jobs
   std::uint64_t invocations_ = 0;
   std::uint64_t errors_received_ = 0;
   sim::Duration compute_total_ = 0;

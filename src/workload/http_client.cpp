@@ -1,5 +1,7 @@
 #include "workload/http_client.hpp"
 
+#include <algorithm>
+
 namespace pd::workload {
 namespace {
 constexpr sim::Duration kSeriesBucket = 1'000'000'000;  // 1 s
@@ -31,9 +33,31 @@ void HttpLoadGen::add_clients(int n) {
   }
 }
 
+void HttpLoadGen::set_active_clients(int n) {
+  PD_CHECK(n >= 0, "negative active-client count");
+  const std::size_t prev = std::min(active_, clients_.size());
+  active_ = static_cast<std::size_t>(n);
+  // Wake clients re-entering the active set; they parked with no request
+  // in flight, so re-issuing here starts exactly one loop each.
+  const std::size_t until = std::min(active_, clients_.size());
+  for (std::size_t i = prev; i < until; ++i) {
+    if (!clients_[i].parked) continue;
+    clients_[i].parked = false;
+    send_request(static_cast<int>(i));
+  }
+}
+
+int HttpLoadGen::active_clients() const {
+  return static_cast<int>(std::min(active_, clients_.size()));
+}
+
 void HttpLoadGen::send_request(int idx) {
   if (!running_) return;
   Client& c = clients_[static_cast<std::size_t>(idx)];
+  if (static_cast<std::size_t>(idx) >= active_) {
+    c.parked = true;  // load step: pause this loop until re-activated
+    return;
+  }
   proto::HttpRequest req;
   req.method = "POST";
   req.target = config_.target;
@@ -52,6 +76,11 @@ void HttpLoadGen::on_response(int idx, std::string_view bytes) {
            "client received malformed response");
   if (parser.message().status != 200) {
     ++errors_;
+    if (config_.error_backoff > 0) {
+      sched_.schedule_after(config_.error_backoff,
+                            [this, idx] { send_request(idx); });
+      return;
+    }
   } else {
     latencies_.record(sched_.now() - c.sent_at);
     completions_.increment(sched_.now());

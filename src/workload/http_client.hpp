@@ -22,6 +22,11 @@ class HttpLoadGen {
     /// Cores available to client processes (wrk saturates one per client
     /// in Fig. 14; several clients can share a core otherwise).
     int client_cores = 4;
+    /// Pause before re-issuing after a non-200 response (0 = immediately,
+    /// the pre-overload behaviour). Overload scenarios set this so a tenant
+    /// being shed at the gateway retries at a bounded rate instead of
+    /// busy-looping at TCP round-trip speed.
+    sim::Duration error_backoff = 0;
   };
 
   HttpLoadGen(sim::Scheduler& sched, ingress::IngressFrontend& ingress,
@@ -31,6 +36,15 @@ class HttpLoadGen {
   void add_clients(int n);
   /// Stop issuing new requests.
   void stop() { running_ = false; }
+
+  /// Step the offered load without attaching/detaching connections: only
+  /// the first `n` clients keep their closed loops running; the rest park
+  /// at their next turn (their in-flight request still completes, so the
+  /// zero-loss invariant holds through every step). Raising `n` re-issues
+  /// the parked clients' loops immediately. Drives the flash-crowd and
+  /// diurnal overload scenarios.
+  void set_active_clients(int n);
+  [[nodiscard]] int active_clients() const;
 
   [[nodiscard]] sim::LatencyHistogram& latencies() { return latencies_; }
   [[nodiscard]] sim::TimeSeries& completions() { return completions_; }
@@ -47,6 +61,7 @@ class HttpLoadGen {
   struct Client {
     int conn = -1;
     sim::TimePoint sent_at = 0;
+    bool parked = false;  ///< loop paused by set_active_clients
   };
 
   void send_request(int idx);
@@ -58,6 +73,8 @@ class HttpLoadGen {
   std::unique_ptr<sim::CoreSet> cores_;
   std::vector<Client> clients_;
   bool running_ = true;
+  /// Clients with running loops (indices < active_); SIZE_MAX = all.
+  std::size_t active_ = static_cast<std::size_t>(-1);
   sim::LatencyHistogram latencies_;
   sim::TimeSeries completions_;
   std::uint64_t sent_ = 0;

@@ -283,5 +283,69 @@ TEST_F(EngineTest, EngineRejectsUnknownTenantTraffic) {
   EXPECT_THROW(sched.run(), CheckFailure);  // ingest rejects tenant 9
 }
 
+TEST_F(EngineTest, TenantAdmissionGateShedsExplicitlyAndRecovers) {
+  EngineConfig cfg;
+  cfg.tenant_admission = true;
+  cfg.max_unacked = 4;  // single tenant -> credit cap of 4
+  cfg.min_tenant_credits = 2;
+  build(cfg);
+  for (int i = 0; i < 16; ++i) send_one();
+  sched.run();
+  // The burst exceeds the tenant's credit slice: the overflow is shed with
+  // explicit error completions back to the submitter — never silently.
+  EXPECT_GT(eng1->counters().shed_admission, 0u);
+  EXPECT_EQ(eng1->counters().shed_admission, eng1->counters().requests_shed);
+  EXPECT_EQ(dst_got.size() + src_got.size(), 16u);
+  for (const auto& d : src_got) {
+    auto& pool = mem1.by_tenant(kTenant).pool();
+    EXPECT_TRUE(read_header(pool.access(d, mem::actor_function(kSrcFn)))
+                    .is_error());
+    pool.release(d, mem::actor_function(kSrcFn));
+  }
+  // Recovery: once the window drains, fresh sends are admitted again.
+  const auto shed_before = eng1->counters().shed_admission;
+  for (int i = 0; i < 4; ++i) {
+    send_one();
+    sched.run();
+  }
+  EXPECT_EQ(eng1->counters().shed_admission, shed_before);
+  EXPECT_EQ(dst_got.size() + src_got.size(), 20u);
+}
+
+TEST_F(EngineTest, RemoveTenantDrainsBacklogAsExplicitErrors) {
+  EngineConfig cfg;
+  // A slow TX stage lets ingest race ahead, so the burst piles up in the
+  // DWRR; the long retransmit timeout keeps recovery machinery out of the
+  // picture (tx_msgs then counts unique transmissions).
+  cfg.extra_per_msg_ns = 50'000;
+  cfg.retransmit_timeout = 50'000'000;
+  build(cfg);
+  for (int i = 0; i < 8; ++i) send_one();
+  // Step the clock until the whole burst has been ingested (everything is
+  // either queued or already transmitted) while a backlog still sits in
+  // the DWRR. Removing the tenant before ingest completes is a caller
+  // error by contract, so the test has to find this window explicitly.
+  bool found = false;
+  for (int i = 0; i < 100'000; ++i) {
+    const std::size_t queued = eng1->queued_for(kTenant);
+    if (queued > 0 && eng1->counters().tx_msgs + queued == 8) {
+      found = true;
+      break;
+    }
+    sched.run_until(sched.now() + 500);
+  }
+  ASSERT_TRUE(found) << "burst never formed a DWRR backlog";
+  // Tear the tenant down mid-backlog: everything still queued at the DWRR
+  // must come back as an explicit error completion, and in-flight messages
+  // must not trip credit accounting for the now-unknown tenant.
+  const std::size_t drained = eng1->remove_tenant(kTenant);
+  sched.run();
+  EXPECT_GT(drained, 0u);
+  EXPECT_EQ(eng1->counters().error_completions, drained);
+  EXPECT_EQ(src_got.size(), drained);
+  EXPECT_EQ(dst_got.size() + src_got.size(), 8u);
+  EXPECT_FALSE(eng1->has_tenant(kTenant));
+}
+
 }  // namespace
 }  // namespace pd::core

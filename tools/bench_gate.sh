@@ -73,4 +73,17 @@ if [ -x build/tools/report_diff ]; then
   build/tools/report_diff --only sim_ --only events_per_request --rel 0.01 \
     "$LOCAL" "$CURRENT" || rc=1
 fi
+
+# Overload-actuation gate (DESIGN.md §13): the scenario sweep is pure
+# simulated time, so its per-tenant SLO tables are exactly reproducible on
+# any machine. Drift from the committed golden means the control loop's
+# behavior changed — which a performance PR must never do silently.
+OVERLOAD=build/bench/overload_scenarios
+if [ -x "$OVERLOAD" ] && [ -f tools/golden/overload_slo.json ] \
+   && [ -x build/tools/report_diff ]; then
+  "$OVERLOAD" --scenario all --control both --seconds 2 --threads 1 \
+    --json build/overload_current.json > /dev/null || rc=1
+  build/tools/report_diff tools/golden/overload_slo.json \
+    build/overload_current.json || rc=1
+fi
 exit $rc

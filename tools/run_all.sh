@@ -17,6 +17,14 @@
 #                            and smoke the parallel epoch-barrier loop (the
 #                            pdes determinism suite + a threaded perf_gate
 #                            smoke) under ThreadSanitizer
+#   tools/run_all.sh overload  build, run the overload-labeled ctest suite
+#                            (admission/autoscaler units + the scenario
+#                            acceptance tests), then sweep all four overload
+#                            scenarios (control off AND on) at --threads
+#                            1/2/4 into overload_report/; fails if the
+#                            per-tenant SLO artifacts differ across thread
+#                            counts, drift from the committed golden, or if
+#                            report_diff passes a perturbed artifact
 #   tools/run_all.sh obs     build, run the obs-report + obs-ts ctest labels,
 #                            then an observability boutique sweep: critical-
 #                            path + flamegraph + SLO + flight-recorder
@@ -60,6 +68,45 @@ if [ "$1" = "tsan" ]; then
   TSAN_OPTIONS=halt_on_error=1 \
     ./build-tsan/bench/perf_gate --smoke --threads 2 > /dev/null
   echo "tsan smoke passed: parallel epoch loop is data-race-clean"
+  exit 0
+fi
+
+if [ "$1" = "overload" ]; then
+  cmake -B build -G Ninja
+  cmake --build build
+  ctest --test-dir build -L overload --output-on-failure 2>&1 \
+    | tee overload_output.txt
+  rm -rf overload_report && mkdir -p overload_report
+  # One full scenario sweep (flash_crowd, noisy_neighbor, diurnal, chaos_2x;
+  # control off then on) per worker-thread count. The bench exits non-zero
+  # if any run loses a request silently.
+  for t in 1 2 4; do
+    echo "=== overload_scenarios --threads $t (all scenarios, off+on) ==="
+    ./build/bench/overload_scenarios --scenario all --control both \
+      --seconds 2 --threads "$t" --json "overload_report/t$t.json" \
+      | tail -12
+  done 2>&1 | tee -a overload_output.txt
+  # Determinism gate: the per-tenant SLO tables must be byte-identical for
+  # every thread count.
+  cmp overload_report/t1.json overload_report/t2.json
+  cmp overload_report/t1.json overload_report/t4.json
+  echo "overload_report/t*.json identical across --threads 1/2/4" \
+    | tee -a overload_output.txt
+  # Run-diff gate: the artifact is fully deterministic (simulated time
+  # only), so any drift from the committed golden means control-loop
+  # behavior changed and the golden must be re-recorded deliberately.
+  ./build/tools/report_diff tools/golden/overload_slo.json \
+    overload_report/t1.json 2>&1 | tee -a overload_output.txt
+  # ...and report_diff itself must fail loudly on a perturbed artifact.
+  sed 's/"shed_admission": /"shed_admission": 9/' overload_report/t1.json \
+    > overload_report/perturbed.json
+  if ./build/tools/report_diff --quiet overload_report/t1.json \
+      overload_report/perturbed.json; then
+    echo "overload sweep FAILED: report_diff passed a perturbed artifact" >&2
+    exit 1
+  fi
+  echo "report_diff: perturbed artifact rejected (as it must be)"
+  echo "overload sweep passed: explicit shedding, SLOs held, deterministic"
   exit 0
 fi
 
