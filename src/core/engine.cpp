@@ -360,6 +360,9 @@ void NetworkEngine::rx_iteration() {
   sim::ProfileScope scope{"engine", "rx"};
   engine_core_.submit(work, [this] {
     for (const auto& c : rx_scratch_) {
+      // One-sided completions first: handle_send_done would recycle their
+      // (foreign) wr_ids as orphaned send buffers.
+      if (!c.is_recv && onesided_ && onesided_(c)) continue;
       if (c.is_recv) {
         handle_recv(c);
       } else {

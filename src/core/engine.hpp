@@ -212,6 +212,16 @@ class NetworkEngine : public DataPlane {
     return mem::actor_engine(rnic_.node());
   }
 
+  /// Interception hook for one-sided completions (READ/CAS/FAA and the
+  /// store client's tagged WRITEs). The engine is the sole CQ consumer on a
+  /// cluster node, and handle_send_done treats unknown wr_ids as orphaned
+  /// send buffers to recycle — so a one-sided user on the same node MUST
+  /// claim its completions here. Return true to consume the completion.
+  using OneSidedHandler = std::function<bool(const rdma::Completion&)>;
+  void set_onesided_handler(OneSidedHandler handler) {
+    onesided_ = std::move(handler);
+  }
+
  private:
   struct TenantState {
     std::uint32_t weight = 1;
@@ -315,6 +325,7 @@ class NetworkEngine : public DataPlane {
   /// RX poll scratch, reused across iterations (only one RX batch is in
   /// flight at a time — see rx_busy_).
   std::vector<rdma::Completion> rx_scratch_;
+  OneSidedHandler onesided_;
   std::uint64_t next_wr_id_ = 1;
   EngineCounters counters_;
 

@@ -288,6 +288,12 @@ void OwdlEchoPeer::start(rdma::QueuePair& tx_qp, int slots) {
 
 void OwdlEchoPeer::on_cq_event() { drain_cq(); }
 
+void OwdlEchoPeer::insert_waiter(
+    std::uint64_t id, std::function<void(std::uint64_t found)> fn) {
+  PD_CHECK(completion_waiters_.emplace(id, std::move(fn)).second,
+           "wr_id " << id << " reused while its waiter is still parked");
+}
+
 void OwdlEchoPeer::drain_cq() {
   // Each harvested completion (lock grant, write done, unlock ack) costs
   // the engine core CQ-polling work — three WRs per transfer instead of
@@ -319,9 +325,9 @@ void OwdlEchoPeer::acquire_lock_then_write(std::uint32_t slot_index,
                                            std::uint64_t request_id,
                                            std::uint32_t payload_len,
                                            bool response) {
-  const std::uint64_t cas_id = next_cas_++;
-  completion_waiters_[cas_id] = [this, slot_index, request_id, payload_len,
-                                 response](std::uint64_t found) {
+  const std::uint64_t cas_id = owdl_cas_wr_id(next_cas_++);
+  insert_waiter(cas_id, [this, slot_index, request_id, payload_len,
+                         response](std::uint64_t found) {
     if (found == 0) {
       write_and_unlock(slot_index, request_id, payload_len, response);
       return;
@@ -332,7 +338,7 @@ void OwdlEchoPeer::acquire_lock_then_write(std::uint32_t slot_index,
                             acquire_lock_then_write(slot_index, request_id,
                                                     payload_len, response);
                           });
-  };
+  });
   core_.submit(cost::kDneTxStageNs / 2, [this, cas_id, slot_index] {
     rdma::WorkRequest wr;
     wr.wr_id = cas_id;
@@ -357,16 +363,16 @@ void OwdlEchoPeer::write_and_unlock(std::uint32_t slot_index,
   const auto sized =
       upool_->resize(*d, peer_actor(rnic_), message_bytes(payload_len));
 
-  const std::uint64_t write_id = kWriteIdBase + next_cas_++;
-  completion_waiters_[write_id] = [this, sized, slot_index](std::uint64_t) {
+  const std::uint64_t write_id = owdl_write_wr_id(next_write_++);
+  insert_waiter(write_id, [this, sized, slot_index](std::uint64_t) {
     // Write is on the wire: recycle the source buffer and release the lock
     // (RC ordering guarantees the unlock lands after the payload).
     upool_->transfer(sized, mem::actor_rnic(rnic_.node()), peer_actor(rnic_));
     upool_->release(sized, peer_actor(rnic_));
-    const std::uint64_t unlock_id = next_cas_++;
-    completion_waiters_[unlock_id] = [](std::uint64_t found) {
+    const std::uint64_t unlock_id = owdl_unlock_wr_id(next_unlock_++);
+    insert_waiter(unlock_id, [](std::uint64_t found) {
       PD_CHECK(found == 1, "unlock found lock not held");
-    };
+    });
     core_.submit(cost::kDneTxStageNs / 2, [this, slot_index, unlock_id] {
       rdma::WorkRequest unlock;
       unlock.wr_id = unlock_id;
@@ -376,7 +382,7 @@ void OwdlEchoPeer::write_and_unlock(std::uint32_t slot_index,
       unlock.atomic_desired = 0;
       tx_qp_->post_send(unlock);
     });
-  };
+  });
 
   core_.submit(cost::kDneSchedNs + cost::kDneTxStageNs, [this, sized,
                                                          slot_index,

@@ -31,6 +31,21 @@ namespace pd::core {
 /// RTT callback for client-side request completion.
 using EchoDone = std::function<void(sim::Duration rtt)>;
 
+/// wr_id spaces for OWDL's three WR kinds, tagged in the top bits so a lock
+/// CAS can never alias a data write (or an unlock) in the waiter map no
+/// matter how long the run. The pre-fix scheme drew every id from one
+/// counter with a flat 1e9 offset for writes, so a raw cas_id eventually
+/// collided with `offset + k` and silently invoked the wrong waiter.
+constexpr std::uint64_t owdl_cas_wr_id(std::uint64_t n) {
+  return (1ULL << 62) | n;
+}
+constexpr std::uint64_t owdl_write_wr_id(std::uint64_t n) {
+  return (2ULL << 62) | n;
+}
+constexpr std::uint64_t owdl_unlock_wr_id(std::uint64_t n) {
+  return (3ULL << 62) | n;
+}
+
 // ---------------------------------------------------------------------------
 // Two-sided (Palladium)
 // ---------------------------------------------------------------------------
@@ -148,6 +163,10 @@ class OwdlEchoPeer {
 
   void on_cq_event();
   void drain_cq();
+  /// Park `fn` for wr_id `id`, checking the key is fresh — a reused id
+  /// would silently clobber (or race) another in-flight continuation.
+  void insert_waiter(std::uint64_t id,
+                     std::function<void(std::uint64_t found)> fn);
   void on_write_arrival(const mem::BufferDescriptor& slot, std::uint32_t len);
   void await_unlock(const mem::BufferDescriptor& slot, std::uint32_t len);
   void process_arrival(const mem::BufferDescriptor& slot, std::uint32_t len);
@@ -175,6 +194,8 @@ class OwdlEchoPeer {
       completion_waiters_;
   std::uint64_t next_id_ = 1;
   std::uint64_t next_cas_ = 1;
+  std::uint64_t next_write_ = 1;
+  std::uint64_t next_unlock_ = 1;
   std::uint64_t echoes_ = 0;
   std::uint64_t lock_retries_ = 0;
 };

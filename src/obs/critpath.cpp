@@ -20,6 +20,7 @@ const char* to_string(HopClass cls) {
     case HopClass::kTransport: return "transport";
     case HopClass::kDma: return "dma";
     case HopClass::kPolicy: return "policy";
+    case HopClass::kRdma: return "rdma";
   }
   return "?";
 }
@@ -28,6 +29,12 @@ HopClass classify_hop(std::string_view name) {
   if (name == "queue") return HopClass::kQueue;
   if (name == "fabric" || name == "retransmit") return HopClass::kTransport;
   if (name == "soc_dma") return HopClass::kDma;
+  // One-sided store ops: remote bytes fetched/updated by NIC DMA with no
+  // remote CPU — a class of their own so the ablation can see the shift
+  // from service+transport time into pure rdma time.
+  if (name == "rdma_read" || name == "rdma_cas" || name == "rdma_denied") {
+    return HopClass::kRdma;
+  }
   // Deliberate control-plane drops: admission sheds and expired deadlines
   // are policy, not faults — attribution must not lump them into service.
   if (name == "shed_admission" || name == "deadline_expired") {
@@ -205,7 +212,7 @@ std::string report_json(const CritPathReport& r) {
   }
   out += "],\n";
   out += "  \"class_ns\": {";
-  for (std::size_t c = 0; c < 5; ++c) {
+  for (std::size_t c = 0; c < 6; ++c) {
     if (c != 0) out += ", ";
     out += "\"" + std::string(to_string(static_cast<HopClass>(c))) +
            "\": " + std::to_string(r.class_ns[c]);

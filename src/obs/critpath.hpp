@@ -31,7 +31,7 @@
 namespace pd::obs {
 
 enum class HopClass : std::uint8_t { kService, kQueue, kTransport, kDma,
-                                     kPolicy };
+                                     kPolicy, kRdma };
 const char* to_string(HopClass cls);
 
 /// Name-based hop classification (see header comment for the table).
@@ -71,7 +71,7 @@ struct CritPathReport {
   std::int64_t p50_total_ns = 0;
   std::vector<PathSegment> q_breakdown;  ///< quantile request, time order
   std::map<std::string, HopAttribution> hops;
-  std::int64_t class_ns[5] = {0, 0, 0, 0, 0};  ///< rollup indexed by HopClass
+  std::int64_t class_ns[6] = {0, 0, 0, 0, 0, 0};  ///< rollup by HopClass
   std::uint64_t retransmit_spans = 0;
 };
 

@@ -178,6 +178,12 @@ inline constexpr Duration kOneSidedPollWorkNs = 300;
 inline constexpr Duration kRdmaAtomicExtraNs = 600;
 /// Lock retry backoff when a distributed lock is contended.
 inline constexpr Duration kLockRetryBackoffNs = 2'000;
+/// Posting a one-sided WR from the function runtime into the store client
+/// (descriptor packing + doorbell; replaces the full RPC send path).
+inline constexpr Duration kStorePostNs = 400;
+/// Decoding a fetched cart record back into the chain's working payload
+/// after the READ response lands.
+inline constexpr Duration kStoreDecodeNs = 900;
 
 // --------------------------------------------------------------------------
 // Serverless runtime

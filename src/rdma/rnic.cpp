@@ -23,7 +23,17 @@ const char* to_string(Opcode op) {
   switch (op) {
     case Opcode::kSend: return "SEND";
     case Opcode::kWrite: return "WRITE";
+    case Opcode::kRead: return "READ";
     case Opcode::kCompareSwap: return "CAS";
+    case Opcode::kFetchAdd: return "FAA";
+  }
+  return "?";
+}
+
+const char* to_string(CompletionStatus s) {
+  switch (s) {
+    case CompletionStatus::kSuccess: return "success";
+    case CompletionStatus::kRemoteAccessError: return "remote-access-error";
   }
   return "?";
 }
@@ -242,19 +252,27 @@ Rnic::~Rnic() { net_.unregister_rnic(node_); }
 // (see MemoryDomain::create_pool), so registered_ is indexed by the dense
 // low-half counter only — indexing by the full value would allocate
 // node.value()*64KiB of flag bytes per RNIC for nothing.
-void Rnic::register_memory(PoolId pool) {
+void Rnic::register_memory(PoolId pool, std::uint8_t access) {
   auto& tm = host_mem_.by_pool(pool);
   PD_CHECK(tm.exported_to_rdma(),
            "pool " << pool << " not exported for RDMA before registration");
+  PD_CHECK(access != 0, "MR registration needs at least one access flag");
   const std::uint32_t idx = (pool.value() & 0xffff) - 1;
   if (registered_.size() <= idx) registered_.resize(idx + 1);
-  registered_[idx] = 1;
+  registered_[idx] = static_cast<char>(access);
 }
 
 bool Rnic::memory_registered(PoolId pool) const {
   if ((pool.value() >> 16) != node_.value()) return false;
   const std::uint32_t idx = (pool.value() & 0xffff) - 1;
   return idx < registered_.size() && registered_[idx] != 0;
+}
+
+std::uint8_t Rnic::mr_access(PoolId pool) const {
+  if ((pool.value() >> 16) != node_.value()) return 0;
+  const std::uint32_t idx = (pool.value() & 0xffff) - 1;
+  return idx < registered_.size() ? static_cast<std::uint8_t>(registered_[idx])
+                                  : 0;
 }
 
 QueuePair& Rnic::create_qp(TenantId tenant) {
@@ -362,14 +380,15 @@ void Rnic::set_write_monitor(PoolId pool, WriteMonitor monitor) {
   write_monitors_[pool] = std::move(monitor);
 }
 
-void Rnic::set_atomic_word(std::uint64_t addr, std::uint64_t value) {
-  atomic_words_[addr] = value;
+void Rnic::set_atomic_word(std::uint64_t addr, std::uint64_t value,
+                           PoolId guard) {
+  atomic_words_[addr] = AtomicWord{value, guard};
 }
 
 std::uint64_t Rnic::atomic_word(std::uint64_t addr) const {
   auto it = atomic_words_.find(addr);
   PD_CHECK(it != atomic_words_.end(), "unknown atomic word " << addr);
-  return it->second;
+  return it->second.value;
 }
 
 sim::Duration Rnic::wr_overhead() {
@@ -385,12 +404,32 @@ void Rnic::execute(QueuePair& qp, const WorkRequest& wr) {
   PD_CHECK(qp.remote_node_.valid(), "QP has no remote peer");
   const NodeId dest = qp.remote_node_;
 
-  if (wr.opcode == Opcode::kCompareSwap) {
-    ++counters_.atomics;
+  if (wr.opcode == Opcode::kCompareSwap || wr.opcode == Opcode::kFetchAdd) {
+    if (wr.opcode == Opcode::kCompareSwap) {
+      ++counters_.atomics;
+    } else {
+      ++counters_.fetch_adds;
+    }
     const sim::Duration local = wr_overhead();
     sched_.schedule_after(local, [this, dest, from_qp = qp.id_, wr] {
       net_.fabric().send(node_, dest, kAtomicWireBytes, [this, dest, from_qp, wr] {
-        net_.rnic(dest).arrive_cas(node_, from_qp, wr);
+        net_.rnic(dest).arrive_atomic(node_, from_qp, wr);
+      });
+    });
+    return;
+  }
+
+  if (wr.opcode == Opcode::kRead) {
+    // One-sided READ: a small request frame travels out; the payload comes
+    // back by NIC-to-NIC DMA. The landing buffer must be a registered local
+    // MR the posting engine handed to this RNIC.
+    PD_CHECK(memory_registered(wr.local.pool),
+             "READ lands in unregistered pool " << wr.local.pool);
+    ++counters_.reads;
+    const sim::Duration local = wr_overhead();
+    sched_.schedule_after(local, [this, dest, from_qp = qp.id_, wr] {
+      net_.fabric().send(node_, dest, kAtomicWireBytes, [this, dest, from_qp, wr] {
+        net_.rnic(dest).arrive_read(node_, from_qp, wr);
       });
     });
     return;
@@ -450,13 +489,14 @@ void Rnic::execute(QueuePair& qp, const WorkRequest& wr) {
 
     net_.fabric().send(
         node_, dest, len,
-        [this, dest, remote_qp = qp.remote_qp_, tenant = qp.tenant_, wr, len,
+        [this, dest, from_qp = qp.id_, remote_qp = qp.remote_qp_,
+         tenant = qp.tenant_, wr, len,
          payload = std::move(payload)]() mutable {
           Rnic& peer = net_.rnic(dest);
           if (wr.opcode == Opcode::kSend) {
             peer.arrive_send(remote_qp, tenant, len, std::move(payload));
           } else {
-            peer.arrive_write(wr, len, std::move(payload));
+            peer.arrive_write(node_, from_qp, wr, len, std::move(payload));
           }
         });
   });
@@ -524,10 +564,24 @@ void Rnic::deliver_into(mem::BufferDescriptor buffer, QpId dest_qp,
   });
 }
 
-void Rnic::arrive_write(const WorkRequest& wr, std::uint32_t len,
-                        std::vector<std::byte> payload) {
+void Rnic::arrive_write(NodeId from, QpId from_qp, const WorkRequest& wr,
+                        std::uint32_t len, std::vector<std::byte> payload) {
   // One-sided: land directly in the addressed slot; no SRQ, no CQE on this
-  // side. The remote CPU is never involved — and never consulted.
+  // side. The remote CPU is never involved — and never consulted. The NIC
+  // does check the rkey: an MR that never granted remote WRITE NAKs the
+  // frame back to the initiator instead of DMA-ing it (satellite of ISSUE 8
+  // — this used to be unchecked).
+  if ((mr_access(wr.remote_pool) & kMrRemoteWrite) == 0) {
+    ++counters_.access_errors;
+    sched_.schedule_after(cost::kRnicPerWrNs, [this, from, from_qp, wr] {
+      net_.fabric().send(node_, from, kAtomicWireBytes, [this, from, from_qp, wr] {
+        // The initiator already saw its NIC-exit CQE (outstanding_ slot
+        // freed there), so the late NAK raises a pure error CQE.
+        net_.rnic(from).complete_error(from_qp, wr, /*outstanding=*/false);
+      });
+    });
+    return;
+  }
   auto& pool = host_mem_.by_pool(wr.remote_pool).pool();
   mem::BufferDescriptor target{wr.remote_pool, wr.remote_index, len,
                                pool.tenant()};
@@ -544,12 +598,128 @@ void Rnic::arrive_write(const WorkRequest& wr, std::uint32_t len,
   });
 }
 
-void Rnic::arrive_cas(NodeId from, QpId from_qp, WorkRequest wr) {
+void Rnic::arrive_read(NodeId from, QpId from_qp, WorkRequest wr) {
+  // One-sided READ at the target NIC: pure DMA out of the slab, zero remote
+  // CPU. The permission check is the NIC's rkey validation.
+  if ((mr_access(wr.remote_pool) & kMrRemoteRead) == 0) {
+    ++counters_.access_errors;
+    sched_.schedule_after(cost::kRnicPerWrNs, [this, from, from_qp, wr] {
+      net_.fabric().send(node_, from, kAtomicWireBytes, [this, from, from_qp, wr] {
+        net_.rnic(from).complete_error(from_qp, wr, /*outstanding=*/true);
+      });
+    });
+    return;
+  }
+  auto& pool = host_mem_.by_pool(wr.remote_pool).pool();
+  mem::BufferDescriptor source{wr.remote_pool, wr.remote_index, 0,
+                               pool.tenant()};
+  auto span = pool.access(source, mem::actor_rnic(node_));
+  const std::uint32_t len =
+      wr.read_len == 0 ? static_cast<std::uint32_t>(span.size()) : wr.read_len;
+  if (len > span.size()) {
+    // Out-of-bounds fetch is the same hardware NAK as a permission miss.
+    ++counters_.access_errors;
+    sched_.schedule_after(cost::kRnicPerWrNs, [this, from, from_qp, wr] {
+      net_.fabric().send(node_, from, kAtomicWireBytes, [this, from, from_qp, wr] {
+        net_.rnic(from).complete_error(from_qp, wr, /*outstanding=*/true);
+      });
+    });
+    return;
+  }
+  std::vector<std::byte> payload(span.begin(), span.begin() + len);
+  counters_.payload_bytes += len;
+
+  // NIC processing + DMA read of the slab bytes, then the response frame
+  // carries the payload back to the initiator.
+  const sim::Duration ns =
+      cost::kRnicPerWrNs +
+      static_cast<sim::Duration>(static_cast<double>(len) * cost::kRnicPerByteNs);
+  sched_.schedule_after(ns, [this, from, from_qp, wr, len,
+                             payload = std::move(payload)]() mutable {
+    net_.fabric().send(node_, from, len,
+                       [this, from, from_qp, wr,
+                        payload = std::move(payload)]() mutable {
+                         net_.rnic(from).complete_read(from_qp, wr,
+                                                       std::move(payload));
+                       });
+  });
+}
+
+void Rnic::complete_read(QpId qp_id, const WorkRequest& wr,
+                         std::vector<std::byte> payload) {
+  // Response landed at the initiator: DMA into the posted landing buffer,
+  // then raise the (only) CQE for this WR.
+  auto& pool = host_mem_.by_pool(wr.local.pool).pool();
+  auto span = pool.access(wr.local, mem::actor_rnic(node_));
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  PD_CHECK(len <= span.size(), "READ response larger than landing buffer");
+  std::memcpy(span.data(), payload.data(), len);
+  const mem::BufferDescriptor sized =
+      pool.resize(wr.local, mem::actor_rnic(node_), len);
+
+  const sim::Duration ns =
+      cost::kRnicPerWrNs +
+      static_cast<sim::Duration>(static_cast<double>(len) * cost::kRnicPerByteNs) +
+      cost::kRnicCqeNs;
+  sched_.schedule_after(ns, [this, qp_id, wr, sized, len] {
+    QueuePair& q = qp(qp_id);
+    --q.outstanding_;
+    Completion c;
+    c.wr_id = wr.wr_id;
+    c.opcode = Opcode::kRead;
+    c.is_recv = false;
+    c.qp = qp_id;
+    c.tenant = q.tenant();
+    c.buffer = sized;
+    c.byte_len = len;
+    cq_.push(std::move(c));
+  });
+}
+
+void Rnic::complete_error(QpId qp_id, const WorkRequest& wr, bool outstanding) {
+  QueuePair& q = qp(qp_id);
+  if (outstanding) --q.outstanding_;
+  Completion c;
+  c.wr_id = wr.wr_id;
+  c.opcode = wr.opcode;
+  c.status = CompletionStatus::kRemoteAccessError;
+  c.is_recv = false;
+  c.qp = qp_id;
+  c.tenant = q.tenant();
+  c.buffer = wr.local;
+  if (wr.opcode != Opcode::kCompareSwap && wr.opcode != Opcode::kFetchAdd) {
+    c.byte_len = wr.local.length;
+  }
+  cq_.push(std::move(c));
+}
+
+void Rnic::arrive_atomic(NodeId from, QpId from_qp, WorkRequest wr) {
   auto it = atomic_words_.find(wr.atomic_addr);
-  PD_CHECK(it != atomic_words_.end(),
-           "CAS to unmapped atomic word " << wr.atomic_addr);
-  const std::uint64_t found = it->second;
-  if (found == wr.atomic_expect) it->second = wr.atomic_desired;
+  const bool denied =
+      it == atomic_words_.end() ||
+      (it->second.guard.valid() &&
+       (mr_access(it->second.guard) & kMrRemoteAtomic) == 0);
+  if (denied) {
+    // Used to be a PD_CHECK abort — but a racing CAS against torn-down
+    // tenant state is reachable once tenants churn, and real NICs answer
+    // with a remote-access NAK, not a machine check. Reject at the same
+    // response latency as a served atomic so the initiator's timing does
+    // not leak mapping state.
+    ++counters_.atomic_access_errors;
+    sched_.schedule_after(cost::kRdmaAtomicExtraNs, [this, from, from_qp, wr] {
+      net_.fabric().send(node_, from, kAtomicWireBytes, [this, from, from_qp, wr] {
+        net_.rnic(from).complete_error(from_qp, wr, /*outstanding=*/true);
+      });
+    });
+    return;
+  }
+
+  const std::uint64_t found = it->second.value;
+  if (wr.opcode == Opcode::kFetchAdd) {
+    it->second.value = found + wr.atomic_desired;
+  } else if (found == wr.atomic_expect) {
+    it->second.value = wr.atomic_desired;
+  }
 
   sched_.schedule_after(cost::kRdmaAtomicExtraNs, [this, from, from_qp, wr,
                                                    found] {
@@ -560,7 +730,7 @@ void Rnic::arrive_cas(NodeId from, QpId from_qp, WorkRequest wr) {
       --qp.outstanding_;
       Completion c;
       c.wr_id = wr.wr_id;
-      c.opcode = Opcode::kCompareSwap;
+      c.opcode = wr.opcode;
       c.is_recv = false;
       c.qp = from_qp;
       c.tenant = qp.tenant();

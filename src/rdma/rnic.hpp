@@ -100,11 +100,19 @@ struct RnicCounters {
   std::uint64_t sends = 0;
   std::uint64_t recvs = 0;
   std::uint64_t writes = 0;
-  std::uint64_t atomics = 0;
+  std::uint64_t reads = 0;       ///< one-sided READs initiated from here
+  std::uint64_t atomics = 0;     ///< CAS WRs initiated from here
+  std::uint64_t fetch_adds = 0;  ///< FAA WRs initiated from here
   std::uint64_t rnr_events = 0;      ///< receiver-not-ready stalls
   std::uint64_t rnr_drops = 0;       ///< arrivals shed at a full RNR queue
   std::uint64_t cache_miss_wrs = 0;  ///< WRs penalized by QP-cache overflow
   std::uint64_t datagrams = 0;       ///< control datagrams sent
+  /// Inbound one-sided READ/WRITE rejected by this NIC's MR permission
+  /// check (rkey denial; surfaced at the initiator as an error CQE).
+  std::uint64_t access_errors = 0;
+  /// Inbound CAS/FAA rejected: unmapped atomic word or MR without
+  /// kMrRemoteAtomic.
+  std::uint64_t atomic_access_errors = 0;
   Bytes payload_bytes = 0;
 };
 
@@ -116,10 +124,15 @@ class Rnic {
   Rnic(const Rnic&) = delete;
   Rnic& operator=(const Rnic&) = delete;
 
-  /// Register a tenant pool as an RDMA memory region. Requires the pool to
-  /// have been exported for RDMA (doca_mmap_export_rdma, §3.4.2).
-  void register_memory(PoolId pool);
+  /// Register a tenant pool as an RDMA memory region with the given access
+  /// flags (OR of kMr*). Requires the pool to have been exported for RDMA
+  /// (doca_mmap_export_rdma, §3.4.2). The default grants full remote
+  /// access — Palladium's unified pools are symmetric peers; restrict to
+  /// kMrLocal for scratch regions that must never be a one-sided target.
+  void register_memory(PoolId pool, std::uint8_t access = kMrRemoteAll);
   [[nodiscard]] bool memory_registered(PoolId pool) const;
+  /// Access flags of a registered pool (0 when unregistered/foreign).
+  [[nodiscard]] std::uint8_t mr_access(PoolId pool) const;
 
   /// Create an RC QP owned by `tenant` (not yet connected).
   QueuePair& create_qp(TenantId tenant);
@@ -165,8 +178,12 @@ class Rnic {
       std::function<void(const mem::BufferDescriptor&, std::uint32_t len)>;
   void set_write_monitor(PoolId pool, WriteMonitor monitor);
 
-  /// Host-exposed atomic words for remote CAS (distributed locks).
-  void set_atomic_word(std::uint64_t addr, std::uint64_t value);
+  /// Host-exposed atomic words for remote CAS/FAA (distributed locks,
+  /// ownership tokens, version counters). An optional guard pool ties the
+  /// word to an MR: remote atomics are then rejected unless that MR grants
+  /// kMrRemoteAtomic.
+  void set_atomic_word(std::uint64_t addr, std::uint64_t value,
+                       PoolId guard = PoolId{});
   [[nodiscard]] std::uint64_t atomic_word(std::uint64_t addr) const;
 
   [[nodiscard]] NodeId node() const { return node_; }
@@ -214,9 +231,17 @@ class Rnic {
   void deliver_into(mem::BufferDescriptor buffer, QpId dest_qp,
                     TenantId tenant, std::uint32_t len,
                     std::vector<std::byte> payload);
-  void arrive_write(const WorkRequest& wr, std::uint32_t len,
-                    std::vector<std::byte> payload);
-  void arrive_cas(NodeId from, QpId from_qp, WorkRequest wr);
+  void arrive_write(NodeId from, QpId from_qp, const WorkRequest& wr,
+                    std::uint32_t len, std::vector<std::byte> payload);
+  void arrive_read(NodeId from, QpId from_qp, WorkRequest wr);
+  void arrive_atomic(NodeId from, QpId from_qp, WorkRequest wr);
+  /// READ response landing back at the initiator: DMA the fetched bytes
+  /// into the WR's local buffer and raise the success CQE.
+  void complete_read(QpId qp_id, const WorkRequest& wr,
+                     std::vector<std::byte> payload);
+  /// Push a remote-access error CQE at this (initiator) RNIC for a failed
+  /// one-sided WR and release the SQ slot.
+  void complete_error(QpId qp_id, const WorkRequest& wr, bool outstanding);
 
   sim::Scheduler& sched_;
   RdmaNetwork& net_;
@@ -243,7 +268,11 @@ class Rnic {
 
   DrainListener drain_listener_;
   std::unordered_map<PoolId, WriteMonitor> write_monitors_;
-  std::unordered_map<std::uint64_t, std::uint64_t> atomic_words_;
+  struct AtomicWord {
+    std::uint64_t value = 0;
+    PoolId guard{};  ///< valid() => remote atomics need kMrRemoteAtomic here
+  };
+  std::unordered_map<std::uint64_t, AtomicWord> atomic_words_;
 
   RnicCounters counters_;
 };

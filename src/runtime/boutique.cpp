@@ -31,8 +31,16 @@ ChainHop fe(std::uint32_t out = kMedium) { return {B::kFrontend, kFrontendNs, ou
 }  // namespace
 
 void OnlineBoutique::deploy(Cluster& cluster, NodeId hot_node,
-                            NodeId cold_node) {
+                            NodeId cold_node, bool cart_store) {
   cluster.add_tenant(kTenant, /*weight=*/1);
+
+  // Frontend-adjacent CartService visits, marked for the RDMA state store
+  // when requested. Only hops sandwiched between two frontend visits are
+  // eligible (the frontend resumes its own next hop after the store op).
+  const auto cart = [cart_store](std::uint32_t out, StoreOp op) {
+    return ChainHop{B::kCart, kCartNs, out,
+                    cart_store ? op : StoreOp::kNone};
+  };
 
   const auto place = [&](FunctionId id, const char* name, NodeId node) {
     cluster.deploy(FunctionSpec{id, name, kTenant}, node);
@@ -54,7 +62,7 @@ void OnlineBoutique::deploy(Cluster& cluster, NodeId hot_node,
       kHomeQuery, "Home Query", kTenant, kSmall,
       {fe(kSmall), {kCurrency, kCurrencyNs, kSmall}, fe(kSmall),
        {kProductCatalog, kCatalogNs, kLarge}, fe(kSmall),
-       {kCart, kCartNs, kMedium}, fe(kSmall),
+       cart(kMedium, StoreOp::kRead), fe(kSmall),
        {kRecommendation, kRecommendationNs, kMedium}, fe(kSmall),
        {kAd, kAdNs, kSmall}, fe(kLarge)}});
 
@@ -63,7 +71,7 @@ void OnlineBoutique::deploy(Cluster& cluster, NodeId hot_node,
   cluster.add_chain(Chain{
       kViewCart, "View Cart", kTenant, kSmall,
       {fe(kSmall), {kCurrency, kCurrencyNs, kSmall}, fe(kSmall),
-       {kCart, kCartNs, kMedium}, fe(kMedium),
+       cart(kMedium, StoreOp::kRead), fe(kMedium),
        {kRecommendation, kRecommendationNs, kMedium}, fe(kSmall),
        {kProductCatalog, kCatalogNs, kLarge}, fe(kSmall),
        {kShipping, kShippingNs, kSmall}, fe(kLarge)}});
@@ -74,7 +82,7 @@ void OnlineBoutique::deploy(Cluster& cluster, NodeId hot_node,
       kProductQuery, "Product Query", kTenant, kSmall,
       {fe(kSmall), {kProductCatalog, kCatalogNs, kLarge}, fe(kSmall),
        {kCurrency, kCurrencyNs, kSmall}, fe(kSmall),
-       {kCart, kCartNs, kMedium}, fe(kSmall),
+       cart(kMedium, StoreOp::kRead), fe(kSmall),
        {kRecommendation, kRecommendationNs, kMedium}, fe(kSmall),
        {kAd, kAdNs, kSmall}, fe(kLarge)}});
 
@@ -93,7 +101,8 @@ void OnlineBoutique::deploy(Cluster& cluster, NodeId hot_node,
   // Add To Cart: short write path.
   cluster.add_chain(Chain{kAddToCart, "Add To Cart", kTenant, kSmall,
                           {fe(kSmall), {kProductCatalog, kCatalogNs, kMedium},
-                           fe(kSmall), {kCart, kCartNs, kSmall}, fe(kSmall)}});
+                           fe(kSmall), cart(kSmall, StoreOp::kReadModifyWrite),
+                           fe(kSmall)}});
 
   // Currency conversion: the minimal chain.
   cluster.add_chain(Chain{kCurrencyConvert, "Currency", kTenant, kSmall,

@@ -39,7 +39,15 @@ struct OnlineBoutique {
   /// `hot_node` (Frontend/Checkout/Recommendation) and `cold_node`, and
   /// all six chains. For single-node systems (NightCore) pass the same
   /// node twice.
-  static void deploy(Cluster& cluster, NodeId hot_node, NodeId cold_node);
+  ///
+  /// With `cart_store` set, the frontend-adjacent CartService hops are
+  /// marked for the RDMA state store (ISSUE 8): Home/View Cart/Product
+  /// fetch the cart with a one-sided READ, Add To Cart commits it through
+  /// the CAS ownership-token path. Checkout's cart visit stays RPC — it
+  /// runs inside the checkout transaction, not off the frontend. The marks
+  /// only take effect once Cluster::enable_cart_store has run.
+  static void deploy(Cluster& cluster, NodeId hot_node, NodeId cold_node,
+                     bool cart_store = false);
 
   /// The three chains Fig. 16 / Table 2 measure.
   static const std::vector<std::uint32_t>& measured_chains();

@@ -19,6 +19,19 @@
 
 namespace pd::runtime {
 
+/// How a hop is realized when the RDMA state store is enabled (ISSUE 8).
+/// A non-kNone hop marks a state-service visit the *previous* hop's
+/// function can replace with one-sided verbs against the store slab —
+/// provided its node has a CartStoreClient; otherwise the hop runs as an
+/// ordinary RPC. Store-eligible hops must be sandwiched between two visits
+/// of the same function (the caller resumes its own next hop after the
+/// store op completes).
+enum class StoreOp : std::uint8_t {
+  kNone,             ///< ordinary RPC to the hop's function
+  kRead,             ///< one-sided READ of the record (zero remote CPU)
+  kReadModifyWrite,  ///< CAS-acquire + WRITE + FAA version + CAS-release
+};
+
 struct ChainHop {
   FunctionId fn;
   /// Application compute at this hop (reference ns on a host core).
@@ -26,6 +39,8 @@ struct ChainHop {
   /// Payload bytes of the message this hop emits to its successor (or the
   /// response payload if this is the final hop).
   std::uint32_t out_payload = 256;
+  /// One-sided realization of this hop when a state store is enabled.
+  StoreOp store_op = StoreOp::kNone;
 };
 
 struct Chain {

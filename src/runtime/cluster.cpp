@@ -6,6 +6,7 @@
 #include "core/trace_hooks.hpp"
 #include "proto/cost_model.hpp"
 #include "runtime/function.hpp"
+#include "runtime/statestore.hpp"
 #include "sim/profile.hpp"
 
 namespace pd::runtime {
@@ -290,6 +291,20 @@ void Cluster::register_flight_probes(WorkerNode& node,
     }
   }
 
+  if (CartStoreClient* sc = cart_client(node.id())) {
+    // One-sided store client: ops in flight or queued for a scratch slot,
+    // plus the cumulative conflict/error counters as sampled series.
+    rec->probe("store.pending", nl, [sc] {
+      return static_cast<double>(sc->pending());
+    });
+    rec->probe("store.cas_conflicts", nl, [sc] {
+      return static_cast<double>(sc->counters().cas_conflicts);
+    });
+    rec->probe("store.errors", nl, [sc] {
+      return static_cast<double>(sc->counters().errors);
+    });
+  }
+
   if (rdma::Rnic* rnic = node.rnic()) {
     rec->probe("rnic.cq_depth", nl, [rnic] {
       return static_cast<double>(rnic->cq().depth());
@@ -492,6 +507,38 @@ void Cluster::register_external_entry(FunctionId entry, NodeId node) {
   for (auto& worker : nodes_) {
     worker->dataplane().routes().add_route(entry, node);
   }
+}
+
+void Cluster::enable_cart_store(NodeId store_node, std::uint32_t slots,
+                                Bytes record_bytes) {
+  PD_CHECK(!setup_done_, "enable_cart_store must run before finish_setup");
+  PD_CHECK(cart_store_ == nullptr, "cart store already enabled");
+  PD_CHECK(rdma_net_ != nullptr && is_palladium(config_.system),
+           "the cart store needs an RDMA-backed Palladium data plane");
+  PD_CHECK(has_worker(store_node), "unknown store node " << store_node);
+
+  cart_store_ =
+      std::make_unique<CartStateStore>(worker(store_node), slots, record_bytes);
+  for (auto& node : nodes_) {
+    if (node->id() == store_node) continue;
+    auto client = std::make_unique<CartStoreClient>(*node, *cart_store_);
+    // The node engine is the sole CQ consumer: route the client's tagged
+    // one-sided completions to it from the engine's rx loop.
+    core::NetworkEngine* eng = node->palladium_engine();
+    PD_CHECK(eng != nullptr, "cart store client needs a Palladium engine");
+    eng->set_onesided_handler(
+        [raw = client.get()](const rdma::Completion& c) {
+          return raw->on_completion(c);
+        });
+    cart_clients_.emplace_back(node->id(), std::move(client));
+  }
+}
+
+CartStoreClient* Cluster::cart_client(NodeId node) {
+  for (auto& [id, client] : cart_clients_) {
+    if (id == node) return client.get();
+  }
+  return nullptr;
 }
 
 void Cluster::finish_setup() {

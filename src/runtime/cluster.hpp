@@ -58,6 +58,8 @@ struct ClusterConfig {
 
 class Cluster;
 class FunctionInstance;
+class CartStateStore;
+class CartStoreClient;
 
 /// One worker node: host cores, memory domain, optional DPU + RNIC, the
 /// system-specific data plane, and the node-local IPC substrate.
@@ -165,6 +167,19 @@ class Cluster {
   void register_external_entry(FunctionId entry, NodeId node);
 
   void add_chain(Chain chain) { chains_.add(std::move(chain)); }
+
+  /// ISSUE 8: stand up the RDMA-resident cart/session store — the record
+  /// slab + atomic token/version words on `store_node`, and a one-sided
+  /// client (scratch MR + RC pool + engine completion hook) on every other
+  /// worker. Must run after the workers exist and before finish_setup()
+  /// (the RC handshakes drain there). Requires an RDMA-backed Palladium
+  /// system. Chains opt hops in via ChainHop::store_op.
+  void enable_cart_store(NodeId store_node, std::uint32_t slots = 64,
+                         Bytes record_bytes = 2048);
+  /// The store (nullptr until enable_cart_store). The store node itself
+  /// has no client — its functions keep using RPC to the state service.
+  [[nodiscard]] CartStateStore* cart_store() { return cart_store_.get(); }
+  [[nodiscard]] CartStoreClient* cart_client(NodeId node);
 
   /// Establish inter-node connectivity (RC pools / TCP connections) and
   /// run the scheduler until setup traffic quiesces.
@@ -293,6 +308,9 @@ class Cluster {
   std::unordered_map<FunctionId, NodeId> placement_;
   std::unordered_map<FunctionId, std::unique_ptr<FunctionInstance>> instances_;
   ChainTable chains_;
+  std::unique_ptr<CartStateStore> cart_store_;
+  std::vector<std::pair<NodeId, std::unique_ptr<CartStoreClient>>>
+      cart_clients_;
   sim::Rng rng_{0};
   bool setup_done_ = false;
   bool flight_started_ = false;

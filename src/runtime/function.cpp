@@ -4,6 +4,8 @@
 
 #include "core/message.hpp"
 #include "core/trace_hooks.hpp"
+#include "proto/cost_model.hpp"
+#include "runtime/statestore.hpp"
 #include "sim/profile.hpp"
 
 namespace pd::runtime {
@@ -91,11 +93,97 @@ void FunctionInstance::on_message(const mem::BufferDescriptor& d) {
   ++rr_;
   ++inflight_;
   sim::ProfileScope scope{"fn", spec_.name, spec_.tenant.value()};
+
+  // ISSUE 8: when the next hop is a state-store visit and this node holds
+  // a store client, skip the RPC entirely — after this hop's compute the
+  // runtime posts one-sided verbs against the store slab instead of
+  // sending to the state service. kStorePostNs (descriptor packing +
+  // doorbell) replaces the whole send path.
+  if (!last_hop &&
+      chain.hops[h.hop_index + 1].store_op != StoreOp::kNone &&
+      node_.cluster().cart_client(node_.id()) != nullptr) {
+    exec.submit(compute + cost::kStorePostNs, [this, d] {
+      --inflight_;
+      store_advance(d);
+    });
+    return;
+  }
+
   exec.submit(compute + node_.cluster().send_cost(node_.id(), next_dst),
               [this, d] {
                 --inflight_;
                 advance_chain(d);
               });
+}
+
+void FunctionInstance::store_advance(const mem::BufferDescriptor& d) {
+  auto& pool = node_.memory().by_pool(d.pool).pool();
+  auto bytes = pool.access(d, actor());
+  core::MessageHeader h = core::read_header(bytes);
+  const Chain& chain = node_.cluster().chains().by_id(h.chain_id);
+  // Sandwich invariant: the store hop must have a successor, and that
+  // successor must be this same function — the store op stands in for the
+  // service's reply, so somebody must be here to consume it.
+  PD_CHECK(h.hop_index + 2 < chain.hops.size(),
+           "store hop cannot be the chain's terminal hop");
+  PD_CHECK(chain.hops[h.hop_index + 2].fn == spec_.id,
+           "store hop not sandwiched by " << spec_.name);
+  const ChainHop& store_hop = chain.hops[h.hop_index + 1];
+
+  const char* span =
+      store_hop.store_op == StoreOp::kRead ? "rdma_read" : "rdma_cas";
+  if (core::trace_hop(h, span,
+                      "node" + std::to_string(node_.id().value()) + "/fn",
+                      node_.scheduler().now())) {
+    core::write_header(bytes, h);
+  }
+
+  ++store_ops_;
+  CartStoreClient& client = *node_.cluster().cart_client(node_.id());
+  const std::uint32_t slot = client.slot_for(h.request_id);
+  auto cont = [this, d](bool ok) { store_finish(d, ok); };
+  if (store_hop.store_op == StoreOp::kRead) {
+    client.read_record(slot, store_hop.out_payload, std::move(cont));
+  } else {
+    client.update_record(slot, store_hop.out_payload, std::move(cont));
+  }
+}
+
+void FunctionInstance::store_finish(const mem::BufferDescriptor& d, bool ok) {
+  auto& pool = node_.memory().by_pool(d.pool).pool();
+  auto bytes = pool.access(d, actor());
+  core::MessageHeader h = core::read_header(bytes);
+  const Chain& chain = node_.cluster().chains().by_id(h.chain_id);
+  const ChainHop& store_hop = chain.hops[h.hop_index + 1];
+
+  if (!ok) {
+    // Remote access denied (rkey revoked / store unmapped): fall back to
+    // the two-sided RPC the store op replaced, so the request completes
+    // either way. The send cost skipped in on_message is charged now.
+    ++store_fallbacks_;
+    if (core::trace_hop(h, "rdma_denied",
+                        "node" + std::to_string(node_.id().value()) + "/fn",
+                        node_.scheduler().now())) {
+      core::write_header(bytes, h);
+    }
+    sim::ProfileScope scope{"fn", spec_.name, spec_.tenant.value()};
+    core_.submit(node_.cluster().send_cost(node_.id(), store_hop.fn),
+                 [this, d] { advance_chain(d); });
+    return;
+  }
+
+  // The one-sided op stood in for the state service's reply: advance the
+  // header two hops as if the service answered, then re-enter the event
+  // loop for this function's next visit after the record decode cost.
+  h.src_fn = store_hop.fn.value();
+  h.dst_fn = spec_.id.value();
+  h.payload_len = store_hop.out_payload;
+  h.hop_index = static_cast<std::uint16_t>(h.hop_index + 2);
+  core::write_header(bytes, h);
+  const auto sized =
+      pool.resize(d, actor(), core::message_bytes(store_hop.out_payload));
+  sim::ProfileScope scope{"fn", spec_.name, spec_.tenant.value()};
+  core_.submit(cost::kStoreDecodeNs, [this, sized] { on_message(sized); });
 }
 
 void FunctionInstance::advance_chain(const mem::BufferDescriptor& d) {

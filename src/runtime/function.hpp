@@ -44,6 +44,12 @@ class FunctionInstance {
   [[nodiscard]] const FunctionSpec& spec() const { return spec_; }
   [[nodiscard]] sim::Core& core() { return core_; }
   [[nodiscard]] std::uint64_t invocations() const { return invocations_; }
+  /// Chain hops realized as one-sided state-store ops instead of RPCs
+  /// (ISSUE 8), and how many of those fell back to RPC on a denial.
+  [[nodiscard]] std::uint64_t store_ops() const { return store_ops_; }
+  [[nodiscard]] std::uint64_t store_fallbacks() const {
+    return store_fallbacks_;
+  }
   /// Error completions received from the engine (failed sends of ours).
   [[nodiscard]] std::uint64_t errors_received() const {
     return errors_received_;
@@ -57,6 +63,11 @@ class FunctionInstance {
 
  private:
   void advance_chain(const mem::BufferDescriptor& d);
+  /// ISSUE 8: realize the *next* hop as a one-sided state-store op
+  /// (issued from this function's runtime; the state service's CPU never
+  /// runs) and resume at the hop after it via store_finish.
+  void store_advance(const mem::BufferDescriptor& d);
+  void store_finish(const mem::BufferDescriptor& d, bool ok);
 
   WorkerNode& node_;
   FunctionSpec spec_;
@@ -68,6 +79,8 @@ class FunctionInstance {
   std::uint64_t inflight_ = 0;  ///< accepted-not-yet-executed compute jobs
   std::uint64_t invocations_ = 0;
   std::uint64_t errors_received_ = 0;
+  std::uint64_t store_ops_ = 0;
+  std::uint64_t store_fallbacks_ = 0;
   sim::Duration compute_total_ = 0;
 };
 

@@ -4,6 +4,7 @@
 
 #include "core/engine.hpp"
 #include "obs/hub.hpp"
+#include "runtime/statestore.hpp"
 
 namespace pd::runtime {
 
@@ -43,12 +44,27 @@ void export_metrics(Cluster& cluster, obs::Registry& reg) {
       reg.counter("rnic.sends", nl).set(rc.sends);
       reg.counter("rnic.recvs", nl).set(rc.recvs);
       reg.counter("rnic.writes", nl).set(rc.writes);
+      reg.counter("rnic.reads", nl).set(rc.reads);
       reg.counter("rnic.atomics", nl).set(rc.atomics);
+      reg.counter("rnic.fetch_adds", nl).set(rc.fetch_adds);
+      reg.counter("rnic.access_errors", nl).set(rc.access_errors);
+      reg.counter("rnic.atomic_access_errors", nl)
+          .set(rc.atomic_access_errors);
       reg.counter("rnic.rnr_events", nl).set(rc.rnr_events);
       reg.counter("rnic.rnr_drops", nl).set(rc.rnr_drops);
       reg.counter("rnic.datagrams", nl).set(rc.datagrams);
       reg.counter("rnic.cache_miss_wrs", nl).set(rc.cache_miss_wrs);
       reg.counter("rnic.payload_bytes", nl).set(rc.payload_bytes);
+    }
+
+    if (CartStoreClient* sc = cluster.cart_client(node->id())) {
+      const CartStoreClient::Counters& cc = sc->counters();
+      reg.counter("store.reads", nl).set(cc.reads);
+      reg.counter("store.read_bytes", nl).set(cc.read_bytes);
+      reg.counter("store.updates", nl).set(cc.updates);
+      reg.counter("store.cas_acquires", nl).set(cc.cas_acquires);
+      reg.counter("store.cas_conflicts", nl).set(cc.cas_conflicts);
+      reg.counter("store.errors", nl).set(cc.errors);
     }
 
     if (dpu::Dpu* dpu = node->dpu()) {

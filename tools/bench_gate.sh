@@ -86,4 +86,16 @@ if [ -x "$OVERLOAD" ] && [ -f tools/golden/overload_slo.json ] \
   build/tools/report_diff tools/golden/overload_slo.json \
     build/overload_current.json || rc=1
 fi
+# One-sided cart-store gate (DESIGN.md §14): the RPC-vs-remote-READ cart
+# ablation is pure simulated time, so its tables are exactly reproducible on
+# any machine. Drift from the committed golden means the one-sided data
+# path's behavior changed — which a performance PR must never do silently.
+FIG12=build/bench/fig12_rdma_primitives
+if [ -x "$FIG12" ] && [ -f tools/golden/cart_store.json ] \
+   && [ -x build/tools/report_diff ]; then
+  "$FIG12" --cart-store --seconds 2 --threads 1 \
+    --json build/cart_store_current.json > /dev/null || rc=1
+  build/tools/report_diff tools/golden/cart_store.json \
+    build/cart_store_current.json || rc=1
+fi
 exit $rc

@@ -25,6 +25,13 @@
 #                            per-tenant SLO artifacts differ across thread
 #                            counts, drift from the committed golden, or if
 #                            report_diff passes a perturbed artifact
+#   tools/run_all.sh cartstore  build, run the onesided-labeled ctest suite
+#                            (one-sided verb semantics + cart-store accept-
+#                            ance), then sweep the RPC-vs-one-sided-READ cart
+#                            ablation at --threads 1/2/4 into cart_report/;
+#                            fails if the artifacts differ across thread
+#                            counts, drift from the committed golden, or if
+#                            report_diff passes a perturbed artifact
 #   tools/run_all.sh obs     build, run the obs-report + obs-ts ctest labels,
 #                            then an observability boutique sweep: critical-
 #                            path + flamegraph + SLO + flight-recorder
@@ -107,6 +114,43 @@ if [ "$1" = "overload" ]; then
   fi
   echo "report_diff: perturbed artifact rejected (as it must be)"
   echo "overload sweep passed: explicit shedding, SLOs held, deterministic"
+  exit 0
+fi
+
+if [ "$1" = "cartstore" ]; then
+  cmake -B build -G Ninja
+  cmake --build build
+  ctest --test-dir build -L onesided --output-on-failure 2>&1 \
+    | tee cartstore_output.txt
+  rm -rf cart_report && mkdir -p cart_report
+  # One full RPC-vs-remote-READ cart ablation (home / viewcart / addtocart
+  # chains, both modes) per worker-thread count.
+  for t in 1 2 4; do
+    echo "=== fig12_rdma_primitives --cart-store --threads $t (rpc vs store) ==="
+    ./build/bench/fig12_rdma_primitives --cart-store --seconds 2 \
+      --threads "$t" --json "cart_report/t$t.json" | tail -16
+  done 2>&1 | tee -a cartstore_output.txt
+  # Determinism gate: the ablation tables must be byte-identical for every
+  # thread count.
+  cmp cart_report/t1.json cart_report/t2.json
+  cmp cart_report/t1.json cart_report/t4.json
+  echo "cart_report/t*.json identical across --threads 1/2/4" \
+    | tee -a cartstore_output.txt
+  # Run-diff gate: the artifact is fully deterministic (simulated time
+  # only), so any drift from the committed golden means the one-sided data
+  # path changed and the golden must be re-recorded deliberately.
+  ./build/tools/report_diff tools/golden/cart_store.json \
+    cart_report/t1.json 2>&1 | tee -a cartstore_output.txt
+  # ...and report_diff itself must fail loudly on a perturbed artifact.
+  sed 's/"cart_invocations": /"cart_invocations": 9/' cart_report/t1.json \
+    > cart_report/perturbed.json
+  if ./build/tools/report_diff --quiet cart_report/t1.json \
+      cart_report/perturbed.json; then
+    echo "cartstore sweep FAILED: report_diff passed a perturbed artifact" >&2
+    exit 1
+  fi
+  echo "report_diff: perturbed artifact rejected (as it must be)"
+  echo "cartstore sweep passed: one-sided READ path deterministic, no fallbacks"
   exit 0
 fi
 
