@@ -8,13 +8,27 @@
 //   NightCore        — single node, kernel ingress
 // Output: RPS per chain at 20/60/80 clients (Fig. 16 (1)-(3)), mean
 // latency (Table 2), and data-plane CPU/DPU core usage (Fig. 16 (4)-(6)).
+//
+// --scale swaps the six-system two-node comparison for a PALLADIUM (DNE)
+// scale-out table: N workers on a leaf-spine fabric, one boutique cell per
+// tenant, driven through the sharded epoch-barrier simulator (ISSUE 9).
+//   fig16_boutique --scale [--nodes N] [--cells C] [--switch S]
+//                  [--threads T] [--clients "a b c"]
+// e.g. the >=100k-client regime: --scale --nodes 64 --cells 32 --threads 4
+//                  --clients "100000"
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <cstring>
 #include <memory>
+#include <sstream>
 
 #include "bench_common.hpp"
 #include "ingress/palladium_ingress.hpp"
 #include "ingress/proxy_ingress.hpp"
 #include "runtime/boutique.hpp"
 #include "runtime/function.hpp"
+#include "sim/parallel.hpp"
 #include "workload/http_client.hpp"
 
 namespace {
@@ -154,10 +168,164 @@ Result run(System system, std::uint32_t chain, int clients) {
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// --scale: PALLADIUM (DNE) on a multi-switch cluster via the parallel loop
+// ---------------------------------------------------------------------------
+
+struct ScaleSpec {
+  int nodes = 32;
+  std::size_t cells = 16;
+  std::size_t nodes_per_switch = 8;
+  unsigned threads = 1;
+  std::vector<int> loads{64, 128, 256};
+};
+
+struct ScaleResult {
+  double rps = 0;
+  double mean_ms = 0;
+  double p99_ms = 0;
+  std::uint64_t epochs = 0;
+  double wall_sec = 0;
+  std::uint64_t events = 0;
+};
+
+ScaleResult run_scale(const ScaleSpec& spec, int clients) {
+  constexpr sim::Duration kWarm = 500'000'000;   // 0.5 s
+  constexpr sim::Duration kWindow = 1'000'000'000;  // 1 s measured
+
+  const std::size_t shards =
+      1 + (static_cast<std::size_t>(spec.nodes) + spec.nodes_per_switch - 1) /
+              spec.nodes_per_switch;
+  sim::ParallelSim psim(shards, spec.threads);
+  runtime::ClusterConfig cfg;
+  cfg.cpu_cores_per_node = 16;
+  cfg.pool_buffers = 2048;
+  cfg.system = runtime::SystemKind::kPalladiumDne;
+  cfg.topology.nodes_per_switch = spec.nodes_per_switch;
+  cfg.shard_mapping = runtime::ShardMapping::kLeafPerShard;
+  auto cluster = std::make_unique<runtime::Cluster>(psim, cfg);
+  sim::Scheduler& sched = psim.shard(0);
+
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < spec.nodes; ++i) {
+    const NodeId id{static_cast<std::uint32_t>(1 + i)};
+    cluster->add_worker(id);
+    nodes.push_back(id);
+  }
+  const auto cells =
+      runtime::OnlineBoutique::deploy_cells(*cluster, nodes, spec.cells);
+
+  ingress::PalladiumIngress::Config icfg;
+  icfg.initial_workers = 2;
+  icfg.request_deadline = 0;  // closed-loop sweep, no retry storm
+  ingress::PalladiumIngress ing(*cluster, icfg);
+  const auto route = [](std::uint32_t cell) {
+    return cell == 0 ? std::string("/run") : "/run#" + std::to_string(cell);
+  };
+  for (const auto& cell : cells) ing.expose_chain(route(cell.index), cell.home_query);
+  ing.finish_setup();
+  cluster->finish_setup();
+
+  std::vector<std::unique_ptr<workload::HttpLoadGen>> gens;
+  const int per_cell = clients / static_cast<int>(cells.size());
+  int leftover = clients % static_cast<int>(cells.size());
+  for (const auto& cell : cells) {
+    const int n = per_cell + (leftover-- > 0 ? 1 : 0);
+    if (n <= 0) continue;
+    workload::HttpLoadGen::Config wcfg;
+    wcfg.target = route(cell.index);
+    wcfg.body = std::string(128, 'x');
+    wcfg.client_cores = n;
+    auto gen = std::make_unique<workload::HttpLoadGen>(sched, ing, wcfg);
+    gen->add_clients(n);
+    gens.push_back(std::move(gen));
+  }
+
+  psim.run_until(sched.now() + kWarm);
+  const auto start = sched.now();
+  const auto events0 = psim.events_processed();
+  const auto epochs0 = psim.epochs();
+  const auto wall0 = std::chrono::steady_clock::now();
+  psim.run_until(start + kWindow);
+  const auto wall1 = std::chrono::steady_clock::now();
+
+  ScaleResult r;
+  r.wall_sec = std::chrono::duration<double>(wall1 - wall0).count();
+  r.events = psim.events_processed() - events0;
+  r.epochs = psim.epochs() - epochs0;
+  for (const auto& g : gens) r.rps += g->rps(start, start + kWindow);
+  sim::LatencyHistogram merged;
+  for (const auto& g : gens) merged.merge(g->latencies());
+  r.mean_ms = merged.mean_ns() / 1e6;
+  r.p99_ms = static_cast<double>(merged.quantile(0.99)) / 1e6;
+  for (auto& g : gens) g->stop();
+  psim.run();
+  return r;
+}
+
+int scale_main(const ScaleSpec& spec) {
+  using namespace pd::bench;
+  const std::size_t leaves =
+      (static_cast<std::size_t>(spec.nodes) + spec.nodes_per_switch - 1) /
+      spec.nodes_per_switch;
+  print_title("Scale-out: PALLADIUM (DNE) Online Boutique Home Query — " +
+              std::to_string(spec.nodes) + " workers / " +
+              std::to_string(leaves) + " leaf switches / " +
+              std::to_string(spec.cells) + " cells, sharded across " +
+              std::to_string(spec.threads) + " thread(s)");
+  Table t({"clients", "RPS", "mean ms", "p99 ms", "epochs/sim-s",
+           "wall Mevents/s"});
+  for (int clients : spec.loads) {
+    const ScaleResult r = run_scale(spec, clients);
+    t.add_row({std::to_string(clients), fmt_k(r.rps), fmt(r.mean_ms, 2),
+               fmt(r.p99_ms, 2), fmt_k(static_cast<double>(r.epochs)),
+               fmt(r.wall_sec > 0
+                       ? static_cast<double>(r.events) / r.wall_sec / 1e6
+                       : 0,
+                   2)});
+  }
+  t.print();
+  print_note("one shard per leaf switch; per-pair lookahead batches every "
+             "cross-leaf horizon to ~4.5 us (ISSUE 9)");
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pd::bench;
+  bool scale = false;
+  ScaleSpec spec;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scale") == 0) {
+      scale = true;
+    } else if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+      spec.nodes = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--cells") == 0 && i + 1 < argc) {
+      spec.cells = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--switch") == 0 && i + 1 < argc) {
+      spec.nodes_per_switch = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      spec.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      spec.loads.clear();
+      std::istringstream is(argv[++i]);
+      for (int c; is >> c;) spec.loads.push_back(c);
+    } else {
+      std::cerr << "usage: fig16_boutique [--scale [--nodes N] [--cells C] "
+                   "[--switch S] [--threads T] [--clients \"a b c\"]]\n";
+      return 2;
+    }
+  }
+  if (scale) {
+    if (spec.nodes < 2 || spec.cells == 0 || spec.nodes_per_switch == 0 ||
+        spec.threads == 0 || spec.loads.empty()) {
+      std::cerr << "fig16_boutique: --scale wants >=2 nodes, >=1 cell, "
+                   ">=1 per-switch, >=1 thread and a client list\n";
+      return 2;
+    }
+    return scale_main(spec);
+  }
   const System systems[] = {System::kPalladiumDne, System::kPalladiumCne,
                             System::kFuyaoF,       System::kFuyaoK,
                             System::kSpright,      System::kNightcore};

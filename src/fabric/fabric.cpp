@@ -110,6 +110,15 @@ void Switch::send(NodeId from, NodeId to, Bytes bytes,
   Port& src = port(from);
   Port& dst = port(to);
   const Bytes wire_bytes = bytes + kWireOverheadBytes;
+  // Single cut-through hop within a leaf; cross-leaf frames additionally
+  // pay the topology's spine detour (extra hops + inter-switch legs + the
+  // oversubscribed uplink serialization). Zero extra reproduces the flat
+  // fabric exactly.
+  const sim::Duration hop =
+      cost::kSwitchLatencyNs +
+      (topo_ != nullptr
+           ? topo_->extra_latency(from, to, wire_bytes, port_bandwidth_)
+           : 0);
 
   if (sharded() && src.sched != dst.sched) {
     // Sharded cross-node path: the drop decision and the egress
@@ -124,7 +133,7 @@ void Switch::send(NodeId from, NodeId to, Bytes bytes,
     if (!src.tx->transmit(wire_bytes, [] {})) return;  // dropped at egress
     ++src.frames;
     Link* rx = dst.rx.get();
-    remote_post_(dst.node, deliver + cost::kSwitchLatencyNs,
+    remote_post_(dst.node, deliver + hop,
                  [rx, wire_bytes, done = std::move(delivered)]() mutable {
                    rx->transmit(wire_bytes, std::move(done));
                  });
@@ -138,8 +147,8 @@ void Switch::send(NodeId from, NodeId to, Bytes bytes,
   // stay small enough for EventFn's inline buffer.
   src.in_flight.push_back(std::move(delivered));
   const bool accepted =
-      src.tx->transmit(wire_bytes, [&sched, &src, &dst, wire_bytes] {
-        sched.schedule_after(cost::kSwitchLatencyNs, [&src, &dst, wire_bytes] {
+      src.tx->transmit(wire_bytes, [&sched, &src, &dst, wire_bytes, hop] {
+        sched.schedule_after(hop, [&src, &dst, wire_bytes] {
           PD_CHECK(!src.in_flight.empty(), "fabric relay with no callback");
           sim::EventFn done = std::move(src.in_flight.front());
           src.in_flight.pop_front();

@@ -13,6 +13,7 @@
 
 #include "common/ids.hpp"
 #include "common/units.hpp"
+#include "fabric/topology.hpp"
 #include "proto/cost_model.hpp"
 #include "sim/event_fn.hpp"
 #include "sim/fifo_ring.hpp"
@@ -106,6 +107,24 @@ class Switch {
   void set_remote_post(RemotePost post) { remote_post_ = std::move(post); }
   [[nodiscard]] bool sharded() const { return remote_post_ != nullptr; }
 
+  /// Multi-switch topology (ISSUE 9). Not owned; must outlive the switch.
+  /// Null (the default) keeps the flat single-switch fabric byte-identical
+  /// to pre-topology trees. Cross-leaf frames pay the topology's extra
+  /// path cost (spine hops + oversubscribed uplink serialization) — a pure
+  /// per-pair function, so port state stays owner-shard-local.
+  void set_topology(const Topology* topo) { topo_ = topo; }
+  [[nodiscard]] const Topology* topology() const { return topo_; }
+
+  /// Minimum latency from an event on `from` to its earliest possible
+  /// effect on `to` through this fabric: cross_node_lookahead() plus the
+  /// topology's minimum extra path cost for the pair. The per-shard-pair
+  /// lookahead matrix of the parallel simulation is the floor of this
+  /// over the nodes each shard hosts (DESIGN.md §15).
+  [[nodiscard]] sim::Duration min_path_latency(NodeId from, NodeId to) const {
+    return cross_node_lookahead() +
+           (topo_ != nullptr ? topo_->min_extra_latency(from, to) : 0);
+  }
+
   /// Deliver `bytes` (payload; wire overhead added internally) from one
   /// attached node to another. `delivered` fires at the receiver.
   void send(NodeId from, NodeId to, Bytes bytes, sim::EventFn delivered);
@@ -160,6 +179,7 @@ class Switch {
   std::uint64_t fault_seed_ = 0xFA17ED5EEDULL;
   sim::Rng fault_rng_{0xFA17ED5EEDULL};
   RemotePost remote_post_;
+  const Topology* topo_ = nullptr;
 };
 
 }  // namespace pd::fabric

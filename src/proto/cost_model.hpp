@@ -36,6 +36,16 @@ inline constexpr double kFabricBandwidthBps = 200e9;   // 200 Gbps links
 inline constexpr Duration kFabricPropagationNs = 600;  // NIC->switch->NIC
 inline constexpr Duration kSwitchLatencyNs = 400;      // cut-through hop
 
+/// Multi-switch fabric (leaf-spine, ISSUE 9): one leaf<->spine fiber leg —
+/// a multi-rack fiber run plus spine pipeline latency, so several times the
+/// in-rack NIC<->ToR hop — and the default leaf-uplink oversubscription
+/// (per-flow uplink share = port bandwidth / factor). The leg length also
+/// feeds the PDES lookahead matrix: cross-leaf shard pairs grant each other
+/// horizons of 2 switch hops + 2 legs (~4.5 us), which is what lets the
+/// parallel loop batch epochs at cluster scale.
+inline constexpr Duration kInterSwitchPropagationNs = 1'500;
+inline constexpr double kUplinkOversubscription = 4.0;
+
 // --------------------------------------------------------------------------
 // RNIC (ConnectX-6 class)
 // --------------------------------------------------------------------------

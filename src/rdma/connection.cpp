@@ -35,7 +35,10 @@ void ConnectionManager::establish(NodeId remote, TenantId tenant, int count,
     // mailbox hops vanish under the tens-of-ms handshake cost, keeping
     // completion times identical to the legacy synchronous path.
     const sim::TimePoint t0 = local_.scheduler().now();
-    const sim::Duration hop = fabric::cross_node_lookahead();
+    // Per-pair: a cross-leaf peer is a longer hop, and the PDES lookahead
+    // matrix rejects posts faster than the pair's minimum path latency.
+    const sim::Duration hop =
+        net_.min_path_latency(local_.node(), remote);
     Rnic* origin = &local_;
     Rnic* peer = &net_.rnic(remote);
     for (int i = 0; i < count; ++i) {

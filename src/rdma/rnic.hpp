@@ -47,6 +47,13 @@ class RdmaNetwork {
   [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
   [[nodiscard]] fabric::Switch& fabric() { return switch_; }
 
+  /// Minimum fabric latency between two nodes (per-pair: a cross-leaf pair
+  /// pays the spine detour on top of the flat lookahead). Control-plane
+  /// posts that bypass Switch::send must respect this, not the flat bound.
+  [[nodiscard]] sim::Duration min_path_latency(NodeId from, NodeId to) const {
+    return switch_.min_path_latency(from, to);
+  }
+
   /// Sharded mode: pin `node` (its RNIC, fabric port, and every event they
   /// schedule) to a specific scheduler shard. Must run before the node's
   /// Rnic is constructed; unpinned nodes stay on the shared scheduler.

@@ -49,6 +49,42 @@ struct OnlineBoutique {
   static void deploy(Cluster& cluster, NodeId hot_node, NodeId cold_node,
                      bool cart_store = false);
 
+  // --- multi-cell scale-out (ISSUE 9) --------------------------------------
+
+  /// Id strides between cells: cell c's functions are kFrontend + c*16 …,
+  /// its chains kHomeQuery + c*8 …, its tenant TenantId{1 + c}.
+  static constexpr std::uint32_t kFunctionStride = 16;
+  static constexpr std::uint32_t kChainStride = 8;
+
+  /// How deploy_cells picks each cell's hot/cold node pair from `nodes`.
+  enum class CellPlacement : std::uint8_t {
+    /// Consecutive nodes — with nodes_per_switch >= 2 a cell's two nodes
+    /// share a leaf, so its 12-exchange chains never cross the spine.
+    kLeafAffine,
+    /// Hot node from the first half, cold from the second — every chain
+    /// hop crosses the spine (the oversubscription stress case).
+    kCrossLeaf,
+  };
+
+  /// One deployed boutique instance.
+  struct Cell {
+    std::uint32_t index = 0;
+    TenantId tenant{};
+    NodeId hot{};
+    NodeId cold{};
+    std::uint32_t home_query = 0;  ///< this cell's Home Query chain id
+  };
+
+  /// Deploy `cells` independent boutique instances (one tenant each) over
+  /// `nodes`, pairing hot/cold nodes per `placement`. Cells wrap around
+  /// `nodes` when 2*cells exceeds it. This is the 16–64-node scale
+  /// workload: per-cell tenants keep pools and chains isolated while every
+  /// cell shares the fabric and, cross-leaf, the oversubscribed spine.
+  static std::vector<Cell> deploy_cells(
+      Cluster& cluster, const std::vector<NodeId>& nodes, std::size_t cells,
+      CellPlacement placement = CellPlacement::kLeafAffine,
+      bool cart_store = false);
+
   /// The three chains Fig. 16 / Table 2 measure.
   static const std::vector<std::uint32_t>& measured_chains();
   static const char* chain_name(std::uint32_t id);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 
 #include "core/trace_hooks.hpp"
 #include "proto/cost_model.hpp"
@@ -117,8 +118,13 @@ sim::Core& WorkerNode::assign_core() {
 
 Cluster::Cluster(sim::Scheduler& sched, ClusterConfig config)
     : sched_(sched), config_(config), eth_(sched), rng_(config.seed) {
+  // With the default flat TopologyConfig every extra-latency query returns
+  // zero, so legacy replays stay byte-identical.
+  topo_.configure(config_.topology);
+  eth_.set_topology(&topo_);
   if (uses_rdma(config_.system)) {
     rdma_net_ = std::make_unique<rdma::RdmaNetwork>(sched_);
+    rdma_net_->fabric().set_topology(&topo_);
   }
   tcp_directory_ = std::make_shared<baselines::TcpRelayDirectory>();
   fuyao_directory_ = std::make_shared<baselines::FuyaoDirectory>();
@@ -130,7 +136,7 @@ Cluster::Cluster(sim::ParallelSim& psim, ClusterConfig config)
            "parallel simulation supports Palladium systems only "
            "(baseline data planes assume a single scheduler)");
   psim_ = &psim;
-  psim.set_lookahead(fabric::cross_node_lookahead());
+  refresh_lookahead_matrix();
   rdma_net_->set_remote_post(
       [this](NodeId dst, sim::TimePoint t, sim::EventFn fn) {
         psim_->post(shard_of(dst), t, std::move(fn));
@@ -415,12 +421,30 @@ void Cluster::start_util_probes(obs::Registry& reg, sim::Duration period) {
 WorkerNode& Cluster::add_worker(NodeId id) {
   PD_CHECK(!setup_done_, "topology frozen after finish_setup");
   PD_CHECK(by_id_.find(id) == by_id_.end(), "worker " << id << " exists");
+  if (topo_.multi_switch()) {
+    // Workers fill leaf switches in admission order; leaf 0 is the edge
+    // (ingress node and clients), so the first worker starts leaf 1.
+    topo_.assign(id, static_cast<std::uint32_t>(
+                         1 + nodes_.size() / topo_.config().nodes_per_switch));
+  }
   if (!eth_.attached(id)) eth_.attach(id);
   if (psim_ != nullptr) {
-    const std::size_t shard = next_shard_++;
-    PD_CHECK(shard < psim_->shard_count(),
-             "more workers than shards: construct ParallelSim with 1 + "
-             "workers shards");
+    std::size_t shard = 0;
+    if (config_.shard_mapping == ShardMapping::kLeafPerShard) {
+      PD_CHECK(topo_.multi_switch(),
+               "kLeafPerShard needs a multi-switch topology");
+      // Shard index = leaf index (workers start at leaf 1; shard 0 stays
+      // the edge). All of a leaf's workers share one scheduler.
+      shard = topo_.leaf_of(id);
+      PD_CHECK(shard < psim_->shard_count(),
+               "more leaves than shards: construct ParallelSim with 1 + "
+               "ceil(workers / nodes_per_switch) shards");
+    } else {
+      shard = next_shard_++;
+      PD_CHECK(shard < psim_->shard_count(),
+               "more workers than shards: construct ParallelSim with 1 + "
+               "workers shards");
+    }
     node_shard_[id] = shard;
     rdma_net_->set_node_scheduler(id, psim_->shard(shard));
     node_jitter_.emplace(
@@ -433,7 +457,70 @@ WorkerNode& Cluster::add_worker(NodeId id) {
   WorkerNode* raw = node.get();
   nodes_.push_back(std::move(node));
   by_id_[id] = raw;
+  refresh_lookahead_matrix();
   return *raw;
+}
+
+bool Cluster::tenants_shared(NodeId a, NodeId b) const {
+  for (const auto& [tenant, hosts] : tenant_hosts_) {
+    if (hosts.empty()) return true;  // unscoped = hosted everywhere
+    const bool on_a = std::find(hosts.begin(), hosts.end(), a) != hosts.end();
+    const bool on_b = std::find(hosts.begin(), hosts.end(), b) != hosts.end();
+    if (on_a && on_b) return true;
+  }
+  // The cart state store serves one-sided ops from every client node.
+  if (cart_store_ != nullptr) {
+    const NodeId store = cart_store_->node();
+    if (a == store || b == store) return true;
+  }
+  return false;
+}
+
+void Cluster::refresh_lookahead_matrix() {
+  if (psim_ == nullptr) return;
+  const std::size_t n = psim_->shard_count();
+  // Shard 0 (edge) and shards without a worker yet sit on leaf 0; a pair's
+  // lookahead is the flat cross-node bound plus the minimum spine detour
+  // between the two leaves. Workers on the same leaf keep the tight flat
+  // bound — that is what makes the adaptive horizons pay off at scale.
+  std::vector<std::uint32_t> leaf(n, 0);
+  std::vector<std::vector<NodeId>> shard_nodes(n);
+  for (const auto& [node, shard] : node_shard_) {
+    leaf[shard] = topo_.leaf_of(node);  // kLeafPerShard: uniform per shard
+    shard_nodes[shard].push_back(node);
+  }
+  const sim::Duration flat = fabric::cross_node_lookahead();
+  // Worker pairs with no shared tenant exchange no traffic — finish_setup
+  // builds no RC pools between them — so they carry no direct edge; the
+  // min-plus closure inside set_lookahead_matrix bounds them by their
+  // cheapest relay chain instead (typically through the edge shard, whose
+  // ingress talks to everyone). Before setup completes the conservative
+  // all-pairs matrix stays in force: the handshake traffic finish_setup
+  // drains is itself cross-shard.
+  constexpr sim::Duration kNoDirectEdge =
+      std::numeric_limits<sim::Duration>::max() / 4;
+  std::vector<std::vector<sim::Duration>> d(
+      n, std::vector<sim::Duration>(n, 0));
+  const auto any_shared = [&](std::size_t a, std::size_t b) {
+    for (NodeId na : shard_nodes[a]) {
+      for (NodeId nb : shard_nodes[b]) {
+        if (tenants_shared(na, nb)) return true;
+      }
+    }
+    return false;
+  };
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      const bool edge_pair = a == 0 || b == 0;
+      if (setup_done_ && !edge_pair && !any_shared(a, b)) {
+        d[a][b] = kNoDirectEdge;
+        continue;
+      }
+      d[a][b] = flat + topo_.min_extra_between_leaves(leaf[a], leaf[b]);
+    }
+  }
+  psim_->set_lookahead_matrix(std::move(d));
 }
 
 WorkerNode& Cluster::worker(NodeId id) {
@@ -447,9 +534,22 @@ bool Cluster::has_worker(NodeId id) const {
 }
 
 void Cluster::add_tenant(TenantId tenant, std::uint32_t weight) {
+  add_tenant(tenant, weight, {});
+}
+
+void Cluster::add_tenant(TenantId tenant, std::uint32_t weight,
+                         const std::vector<NodeId>& hosts) {
   PD_CHECK(tenants_.emplace(tenant, weight).second,
            "tenant " << tenant << " already admitted");
+  for (NodeId h : hosts) {
+    PD_CHECK(has_worker(h), "tenant host " << h << " is not a worker");
+  }
+  tenant_hosts_[tenant] = hosts;
   for (auto& node : nodes_) {
+    if (!hosts.empty() &&
+        std::find(hosts.begin(), hosts.end(), node->id()) == hosts.end()) {
+      continue;
+    }
     auto& tm = node->memory().create_tenant_pool(
         tenant, "tenant_" + std::to_string(tenant.value()),
         config_.pool_buffers, config_.buffer_bytes);
@@ -544,9 +644,18 @@ CartStoreClient* Cluster::cart_client(NodeId node) {
 void Cluster::finish_setup() {
   PD_CHECK(!setup_done_, "finish_setup called twice");
   setup_done_ = true;
+  // With every tenant's host scope known, drop the conservative all-pairs
+  // lookahead matrix for the communication-graph one before the handshake
+  // traffic below is posted (shared pairs keep their direct edges, so the
+  // handshakes themselves stay legal).
+  refresh_lookahead_matrix();
   for (auto& a : nodes_) {
     for (auto& b : nodes_) {
       if (a->id() < b->id()) {
+        // Pairs with no shared tenant exchange no traffic — skip the RC
+        // mesh (at 16–64 nodes the full mesh is the memory bill, and the
+        // missing pools are what licenses the tightened lookahead matrix).
+        if (!tenants_shared(a->id(), b->id())) continue;
         a->dataplane().connect_peer(b->id());
         b->dataplane().connect_peer(a->id());
       }

@@ -15,6 +15,7 @@
 #include "baselines/fuyao_engine.hpp"
 #include "baselines/tcp_engine.hpp"
 #include "core/engine.hpp"
+#include "fabric/topology.hpp"
 #include "obs/hub.hpp"
 #include "runtime/chain.hpp"
 #include "sim/parallel.hpp"
@@ -40,6 +41,9 @@ const char* to_string(SystemKind kind);
 /// work charged to the engine core, no duplicate per-function processing).
 enum class SidecarMode : std::uint8_t { kPerFunctionEbpf, kNodeShared };
 
+/// Worker-to-shard assignment for parallel runs (see ClusterConfig).
+enum class ShardMapping : std::uint8_t { kNodePerShard, kLeafPerShard };
+
 struct ClusterConfig {
   SystemKind system = SystemKind::kPalladiumDne;
   core::EngineConfig engine{};      ///< Palladium engine tuning
@@ -54,6 +58,24 @@ struct ClusterConfig {
   double compute_jitter = 0.10;
   std::uint64_t seed = 0x9E3779B9;
   SidecarMode sidecar = SidecarMode::kPerFunctionEbpf;
+  /// Fabric topology (ISSUE 9). Default (nodes_per_switch = 0) is the flat
+  /// single-switch fabric of earlier trees, byte-identical replays
+  /// included. With nodes_per_switch = N, workers land on leaf switches in
+  /// admission order (N per leaf, the edge on leaf 0) and cross-leaf
+  /// traffic pays the leaf-spine detour with oversubscribed uplinks; the
+  /// parallel simulator turns the same per-pair distances into its
+  /// lookahead matrix.
+  fabric::TopologyConfig topology{};
+  /// How workers map onto parallel-simulator shards. kNodePerShard (the
+  /// default, and the only option on a flat fabric) gives every worker its
+  /// own shard. kLeafPerShard puts each leaf switch's workers in one shard:
+  /// intra-leaf traffic — a leaf-affine cell's entire chain ping-pong —
+  /// becomes shard-local and leaves the epoch protocol entirely, while
+  /// every remaining cross-shard link is a spine crossing whose multi-us
+  /// path latency becomes the pair's lookahead. That is what collapses the
+  /// epoch rate at 16–64 nodes; it also matches shards to real core counts
+  /// (leaves + 1, not nodes + 1).
+  ShardMapping shard_mapping = ShardMapping::kNodePerShard;
 };
 
 class Cluster;
@@ -142,6 +164,15 @@ class Cluster {
   /// every data plane with the given DWRR weight.
   void add_tenant(TenantId tenant, std::uint32_t weight);
 
+  /// Scoped variant: provision the tenant only on `hosts` (the nodes that
+  /// will run its functions). On a 16–64-node cluster the all-nodes default
+  /// is quadratic in memory — nodes × tenants buffer pools plus the RC
+  /// connections finish_setup() builds for every (peer, tenant) pair — and
+  /// nearly all of it idle when each tenant's cell spans two nodes. The
+  /// ingress keeps its own per-tenant pools and connections either way.
+  void add_tenant(TenantId tenant, std::uint32_t weight,
+                  const std::vector<NodeId>& hosts);
+
   /// Deploy a function onto a node (creates the instance, registers it
   /// with the node's data plane + sockmap, and syncs routes cluster-wide —
   /// the coordinator's job on a deployment event).
@@ -221,6 +252,7 @@ class Cluster {
   [[nodiscard]] const ChainTable& chains() const { return chains_; }
   [[nodiscard]] rdma::RdmaNetwork* rdma_net() { return rdma_net_.get(); }
   [[nodiscard]] fabric::Switch& ethernet() { return eth_; }
+  [[nodiscard]] const fabric::Topology& topology() const { return topo_; }
   [[nodiscard]] NodeId placement_of(FunctionId fn) const;
   [[nodiscard]] FunctionInstance& instance(FunctionId fn);
 
@@ -296,8 +328,26 @@ class Cluster {
   /// probe reads only shard-local state (the determinism contract).
   void register_flight_probes(WorkerNode& node, const obs::FlightConfig& cfg);
 
+  /// Rebuild the parallel simulator's per-shard-pair lookahead matrix from
+  /// the current leaf assignment (after each add_worker): D[a][b] = flat
+  /// cross-node lookahead + the minimum cross-leaf detour between the
+  /// shards' leaves. Once setup is finished, worker pairs that share no
+  /// tenant (and have no cart-store relation) lose their direct edge: no
+  /// QPs exist between them, so their bound is the min-plus relay path
+  /// through shards they do talk to (edge shard included — the ingress may
+  /// target any worker). Any post that violates the tightened matrix
+  /// PD_CHECK-faults, so a wrong no-comm assumption is loud, not silent.
+  /// No-op in legacy mode.
+  void refresh_lookahead_matrix();
+
+  /// True when some admitted tenant is hosted on both nodes (an unscoped
+  /// tenant is hosted everywhere). Such pairs get RC pools at
+  /// finish_setup() and a direct edge in the lookahead matrix.
+  [[nodiscard]] bool tenants_shared(NodeId a, NodeId b) const;
+
   sim::Scheduler& sched_;
   ClusterConfig config_;
+  fabric::Topology topo_;  ///< leaf/spine layout shared by both fabrics
   fabric::Switch eth_;  ///< Ethernet network (TCP paths)
   std::unique_ptr<rdma::RdmaNetwork> rdma_net_;
   std::shared_ptr<baselines::TcpRelayDirectory> tcp_directory_;
@@ -305,6 +355,10 @@ class Cluster {
   std::vector<std::unique_ptr<WorkerNode>> nodes_;
   std::unordered_map<NodeId, WorkerNode*> by_id_;
   std::unordered_map<TenantId, std::uint32_t> tenants_;
+  /// Host scope per tenant (empty vector = every node, the legacy default).
+  /// Drives which node pairs finish_setup() meshes and which shard pairs
+  /// the PDES lookahead matrix treats as directly communicating.
+  std::unordered_map<TenantId, std::vector<NodeId>> tenant_hosts_;
   std::unordered_map<FunctionId, NodeId> placement_;
   std::unordered_map<FunctionId, std::unique_ptr<FunctionInstance>> instances_;
   ChainTable chains_;

@@ -88,6 +88,21 @@ void export_metrics(Cluster& cluster, obs::Registry& reg) {
         .set(cluster.rdma_net()->fabric().frames_dropped());
   }
 
+  // PDES protocol self-metrics (ISSUE 9). Every value here is a pure
+  // function of the model — identical for any worker-thread count — so the
+  // export stays byte-comparable across --threads runs. Wall-clock numbers
+  // (barrier_wait_ns) are deliberately excluded; benches report those
+  // separately, outside golden-diffed artifacts.
+  if (sim::ParallelSim* psim = cluster.parallel()) {
+    reg.counter("pdes.epochs").set(psim->epochs());
+    reg.counter("pdes.skip_ahead_epochs").set(psim->skip_ahead_epochs());
+    reg.counter("pdes.mailbox_msgs").set(psim->mailbox_msgs());
+    for (std::size_t k = 0; k < psim->shard_count(); ++k) {
+      reg.counter("pdes.shard_events", "shard=" + std::to_string(k))
+          .set(psim->shard(k).events_processed());
+    }
+  }
+
   // When the installed hub collected an exact busy-time profile, fold its
   // per-(component, tenant) summary in alongside the data-plane counters.
   if (obs::Hub* hub = obs::hub(); hub != nullptr && !hub->profiler.empty()) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <barrier>
+#include <chrono>
 #include <thread>
 
 #include "common/check.hpp"
@@ -17,6 +18,13 @@ TimePoint sat_add(TimePoint t, Duration d) {
   return t + d;
 }
 
+Duration dur_sat_add(Duration a, Duration b) {
+  if (a >= static_cast<Duration>(Scheduler::kNoEvent) - b) {
+    return static_cast<Duration>(Scheduler::kNoEvent);
+  }
+  return a + b;
+}
+
 }  // namespace
 
 ParallelSim::ParallelSim(std::size_t shards, unsigned os_threads) {
@@ -29,6 +37,8 @@ ParallelSim::ParallelSim(std::size_t shards, unsigned os_threads) {
       s.inbox.push_back(std::make_unique<Mailbox>());
     }
   }
+  d_in_.assign(shards, std::vector<Duration>(shards, lookahead_));
+  for (std::size_t k = 0; k < shards; ++k) d_in_[k][k] = 0;
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   const unsigned want = os_threads == 0 ? hw : os_threads;
   threads_ = std::max(1u, std::min<unsigned>(
@@ -41,6 +51,54 @@ void ParallelSim::set_lookahead(Duration l) {
   PD_CHECK(l >= 1, "lookahead must be at least 1 ns");
   PD_CHECK(!running_, "lookahead change mid-run");
   lookahead_ = l;
+  d_in_.assign(shards_.size(), std::vector<Duration>(shards_.size(), l));
+  for (std::size_t k = 0; k < shards_.size(); ++k) d_in_[k][k] = 0;
+}
+
+void ParallelSim::set_lookahead_matrix(std::vector<std::vector<Duration>> d) {
+  PD_CHECK(!running_, "lookahead change mid-run");
+  const std::size_t n = shards_.size();
+  PD_CHECK(d.size() == n, "lookahead matrix has " << d.size() << " rows for "
+                                                  << n << " shards");
+  for (std::size_t i = 0; i < n; ++i) {
+    PD_CHECK(d[i].size() == n, "lookahead matrix row " << i << " has "
+                                                       << d[i].size()
+                                                       << " columns");
+    d[i][i] = 0;  // self-influence is local, not a mailbox path
+    for (std::size_t j = 0; j < n; ++j) {
+      PD_CHECK(i == j || d[i][j] >= 1,
+               "lookahead[" << i << "][" << j << "] must be >= 1 ns");
+    }
+  }
+  // Min-plus closure (Floyd–Warshall): an influence relayed through shard m
+  // is bounded by D[i][m] + D[m][j], so the effective pairwise bound is the
+  // cheapest path, not the direct edge.
+  for (std::size_t m = 0; m < n; ++m) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const Duration im = d[i][m];
+      for (std::size_t j = 0; j < n; ++j) {
+        d[i][j] = std::min(d[i][j], dur_sat_add(im, d[m][j]));
+      }
+    }
+  }
+  Duration min_off = static_cast<Duration>(Scheduler::kNoEvent);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) min_off = std::min(min_off, d[i][j]);
+    }
+  }
+  if (n > 1) lookahead_ = min_off;
+  // Transpose into inbound form so plan()'s hot scan for shard k walks one
+  // contiguous row: d_in_[k][j] = closed D[j][k].
+  d_in_.assign(n, std::vector<Duration>(n, 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) d_in_[j][i] = d[i][j];
+  }
+}
+
+void ParallelSim::set_horizon_policy(HorizonPolicy policy) {
+  PD_CHECK(!running_, "horizon policy change mid-run");
+  policy_ = policy;
 }
 
 void ParallelSim::set_shard_hooks(ShardHook enter, ShardHook leave) {
@@ -66,10 +124,26 @@ void ParallelSim::post(std::size_t dst, TimePoint t, EventFn fn,
     return;
   }
   PD_CHECK(src != kNoShard, "cross-shard post from outside a shard phase");
-  PD_CHECK(t >= epoch_floor_ + lookahead_,
-           "cross-shard post at t=" << t << " violates lookahead (epoch="
-                                    << epoch_floor_ << " L=" << lookahead_
-                                    << ")");
+  Shard& sender = shards_[src];
+  // The posting event runs at sender.sched->now(); its influence may not
+  // land on dst earlier than now + D[src][dst]. Per-pair, and anchored on
+  // the actual posting time rather than the epoch floor, this is strictly
+  // stronger than the PR 4 epoch_floor + L check.
+  PD_CHECK(t >= sat_add(sender.sched->now(), d_in_[dst][src]),
+           "cross-shard post at t=" << t << " violates lookahead (now="
+                                    << sender.sched->now() << " D["
+                                    << src << "][" << dst
+                                    << "]=" << d_in_[dst][src] << ")");
+  ++sender.posted_msgs;
+  if (policy_ == HorizonPolicy::kAdaptive) {
+    // Reflection cap: this event, once drained into dst, can bounce an
+    // influence back here no earlier than t + D[dst][src]. Shrink our own
+    // window so we never run past that point within this epoch. The cap is
+    // > now (t >= now + D[src][dst] and D[dst][src] >= 1), so the event
+    // currently executing is never invalidated.
+    sender.window_cap =
+        std::min(sender.window_cap, sat_add(t, d_in_[src][dst]));
+  }
   if (foreground) in_flight_fg_.fetch_add(1, std::memory_order_relaxed);
   Mailbox& mb = *shards_[dst].inbox[src];
   CrossEvent e{t, foreground, std::move(fn)};
@@ -129,24 +203,54 @@ bool ParallelSim::plan(TimePoint deadline, bool until_mode) {
     for (const Shard& s : shards_) fg += s.sched->foreground_live();
     if (fg == 0 || min1 == Scheduler::kNoEvent) return true;
   }
-  epoch_floor_ = min1;
+  const bool adaptive = policy_ == HorizonPolicy::kAdaptive;
+  bool skipped = false;
   for (std::size_t k = 0; k < shards_.size(); ++k) {
     Shard& s = shards_[k];
-    // Influence from another shard cannot land before (their earliest
-    // event) + L; influence reflected off our own earliest post needs 2L.
+    // PR 4 uniform-L horizon: influence from another shard cannot land
+    // before (their earliest event) + L; influence reflected off our own
+    // earliest post needs 2L. Kept as the floor for skip-ahead accounting
+    // and as the kLegacy policy.
     const TimePoint other = k == owner ? min2 : min1;
     const TimePoint base = std::min(other, sat_add(s.next, lookahead_));
-    TimePoint h = sat_add(base, lookahead_);
-    if (until_mode) h = std::min(h, deadline + 1);
+    TimePoint legacy_h = sat_add(base, lookahead_);
+    if (until_mode) legacy_h = std::min(legacy_h, deadline + 1);
+    TimePoint h = legacy_h;
+    bool fg_bounded = false;
+    if (adaptive) {
+      // H_k = min over the other shards of next_j + D[j][k]. Idle shards
+      // contribute nothing (empty-mailbox skip-ahead); the k -> j -> k
+      // reflection is handled dynamically by window_cap, so there is no
+      // self term. kNoEvent means an unbounded grant: run until local
+      // foreground work drains (never spin on background self-ticks).
+      h = Scheduler::kNoEvent;
+      const std::vector<Duration>& din = d_in_[k];
+      for (std::size_t j = 0; j < shards_.size(); ++j) {
+        if (j == k) continue;
+        h = std::min(h, sat_add(shards_[j].next, din[j]));
+      }
+      if (until_mode) {
+        h = std::min(h, deadline + 1);
+      } else {
+        fg_bounded = h == Scheduler::kNoEvent;
+      }
+      if (h > legacy_h) skipped = true;
+    }
     s.horizon = h;
+    s.window_cap = h;
+    s.fg_bounded = fg_bounded;
   }
+  if (skipped) ++skip_ahead_epochs_;
   return false;
 }
 
 void ParallelSim::execute(std::size_t k) {
   tl_shard = k;
   if (enter_shard_) enter_shard_(k);
-  shards_[k].sched->run_window(shards_[k].horizon);
+  Shard& s = shards_[k];
+  // window_cap may shrink mid-window when an event here posts cross-shard
+  // (the reflection cap installed by post()), hence the dynamic variant.
+  s.sched->run_window_dynamic(s.window_cap, s.fg_bounded);
   if (leave_shard_) leave_shard_(k);
   tl_shard = kNoShard;
 }
@@ -175,13 +279,24 @@ void ParallelSim::drive_threaded(TimePoint deadline, bool until_mode) {
                      sync.phase ^= 1;
                    });
   auto worker = [this, &sync, &bar](unsigned ti) {
+    using Clock = std::chrono::steady_clock;
+    std::uint64_t waited = 0;
+    auto arrive = [&bar, &waited] {
+      const auto t0 = Clock::now();
+      bar.arrive_and_wait();
+      waited += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               t0)
+              .count());
+    };
     for (;;) {
       for (std::size_t k = ti; k < shards_.size(); k += threads_) drain(k);
-      bar.arrive_and_wait();  // -> plan
-      if (sync.stop) return;
+      arrive();  // -> plan
+      if (sync.stop) break;
       for (std::size_t k = ti; k < shards_.size(); k += threads_) execute(k);
-      bar.arrive_and_wait();  // posts visible before the next drain
+      arrive();  // posts visible before the next drain
     }
+    barrier_wait_ns_.fetch_add(waited, std::memory_order_relaxed);
   };
   std::vector<std::thread> pool;
   pool.reserve(threads_ - 1);
@@ -218,6 +333,12 @@ std::size_t ParallelSim::run_until(TimePoint deadline) {
 std::uint64_t ParallelSim::events_processed() const {
   std::uint64_t total = 0;
   for (const Shard& s : shards_) total += s.sched->events_processed();
+  return total;
+}
+
+std::uint64_t ParallelSim::mailbox_msgs() const {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.posted_msgs;
   return total;
 }
 

@@ -1,4 +1,5 @@
-// Conservative parallel discrete-event simulation (PR 4 tentpole).
+// Conservative parallel discrete-event simulation (PR 4 tentpole,
+// adaptive lookahead + skip-ahead in ISSUE 9).
 //
 // A ParallelSim partitions the cluster into shards — one sim::Scheduler
 // per simulated node (plus shard 0 for the "edge": client, ingress, and
@@ -8,27 +9,38 @@
 // mailbox and drained into the destination's scheduler at the next epoch
 // boundary, in deterministic (src shard, post order) order.
 //
-// Safety (no causality violation) comes from the fabric's minimum
-// cross-node latency L (egress serialization + propagation/2 + switch
-// hop): an event executing at time t can influence another shard no
-// earlier than t + L. Each epoch, shard k may therefore run every event
-// strictly before
+// Safety (no causality violation) comes from per-pair lookahead: an
+// event executing on shard j at time t can influence shard k no earlier
+// than t + D[j][k], where D is the min-plus closure of each pair's
+// minimum path latency through the fabric (so relay chains j -> m -> k
+// are bounded too). Each epoch, shard k may run every event strictly
+// before
 //
-//   h_k = min( min_{j != k} next_j,  next_k + L ) + L
+//   H_k = min_{j != k} ( next_j + D[j][k] )
 //
 // where next_j is shard j's earliest pending timestamp after the drain.
-// The first term bounds direct influence from other shards; the second
-// bounds the reflected path k -> j -> k (k's own earliest post arrives at
-// next_k + L, and any reaction needs another L to come back). The shard
-// owning the global minimum always has h_k > next_k, so every epoch fires
-// at least one event and virtual time advances.
+// Idle shards (next_j = kNoEvent) contribute nothing — a shard whose
+// inbound mailboxes are provably empty past the barrier skips straight
+// ahead to its next local event instead of crawling epoch-by-epoch.
+// Reflection (k -> j -> k) is bounded dynamically: the moment shard k
+// posts cross-shard to j with arrival time t_a, its own window end
+// shrinks to min(H_k, t_a + D[j][k]) — before that first send there is
+// nothing in flight to reflect, because mailboxes only drain at
+// barriers. The shard owning the global minimum always has H_k > next_k,
+// so every epoch fires at least one event and virtual time advances.
+// (The PR 4 formula h_k = min(min_{j!=k} next_j, next_k + L) + L with a
+// single global L = min over all pairs remains available as
+// HorizonPolicy::kLegacy; it is conservative but caps every window at
+// next_k + 2L even when every other shard is idle.)
 //
 // Determinism across worker-thread counts is structural: phases are
 // barrier-separated (drain | plan | execute), mailboxes are drained in
 // fixed shard order, and each shard's execution touches only its own
 // state — so the merged event order is a pure function of the model, not
 // of the OS schedule. One OS thread, four OS threads, or the serial
-// fallback all produce bit-identical simulations.
+// fallback all produce bit-identical simulations — and because horizons
+// only regroup events into epochs without moving any timestamp, the
+// adaptive and legacy policies simulate identical models too.
 #pragma once
 
 #include <atomic>
@@ -42,6 +54,11 @@
 #include "sim/scheduler.hpp"
 
 namespace pd::sim {
+
+/// Epoch-horizon computation: kAdaptive (per-pair lookahead matrix +
+/// empty-mailbox skip-ahead + dynamic reflection cap) or kLegacy (PR 4's
+/// uniform-L formula — kept for A/B tests and epoch-count regressions).
+enum class HorizonPolicy : std::uint8_t { kAdaptive, kLegacy };
 
 class ParallelSim {
  public:
@@ -60,11 +77,25 @@ class ParallelSim {
   /// OS threads the drivers will actually use.
   [[nodiscard]] unsigned os_threads() const { return threads_; }
 
-  /// Conservative lookahead L in ns. Defaults to 1 (always safe); the
-  /// cluster raises it to the fabric's minimum cross-node latency. Must be
-  /// set before the first run.
+  /// Uniform conservative lookahead L in ns (fills the whole matrix).
+  /// Defaults to 1 (always safe); must be set before the first run.
   void set_lookahead(Duration l);
+  /// Per-pair lookahead matrix: d[src][dst] lower-bounds the latency of
+  /// any direct influence from an event on `src` to shard `dst` (the
+  /// cluster derives it from per-pair fabric path latency). The matrix is
+  /// closed under min-plus here (Floyd–Warshall), so multi-shard relay
+  /// chains are bounded by the pairwise entries too. Off-diagonal entries
+  /// must be >= 1; must be set before a run.
+  void set_lookahead_matrix(std::vector<std::vector<Duration>> d);
+  /// The smallest off-diagonal matrix entry (the uniform L of kLegacy).
   [[nodiscard]] Duration lookahead() const { return lookahead_; }
+  /// Effective (closed) lookahead from shard `src` to shard `dst`.
+  [[nodiscard]] Duration lookahead(std::size_t src, std::size_t dst) const {
+    return d_in_[dst][src];
+  }
+
+  void set_horizon_policy(HorizonPolicy policy);
+  [[nodiscard]] HorizonPolicy horizon_policy() const { return policy_; }
 
   /// Hooks run around a shard's execute phase on whichever thread drives
   /// it (the runtime installs the shard's observability hub here).
@@ -72,10 +103,10 @@ class ParallelSim {
   void set_shard_hooks(ShardHook enter, ShardHook leave);
 
   /// Post `fn` to run on shard `dst` at absolute time `t`. From model code
-  /// inside a run, `t` must respect the lookahead (t >= epoch start + L);
-  /// outside a run (setup phase) any future time is accepted and the event
-  /// is scheduled directly. `foreground` mirrors Scheduler::schedule_at vs
-  /// schedule_background_at.
+  /// inside a run, `t` must respect the pair's lookahead (t >= the posting
+  /// shard's now() + D[src][dst]); outside a run (setup phase) any future
+  /// time is accepted and the event is scheduled directly. `foreground`
+  /// mirrors Scheduler::schedule_at vs schedule_background_at.
   void post(std::size_t dst, TimePoint t, EventFn fn, bool foreground = true);
 
   /// Shard index the calling thread is currently executing, or npos when
@@ -93,9 +124,28 @@ class ParallelSim {
   [[nodiscard]] bool running() const { return running_; }
   /// Sum of events processed across shards.
   [[nodiscard]] std::uint64_t events_processed() const;
-  /// Epoch barriers executed so far (diagnostics: epochs per wall second
-  /// bound the win real cores can deliver).
+
+  // --- protocol self-metrics (pdes.*, ISSUE 9) -----------------------------
+  // Epoch/mailbox/skip counters are pure functions of the model (exported
+  // through the metrics registry and the BENCH json, so protocol-cost
+  // claims are machine-checkable); barrier_wait_ns is wall clock.
+
+  /// Epoch barriers executed so far (epochs per simulated second bound the
+  /// win real cores can deliver).
   [[nodiscard]] std::uint64_t epochs() const { return epochs_; }
+  /// Epochs in which at least one shard's adaptive horizon exceeded what
+  /// the legacy uniform-L formula would have granted it.
+  [[nodiscard]] std::uint64_t skip_ahead_epochs() const {
+    return skip_ahead_epochs_;
+  }
+  /// Cross-shard events posted through the mailboxes.
+  [[nodiscard]] std::uint64_t mailbox_msgs() const;
+  /// Wall-clock ns worker threads spent inside epoch barriers, summed over
+  /// threads (0 for single-threaded drives). Machine-dependent — kept out
+  /// of deterministic artifact diffs.
+  [[nodiscard]] std::uint64_t barrier_wait_ns() const {
+    return barrier_wait_ns_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct CrossEvent {
@@ -122,7 +172,16 @@ class ParallelSim {
     /// Inbound mailboxes, indexed by source shard.
     std::vector<std::unique_ptr<Mailbox>> inbox;
     TimePoint next = Scheduler::kNoEvent;  ///< after drain, for planning
-    TimePoint horizon = 0;                 ///< h_k for the current epoch
+    TimePoint horizon = 0;                 ///< H_k for the current epoch
+    /// Dynamic window end during execute: starts at `horizon`, shrinks on
+    /// this shard's own cross-shard posts (the reflection cap). Only ever
+    /// touched by the thread executing the shard.
+    TimePoint window_cap = 0;
+    /// Unbounded grant (every other shard idle): stop once local
+    /// foreground work drains instead of spinning on background events.
+    bool fg_bounded = false;
+    /// Cross-shard events this shard posted (owner-thread counter).
+    std::uint64_t posted_msgs = 0;
   };
 
   void drain(std::size_t k);
@@ -136,13 +195,18 @@ class ParallelSim {
 
   std::vector<Shard> shards_;
   unsigned threads_ = 1;
-  Duration lookahead_ = 1;
+  Duration lookahead_ = 1;  ///< min off-diagonal entry (legacy uniform L)
+  /// Inbound lookahead, transposed for plan()'s per-shard scan:
+  /// d_in_[dst][src] = closed D[src][dst].
+  std::vector<std::vector<Duration>> d_in_;
+  HorizonPolicy policy_ = HorizonPolicy::kAdaptive;
   ShardHook enter_shard_;
   ShardHook leave_shard_;
   bool running_ = false;
-  TimePoint epoch_floor_ = 0;  ///< g of the current epoch (post() checks)
   std::atomic<std::uint64_t> in_flight_fg_{0};
   std::uint64_t epochs_ = 0;
+  std::uint64_t skip_ahead_epochs_ = 0;
+  std::atomic<std::uint64_t> barrier_wait_ns_{0};
 };
 
 }  // namespace pd::sim

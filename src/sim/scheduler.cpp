@@ -136,6 +136,20 @@ std::size_t Scheduler::run_window(TimePoint end) {
   return n;
 }
 
+std::size_t Scheduler::run_window_dynamic(const TimePoint& end,
+                                          bool stop_when_fg_idle) {
+  std::size_t n = 0;
+  // `end` is re-read every iteration: the parallel driver shrinks it
+  // mid-window when an event here sends cross-shard (the reflection cap,
+  // DESIGN.md §15). The cap only ever shrinks to values above the current
+  // event's time, so no already-fired event can violate it.
+  while (!heap_.empty() && heap_[0].t < end) {
+    if (stop_when_fg_idle && foreground_live_ == 0) break;
+    if (pop_one()) ++n;
+  }
+  return n;
+}
+
 void Scheduler::advance_to(TimePoint t) {
   PD_CHECK(t >= now_, "advance_to into the past: t=" << t << " now=" << now_);
   PD_CHECK(heap_.empty() || heap_[0].t >= t,

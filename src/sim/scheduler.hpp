@@ -91,6 +91,16 @@ class Scheduler {
   /// `end`. Returns events processed.
   std::size_t run_window(TimePoint end);
 
+  /// run_window with a window end that may shrink *while the window runs*:
+  /// `end` is read afresh before each event, so the parallel driver can
+  /// cap the window the moment the shard's own cross-shard send creates a
+  /// reflection hazard (adaptive lookahead, DESIGN.md §15). With
+  /// `stop_when_fg_idle` the window also ends once no foreground event
+  /// remains on this scheduler — the shard-local analog of run()'s stop
+  /// condition, used for unbounded grants so self-rescheduling background
+  /// events cannot spin forever.
+  std::size_t run_window_dynamic(const TimePoint& end, bool stop_when_fg_idle);
+
   /// Move the clock to `t` without firing anything. Only legal when no
   /// pending event precedes `t` (the parallel driver uses it to align all
   /// shards on a run_until deadline).

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "common/check.hpp"
+#include "fabric/fabric.hpp"
 #include "fault/fault.hpp"
 #include "ingress/palladium_ingress.hpp"
 #include "obs/hub.hpp"
@@ -145,6 +147,174 @@ TEST(Pdes, ChaosReplayBitIdenticalAcrossThreadCounts) {
       EXPECT_EQ(got.metrics_json, ref.metrics_json);
     }
   }
+}
+
+// ISSUE 9: the per-pair lookahead contract is fail-loud. A cross-shard
+// post whose arrival time undercuts the pair's matrix entry must throw,
+// not silently corrupt causality — this is what makes the communication-
+// graph matrix tightening safe to rely on.
+TEST(Pdes, CrossShardPostBelowPairLookaheadThrows) {
+  constexpr sim::Duration kD = 1'000;
+  const auto make = [&] {
+    auto psim = std::make_unique<sim::ParallelSim>(/*shards=*/2,
+                                                   /*os_threads=*/1);
+    psim->set_lookahead_matrix({{0, kD}, {kD, 0}});
+    return psim;
+  };
+
+  {
+    auto psim = make();
+    psim->shard(0).schedule_at(100, [&psim] {
+      // now=100, D[0][1]=1000: arrival at 500 violates the pair bound.
+      psim->post(1, 500, [] {});
+    });
+    EXPECT_THROW(psim->run(), pd::CheckFailure);
+  }
+  {
+    auto psim = make();
+    bool delivered = false;
+    psim->shard(0).schedule_at(100, [&] {
+      psim->post(1, 100 + kD, [&delivered] { delivered = true; });
+    });
+    EXPECT_NO_THROW(psim->run());
+    EXPECT_TRUE(delivered);
+  }
+}
+
+// ISSUE 9 scale scenario: a 32-worker / 4-leaf / 16-cell boutique on the
+// leaf-sharded multi-switch fabric. One shard per leaf switch, scoped
+// tenants, per-pair lookahead from the communication graph.
+struct ScaleResult {
+  std::uint64_t events = 0;
+  std::uint64_t requests = 0;
+  sim::Duration p50 = 0;
+  sim::Duration p99 = 0;
+  std::uint64_t epochs = 0;
+  std::uint64_t skip_ahead = 0;
+  std::uint64_t mailbox_msgs = 0;
+  std::string metrics_json;
+};
+
+ScaleResult run_scale_boutique(unsigned os_threads, bool legacy_horizon) {
+  constexpr int kNodes = 32;
+  constexpr std::size_t kCells = 16;
+  constexpr std::size_t kPerSwitch = 8;
+  sim::ParallelSim psim(/*shards=*/1 + kNodes / kPerSwitch, os_threads);
+  if (legacy_horizon) psim.set_horizon_policy(sim::HorizonPolicy::kLegacy);
+  runtime::ClusterConfig cfg;
+  cfg.cpu_cores_per_node = 8;
+  cfg.pool_buffers = 1024;
+  cfg.system = runtime::SystemKind::kPalladiumDne;
+  cfg.topology.nodes_per_switch = kPerSwitch;
+  cfg.shard_mapping = runtime::ShardMapping::kLeafPerShard;
+  runtime::Cluster cluster(psim, cfg);
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < kNodes; ++i) {
+    const NodeId id{static_cast<std::uint32_t>(1 + i)};
+    cluster.add_worker(id);
+    nodes.push_back(id);
+  }
+  const auto cells =
+      runtime::OnlineBoutique::deploy_cells(cluster, nodes, kCells);
+
+  ingress::PalladiumIngress::Config icfg;
+  icfg.initial_workers = 2;
+  icfg.request_deadline = 0;
+  ingress::PalladiumIngress ing(cluster, icfg);
+  const auto route = [](std::uint32_t cell) {
+    return cell == 0 ? std::string("/run") : "/run#" + std::to_string(cell);
+  };
+  for (const auto& cell : cells) {
+    ing.expose_chain(route(cell.index), cell.home_query);
+  }
+  ing.finish_setup();
+  cluster.finish_setup();
+  if (legacy_horizon) {
+    // The PR 4 protocol baseline: uniform flat-fabric lookahead everywhere
+    // (the policy selected above restores the old horizon arithmetic).
+    psim.set_lookahead(fabric::cross_node_lookahead());
+  }
+
+  std::vector<std::unique_ptr<workload::HttpLoadGen>> gens;
+  for (const auto& cell : cells) {
+    workload::HttpLoadGen::Config wcfg;
+    wcfg.target = route(cell.index);
+    wcfg.body = std::string(64, 'x');
+    wcfg.client_cores = 2;
+    auto gen =
+        std::make_unique<workload::HttpLoadGen>(psim.shard(0), ing, wcfg);
+    gen->add_clients(2);
+    gens.push_back(std::move(gen));
+  }
+
+  const std::uint64_t epochs0 = psim.epochs();
+  psim.run_until(psim.shard(0).now() + 20'000'000);
+  for (auto& g : gens) g->stop();
+  psim.run();
+
+  obs::Hub merged;
+  cluster.merge_observability(merged);
+
+  ScaleResult r;
+  r.events = psim.events_processed();
+  r.epochs = psim.epochs() - epochs0;
+  r.skip_ahead = psim.skip_ahead_epochs();
+  r.mailbox_msgs = psim.mailbox_msgs();
+  sim::LatencyHistogram lat;
+  for (const auto& g : gens) {
+    r.requests += g->latencies().count();
+    lat.merge(g->latencies());
+  }
+  r.p50 = lat.quantile(0.5);
+  r.p99 = lat.quantile(0.99);
+  r.metrics_json = merged.registry.to_json();
+  return r;
+}
+
+TEST(Pdes, LeafShardedScaleBitIdenticalAcrossThreadCounts) {
+  const ScaleResult ref = run_scale_boutique(1, /*legacy_horizon=*/false);
+  ASSERT_GT(ref.events, 0u);
+  ASSERT_GT(ref.requests, 0u);
+  ASSERT_GT(ref.epochs, 0u);
+  ASSERT_GT(ref.mailbox_msgs, 0u);
+
+  for (unsigned threads : {2u, 4u}) {
+    SCOPED_TRACE("os_threads=" + std::to_string(threads));
+    const ScaleResult got = run_scale_boutique(threads, false);
+    EXPECT_EQ(got.events, ref.events);
+    EXPECT_EQ(got.requests, ref.requests);
+    EXPECT_EQ(got.p50, ref.p50);
+    EXPECT_EQ(got.p99, ref.p99);
+    EXPECT_EQ(got.epochs, ref.epochs);
+    EXPECT_EQ(got.skip_ahead, ref.skip_ahead);
+    EXPECT_EQ(got.mailbox_msgs, ref.mailbox_msgs);
+    EXPECT_EQ(got.metrics_json, ref.metrics_json);
+  }
+}
+
+// Horizon-audit regression (ISSUE 9 satellite): the legacy PR 4 formula
+// stays available as HorizonPolicy::kLegacy and both policies simulate the
+// same model — identical request latencies to the nanosecond. Only epoch
+// grouping differs, and the adaptive protocol must keep its >=5x epoch
+// reduction on the leaf-sharded scale scenario. Latency quantiles (not raw
+// event counts) are the cross-policy equality check: events that share a
+// timestamp can drain in different epochs under different policies and
+// pick up different tie-break sequence numbers, which at dense load can
+// shuffle a handful of same-time deliveries without moving any latency.
+TEST(Pdes, AdaptiveHorizonCutsEpochsVsLegacy) {
+  const ScaleResult adaptive = run_scale_boutique(1, /*legacy_horizon=*/false);
+  const ScaleResult legacy = run_scale_boutique(1, /*legacy_horizon=*/true);
+  ASSERT_GT(adaptive.requests, 0u);
+
+  EXPECT_EQ(adaptive.requests, legacy.requests);
+  EXPECT_EQ(adaptive.p50, legacy.p50);
+  EXPECT_EQ(adaptive.p99, legacy.p99);
+  // The epoch-count pin: the legacy protocol crawls in uniform-L steps and
+  // must stay the (expensive) upper baseline; adaptive batches cross-leaf
+  // horizons and skip-ahead epochs must actually occur.
+  EXPECT_GT(adaptive.skip_ahead, 0u);
+  EXPECT_EQ(legacy.skip_ahead, 0u);
+  EXPECT_GE(legacy.epochs, 5 * adaptive.epochs);
 }
 
 // Satellite 3: metric snapshots depend only on the instrument key set,

@@ -21,6 +21,8 @@
 #                                       (recording it first if missing)
 #   tools/bench_gate.sh --record FILE   just run the sweep, JSON to FILE
 #                                       (for refreshing a committed baseline)
+#   tools/bench_gate.sh --record-scale  re-record the ISSUE 9 scale-point
+#                                       golden (tools/golden/pdes_scale.json)
 #   tools/bench_gate.sh BASELINE.json   gate against an explicit baseline
 set -e
 cd "$(dirname "$0")/.."
@@ -33,6 +35,10 @@ fi
 
 if [ "$1" = "--record" ] && [ -n "$2" ]; then
   exec "$GATE" --json "$2"
+fi
+
+if [ "$1" = "--record-scale" ]; then
+  exec "$GATE" --scale --json tools/golden/pdes_scale.json
 fi
 
 if [ -n "$1" ]; then
@@ -97,5 +103,16 @@ if [ -x "$FIG12" ] && [ -f tools/golden/cart_store.json ] \
     --json build/cart_store_current.json > /dev/null || rc=1
   build/tools/report_diff tools/golden/cart_store.json \
     build/cart_store_current.json || rc=1
+fi
+# PDES scale-point gate (DESIGN.md §15): the 32-node leaf-sharded boutique's
+# simulated latencies and pdes_* protocol counters (epochs, skip-ahead,
+# mailbox messages) are pure functions of the model — exactly reproducible
+# on any machine. Drift from the committed golden means the epoch protocol
+# or the model changed; re-record deliberately with --record-scale.
+if [ -f tools/golden/pdes_scale.json ] && [ -x build/tools/report_diff ]; then
+  "$GATE" --scale --json build/pdes_scale_current.json || rc=1
+  build/tools/report_diff --only sim_ --only .events --only .requests \
+    --only pdes_epochs --only pdes_skip_ahead --only pdes_mailbox \
+    tools/golden/pdes_scale.json build/pdes_scale_current.json || rc=1
 fi
 exit $rc

@@ -32,6 +32,15 @@
 #                            fails if the artifacts differ across thread
 #                            counts, drift from the committed golden, or if
 #                            report_diff passes a perturbed artifact
+#   tools/run_all.sh scale   build, run the pdes-labeled ctest suite (which
+#                            includes the 32-node leaf-sharded determinism
+#                            tests), then the perf_gate --scale point at
+#                            --threads 1/2/4 into scale_report/; fails if
+#                            the deterministic leaves (sim latencies,
+#                            events/request, pdes_* protocol counters)
+#                            differ across thread counts, drift from the
+#                            committed golden, or if report_diff passes a
+#                            perturbed artifact
 #   tools/run_all.sh obs     build, run the obs-report + obs-ts ctest labels,
 #                            then an observability boutique sweep: critical-
 #                            path + flamegraph + SLO + flight-recorder
@@ -74,6 +83,11 @@ if [ "$1" = "tsan" ]; then
   # threads; the perf_gate smoke adds the run_until + drain path.
   TSAN_OPTIONS=halt_on_error=1 \
     ./build-tsan/bench/perf_gate --smoke --threads 2 > /dev/null
+  # A small multi-switch leaf-sharded point exercises the adaptive-horizon
+  # skip-ahead and reflection-cap paths (ISSUE 9) under TSan too.
+  TSAN_OPTIONS=halt_on_error=1 \
+    ./build-tsan/bench/perf_gate --scale --nodes 8 --cells 4 --switch 4 \
+    --clients 16 --threads 2 > /dev/null
   echo "tsan smoke passed: parallel epoch loop is data-race-clean"
   exit 0
 fi
@@ -151,6 +165,53 @@ if [ "$1" = "cartstore" ]; then
   fi
   echo "report_diff: perturbed artifact rejected (as it must be)"
   echo "cartstore sweep passed: one-sided READ path deterministic, no fallbacks"
+  exit 0
+fi
+
+if [ "$1" = "scale" ]; then
+  cmake -B build -G Ninja
+  cmake --build build
+  ctest --test-dir build -L pdes --output-on-failure 2>&1 | tee scale_output.txt
+  rm -rf scale_report && mkdir -p scale_report
+  # The ISSUE 9 scale point (32 workers / 4 leaf switches / 16 cells, one
+  # shard per leaf) per worker-thread count, plus the PR 4 protocol
+  # baseline for the epoch-reduction A/B.
+  for t in 1 2 4; do
+    echo "=== perf_gate --scale --threads $t ==="
+    ./build/bench/perf_gate --scale --threads "$t" \
+      --json "scale_report/t$t.json"
+  done 2>&1 | tee -a scale_output.txt
+  echo "=== perf_gate --scale --legacy-horizon (PR 4 protocol baseline) ===" \
+    | tee -a scale_output.txt
+  ./build/bench/perf_gate --scale --legacy-horizon \
+    --json scale_report/legacy.json 2>&1 | tee -a scale_output.txt
+  # Determinism gate: every simulated-time leaf — latencies, event counts,
+  # and the pdes_* protocol counters — must be identical across thread
+  # counts (wall_sec and barrier_wait are machine noise, excluded).
+  for t in 2 4; do
+    ./build/tools/report_diff --only sim_ --only .events --only .requests \
+      --only pdes_epochs --only pdes_skip_ahead --only pdes_mailbox \
+      scale_report/t1.json "scale_report/t$t.json" || exit 1
+    echo "scale_report/t$t.json deterministic leaves match t1"
+  done 2>&1 | tee -a scale_output.txt
+  # Golden gate: drift from the committed scale-point artifact means the
+  # model or the epoch protocol changed and the golden must be re-recorded
+  # deliberately (tools/bench_gate.sh --record-scale).
+  ./build/tools/report_diff --only sim_ --only .events --only .requests \
+    --only pdes_epochs --only pdes_skip_ahead --only pdes_mailbox \
+    tools/golden/pdes_scale.json scale_report/t1.json \
+    2>&1 | tee -a scale_output.txt
+  grep -q "report_diff: OK" scale_output.txt || exit 1
+  # ...and report_diff itself must fail loudly on a perturbed artifact.
+  sed 's/"pdes_epochs": /"pdes_epochs": 9/' scale_report/t1.json \
+    > scale_report/perturbed.json
+  if ./build/tools/report_diff --quiet --only pdes_epochs \
+      scale_report/t1.json scale_report/perturbed.json; then
+    echo "scale sweep FAILED: report_diff passed a perturbed artifact" >&2
+    exit 1
+  fi
+  echo "report_diff: perturbed artifact rejected (as it must be)"
+  echo "scale sweep passed: 32-node epoch protocol deterministic across threads"
   exit 0
 fi
 
