@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   std::string scenario = "all";
   std::string control = "both";
   std::string json_path;
+  std::string ledger_path;
   control::OverloadOptions opts;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--scenario") == 0 && i + 1 < argc) {
@@ -36,10 +37,23 @@ int main(int argc, char** argv) {
       opts.chaos_seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--ledger-json") == 0 && i + 1 < argc) {
+      ledger_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc) {
+      const char* p = argv[++i];
+      if (std::strcmp(p, "burn") == 0) {
+        opts.shed_policy = control::ShedPolicy::kBurnRate;
+      } else if (std::strcmp(p, "blame") == 0) {
+        opts.shed_policy = control::ShedPolicy::kBlame;
+      } else {
+        std::fprintf(stderr, "unknown --policy \"%s\" (burn|blame)\n", p);
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--scenario <name|all>] [--control on|off|both] "
-                   "[--threads N] [--seconds S] [--seed K] [--json FILE]\n",
+                   "[--policy burn|blame] [--threads N] [--seconds S] "
+                   "[--seed K] [--json FILE] [--ledger-json FILE]\n",
                    argv[0]);
       return 2;
     }
@@ -64,6 +78,7 @@ int main(int argc, char** argv) {
   }
 
   std::string json = "[\n";
+  std::string ledger = "[\n";
   bool first = true;
   for (control::OverloadScenario s : scenarios) {
     for (bool on : columns) {
@@ -71,9 +86,13 @@ int main(int argc, char** argv) {
       opts.control = on;
       const control::OverloadResult r = control::run_overload(opts);
       std::printf("%s\n", r.table().c_str());
-      if (!first) json += ",\n";
+      if (!first) {
+        json += ",\n";
+        ledger += ",\n";
+      }
       first = false;
       json += r.json();
+      ledger += r.ledger_json;
       if (!r.zero_loss) {
         std::fprintf(stderr, "FAIL: %s control=%d lost requests silently\n",
                      r.scenario.c_str(), on ? 1 : 0);
@@ -82,6 +101,7 @@ int main(int argc, char** argv) {
     }
   }
   json += "]\n";
+  ledger += "]\n";
 
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
@@ -92,6 +112,16 @@ int main(int argc, char** argv) {
     std::fwrite(json.data(), 1, json.size(), f);
     std::fclose(f);
     std::printf("overload artifact -> %s\n", json_path.c_str());
+  }
+  if (!ledger_path.empty()) {
+    std::FILE* f = std::fopen(ledger_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", ledger_path.c_str());
+      return 1;
+    }
+    std::fwrite(ledger.data(), 1, ledger.size(), f);
+    std::fclose(f);
+    std::printf("ledger artifact -> %s\n", ledger_path.c_str());
   }
   return 0;
 }

@@ -22,6 +22,9 @@
 //                                           # + ASCII dashboard
 //   $ ./examples/boutique_demo --strict     # healthy-run invariants become
 //                                           # hard failures (CI mode)
+//   $ ./examples/boutique_demo --ledger     # per-tenant resource ledger +
+//                                           # interference blame table
+//                                           # -> boutique_ledger.{json,csv}
 //   $ ./examples/boutique_demo --overload flash_crowd
 //                                           # run an overload scenario twice
 //                                           # (control loop off, then on) and
@@ -53,6 +56,7 @@ int main(int argc, char** argv) {
   bool flame = false;
   bool timeline = false;
   bool strict = false;
+  bool ledger = false;
   std::uint64_t chaos_seed = 0;
   std::size_t threads = 0;  // 0 = legacy single-scheduler simulation
   std::int64_t seconds = 5;
@@ -68,6 +72,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--flame") == 0) flame = true;
     if (std::strcmp(argv[i], "--timeline") == 0) timeline = true;
     if (std::strcmp(argv[i], "--strict") == 0) strict = true;
+    if (std::strcmp(argv[i], "--ledger") == 0) ledger = true;
     if (std::strcmp(argv[i], "--chaos") == 0 && i + 1 < argc) {
       chaos = true;
       chaos_seed = std::strtoull(argv[++i], nullptr, 10);
@@ -107,7 +112,7 @@ int main(int argc, char** argv) {
   }
 
   const bool tracing = trace || critpath;
-  const bool observing = tracing || slo || flame || timeline;
+  const bool observing = tracing || slo || flame || timeline || ledger;
   const sim::Duration horizon = seconds * 1'000'000'000;
 
   // With tracing on, sample every 500th request end-to-end (a 5 s run
@@ -160,6 +165,14 @@ int main(int argc, char** argv) {
   gateway.expose_chain("/checkout", runtime::OnlineBoutique::kCheckoutChain);
   gateway.finish_setup();
   cluster->finish_setup();
+  std::unique_ptr<obs::LedgerSession> ledger_session;
+  if (ledger) {
+    cluster->enable_ledger();
+    gateway.attach_pool_clock();
+    if (psim == nullptr) {
+      ledger_session = std::make_unique<obs::LedgerSession>(hub.ledger);
+    }
+  }
   if (timeline) {
     // 1 ms sampling over the whole topology: engines, RNICs, buffer pools,
     // DWRR state, QP health, cores, plus the gateway's edge-side gauges.
@@ -227,6 +240,12 @@ int main(int argc, char** argv) {
     sched.run_until(horizon);
     for (auto& g : gens) g->stop();
     sched.run();
+  }
+  if (ledger) {
+    cluster->collect_pool_slot_ns();
+    if (obs::Hub* eh = cluster->edge_hub()) {
+      gateway.collect_pool_slot_ns(eh->ledger);
+    }
   }
   if (psim != nullptr) {
     cluster->merge_observability(hub);
@@ -366,6 +385,28 @@ int main(int argc, char** argv) {
         hub.timeseries.series_count(),
         static_cast<unsigned long long>(hub.timeseries.samples_taken()),
         prefix.c_str());
+  }
+  if (ledger) {
+    const obs::Ledger::Totals t = hub.ledger.totals();
+    std::printf("\nresource ledger: busy=%llu ns wait=%llu ns bytes=%llu\n%s",
+                static_cast<unsigned long long>(t.busy_ns),
+                static_cast<unsigned long long>(t.wait_ns),
+                static_cast<unsigned long long>(t.bytes),
+                hub.ledger.table().c_str());
+    std::FILE* jf = std::fopen((prefix + "_ledger.json").c_str(), "w");
+    if (jf != nullptr) {
+      const std::string j = hub.ledger.to_json();
+      std::fwrite(j.data(), 1, j.size(), jf);
+      std::fclose(jf);
+    }
+    std::FILE* cf = std::fopen((prefix + "_ledger.csv").c_str(), "w");
+    if (cf != nullptr) {
+      const std::string c = hub.ledger.to_csv();
+      std::fwrite(c.data(), 1, c.size(), cf);
+      std::fclose(cf);
+    }
+    std::printf("resource ledger -> %s_ledger.{json,csv}\n", prefix.c_str());
+    hub.ledger.export_metrics(hub.registry);
   }
   if (observing) {
     runtime::export_metrics(*cluster, hub.registry);

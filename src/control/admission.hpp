@@ -61,9 +61,20 @@ class AdmissionController {
   void set_pressure(bool on) {
     if (on && !pressure_) ++engagements_;
     pressure_ = on;
+    if (!on) target_ = TenantId{};
   }
   [[nodiscard]] bool pressure() const { return pressure_; }
   [[nodiscard]] std::uint64_t engagements() const { return engagements_; }
+
+  /// Targeted (blame-driven) pressure: point the gate at the measured
+  /// aggressor. While pressure is engaged with a target, the target pays
+  /// `target_cost()` tokens per admit — a 1/target_cost() clamp of its
+  /// provisioned rate — while other best-effort tenants keep the plain
+  /// one-token clamp. Releasing pressure clears the target.
+  void set_pressure_target(TenantId tenant) { target_ = tenant; }
+  void clear_pressure_target() { target_ = TenantId{}; }
+  [[nodiscard]] TenantId pressure_target() const { return target_; }
+  [[nodiscard]] static constexpr std::uint64_t target_cost() { return 4; }
 
   /// Gate one request of `tenant` arriving at simulated time `now`.
   /// Unknown tenants (no declared policy) are always admitted.
@@ -72,6 +83,24 @@ class AdmissionController {
     if (it == tenants_.end()) return Verdict::kAdmit;
     State& s = it->second;
     refill(s, now);
+    if (pressure_ && target_.valid()) {
+      // Blame-driven mode: shedding is focused on the measured aggressor.
+      // The target pays target_cost() tokens per admit (rate_rps / 4
+      // effective — strictly tighter than the plain clamp); everyone else
+      // keeps flowing, so innocent best-effort tenants are not collateral.
+      if (tenant != target_) {
+        if (s.tokens > 0) --s.tokens;
+        ++s.admitted;
+        return Verdict::kAdmit;
+      }
+      if (s.tokens >= target_cost()) {
+        s.tokens -= target_cost();
+        ++s.admitted;
+        return Verdict::kAdmit;
+      }
+      ++s.shed;
+      return Verdict::kShed;
+    }
     if (!pressure_ || s.policy.priority >= 1) {
       // Consume a token when one is there so a protected tenant's bucket
       // reflects its real arrival rate, but never block on it.
@@ -137,6 +166,7 @@ class AdmissionController {
 
   std::unordered_map<TenantId, State> tenants_;
   bool pressure_ = false;
+  TenantId target_{};  ///< invalid() = untargeted (plain clamp)
   std::uint64_t engagements_ = 0;
 };
 

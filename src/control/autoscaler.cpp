@@ -7,6 +7,14 @@
 
 namespace pd::control {
 
+const char* to_string(ShedPolicy policy) {
+  switch (policy) {
+    case ShedPolicy::kBurnRate: return "burn-rate";
+    case ShedPolicy::kBlame: return "blame";
+  }
+  return "?";
+}
+
 // ---------------------------------------------------------------------------
 // EdgeController
 // ---------------------------------------------------------------------------
@@ -115,6 +123,23 @@ void EdgeController::tick() {
       admission_->set_pressure(true);
       events_.push_back(ScaleEvent{sched_.now(), "pressure", 0, 1, "burn"});
       if (hub != nullptr) hub->registry.counter("control.pressure_on", "").inc();
+      if (config_.shed_policy == ShedPolicy::kBlame && hub != nullptr &&
+          config_.protected_tenant.valid()) {
+        // Close the loop: the interference matrix measured so far names the
+        // tenant that imposed the most queueing on the protected tenant;
+        // that aggressor gets the targeted clamp. No measured aggressor
+        // (-1) leaves the plain burn-rate clamp in force.
+        const std::int64_t aggressor = hub->ledger.top_aggressor(
+            static_cast<std::int64_t>(config_.protected_tenant.value()));
+        if (aggressor >= 0) {
+          admission_->set_pressure_target(
+              TenantId{static_cast<std::uint32_t>(aggressor)});
+          events_.push_back(ScaleEvent{sched_.now(), "pressure-target", 0,
+                                       static_cast<int>(aggressor), "blame"});
+          hub->registry.gauge("control.pressure_target", "")
+              .set(static_cast<double>(aggressor));
+        }
+      }
       p_on_run_ = 0;
     } else if (admission_->pressure() &&
                p_off_run_ >= config_.pressure_off_hysteresis) {

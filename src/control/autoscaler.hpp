@@ -42,6 +42,16 @@ struct ScaleEvent {
   std::string reason;  ///< "burn", "backlog", "idle", ...
 };
 
+/// What the admission gate does once pressure engages. kBurnRate is the
+/// ISSUE 7 behaviour: clamp every best-effort tenant to its provisioned
+/// token rate. kBlame closes the ISSUE 10 loop: read the resource ledger's
+/// interference matrix, identify the tenant imposing the most queueing on
+/// the protected tenant, and point the gate's targeted clamp at that
+/// measured aggressor — innocent best-effort tenants keep flowing.
+enum class ShedPolicy : std::uint8_t { kBurnRate, kBlame };
+
+[[nodiscard]] const char* to_string(ShedPolicy policy);
+
 struct EdgeControllerConfig {
   sim::Duration period = 50'000'000;  // 50 ms control loop
   /// Scale-up signal: SLO burn at/above this, or pending requests per
@@ -75,6 +85,13 @@ struct EdgeControllerConfig {
   /// extends the outage, so both hold while the cores carry more than
   /// this much queued work.
   sim::Duration worker_backlog_quiet_ns = 1'000'000;  // 1 ms
+  /// Shedding policy under pressure (see ShedPolicy). kBlame requires the
+  /// resource ledger to be enabled and `protected_tenant` set; with no
+  /// measured aggressor it degrades to kBurnRate behaviour.
+  ShedPolicy shed_policy = ShedPolicy::kBurnRate;
+  /// The tenant whose interference column the kBlame policy consults (the
+  /// victim whose top aggressor gets targeted).
+  TenantId protected_tenant{};
 };
 
 class EdgeController {

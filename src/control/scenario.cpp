@@ -42,6 +42,14 @@ void append_u64(std::string& out, const char* key, std::uint64_t v,
   out += buf;
 }
 
+void append_i64(std::string& out, const char* key, std::int64_t v,
+                bool comma = true) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "\"%s\": %lld%s", key,
+                static_cast<long long>(v), comma ? ", " : "");
+  out += buf;
+}
+
 }  // namespace
 
 const char* to_string(OverloadScenario s) {
@@ -143,6 +151,18 @@ OverloadResult run_overload(const OverloadOptions& opts) {
   gateway.finish_setup();
   cluster->finish_setup();
 
+  // The resource ledger is always on for overload runs: the blame matrix
+  // is part of the scenario artifact (before/after interference view), and
+  // with the kBlame policy it is also the controller's targeting signal.
+  // Parallel mode records into the shard hubs (merged after the drain);
+  // serial mode installs the global hub's ledger for the run's duration.
+  cluster->enable_ledger();
+  gateway.attach_pool_clock();
+  std::unique_ptr<obs::LedgerSession> ledger_session;
+  if (psim == nullptr) {
+    ledger_session = std::make_unique<obs::LedgerSession>(hub.ledger);
+  }
+
   cluster->add_slo({.name = "shop-home",
                     .tenant = OnlineBoutique::kTenant,
                     .chain = OnlineBoutique::kHomeQuery,
@@ -170,6 +190,8 @@ OverloadResult run_overload(const OverloadOptions& opts) {
     // Shedding the aggressor burns the aggressor's own SLO forever; only
     // the protected tenant's burn may drive pressure on/off.
     ecfg.pressure_slo = "shop-all";
+    ecfg.shed_policy = opts.shed_policy;
+    ecfg.protected_tenant = OnlineBoutique::kTenant;
     if (noisy) {
       // A sustained aggressor re-floods the instant pressure lifts; hold
       // the gate until the protected tenant has been quiet for 2 s instead
@@ -262,12 +284,19 @@ OverloadResult run_overload(const OverloadOptions& opts) {
     for (auto& g : gens) g->stop();
     sched.run();
   }
+  // Fold the pools' slot-ns integrals before merging: the gateway pools
+  // charge the edge hub's ledger, worker pools their owning shard's.
+  cluster->collect_pool_slot_ns();
+  if (obs::Hub* eh = cluster->edge_hub()) {
+    gateway.collect_pool_slot_ns(eh->ledger);
+  }
   if (psim != nullptr) cluster->merge_observability(hub);
   hub.slo.finish(sched.now());
 
   OverloadResult r;
   r.scenario = to_string(opts.scenario);
   r.control = opts.control;
+  r.policy = opts.control ? to_string(opts.shed_policy) : "open";
   for (const auto& t : hub.slo.totals()) {
     r.slos.push_back(
         OverloadResult::SloRow{t.name, t.requests, t.violations, t.alerts});
@@ -308,6 +337,23 @@ OverloadResult run_overload(const OverloadOptions& opts) {
   if (edge != nullptr) r.controller_events = edge->events().size();
   for (const auto& s : fn_scalers) r.replica_events += s->events().size();
   r.pressure_engagements = admission.engagements();
+
+  for (TenantId t : admission.policies()) {
+    OverloadResult::AdmissionRow row;
+    row.tenant = t == OnlineBoutique::kTenant ? "shop"
+                 : t == kBatchTenant          ? "batch"
+                                              : std::to_string(t.value());
+    row.id = t.value();
+    row.admitted = admission.admitted(t);
+    row.shed = admission.shed(t);
+    r.admission.push_back(std::move(row));
+  }
+
+  for (const obs::Ledger::BlameRow& b : hub.ledger.blame_rows()) {
+    r.blame.push_back(OverloadResult::BlameRow{obs::to_string(b.kind),
+                                               b.aggressor, b.victim, b.ns});
+  }
+  r.ledger_json = hub.ledger.to_json();
   return r;
 }
 
@@ -315,7 +361,7 @@ std::string OverloadResult::json() const {
   std::string out = "{\n";
   out += "  \"scenario\": \"" + scenario + "\",\n  ";
   append_u64(out, "control", control ? 1 : 0, false);
-  out += ",\n  ";
+  out += ",\n  \"policy\": \"" + policy + "\",\n  ";
   append_u64(out, "zero_loss", zero_loss ? 1 : 0, false);
   out += ",\n  \"slo\": [\n";
   for (std::size_t i = 0; i < slos.size(); ++i) {
@@ -352,15 +398,33 @@ std::string OverloadResult::json() const {
   append_u64(out, "events", controller_events);
   append_u64(out, "replica_events", replica_events);
   append_u64(out, "pressure_engagements", pressure_engagements, false);
-  out += "}\n}\n";
+  out += "},\n  \"admission\": [\n";
+  for (std::size_t i = 0; i < admission.size(); ++i) {
+    const AdmissionRow& a = admission[i];
+    out += "    {\"tenant\": \"" + a.tenant + "\", ";
+    append_u64(out, "id", a.id);
+    append_u64(out, "admitted", a.admitted);
+    append_u64(out, "shed", a.shed, false);
+    out += i + 1 < admission.size() ? "},\n" : "}\n";
+  }
+  out += "  ],\n  \"blame\": [\n";
+  for (std::size_t i = 0; i < blame.size(); ++i) {
+    const BlameRow& b = blame[i];
+    out += "    {\"kind\": \"" + b.kind + "\", ";
+    append_i64(out, "aggressor", b.aggressor);
+    append_i64(out, "victim", b.victim);
+    append_u64(out, "ns", b.ns, false);
+    out += i + 1 < blame.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n}\n";
   return out;
 }
 
 std::string OverloadResult::table() const {
   char buf[192];
   std::string out;
-  std::snprintf(buf, sizeof buf, "%s, control %s:\n", scenario.c_str(),
-                control ? "ON" : "OFF");
+  std::snprintf(buf, sizeof buf, "%s, control %s (policy %s):\n",
+                scenario.c_str(), control ? "ON" : "OFF", policy.c_str());
   out += buf;
   std::snprintf(buf, sizeof buf, "  %-12s %10s %10s %10s\n", "slo", "requests",
                 "violations", "alerts");
@@ -404,6 +468,29 @@ std::string OverloadResult::table() const {
       static_cast<unsigned long long>(pressure_engagements),
       zero_loss ? "yes" : "NO");
   out += buf;
+  for (const AdmissionRow& a : admission) {
+    std::snprintf(buf, sizeof buf,
+                  "  admission %-6s (tenant %llu): admitted=%llu shed=%llu\n",
+                  a.tenant.c_str(), static_cast<unsigned long long>(a.id),
+                  static_cast<unsigned long long>(a.admitted),
+                  static_cast<unsigned long long>(a.shed));
+    out += buf;
+  }
+  bool header = false;
+  for (const BlameRow& b : blame) {
+    if (b.aggressor == b.victim || b.aggressor < 0 || b.victim < 0) continue;
+    if (!header) {
+      out += "  interference (queueing imposed, aggressor -> victim):\n";
+      header = true;
+    }
+    std::snprintf(buf, sizeof buf,
+                  "    tenant %lld -> tenant %lld  %-6s %12.1f us\n",
+                  static_cast<long long>(b.aggressor),
+                  static_cast<long long>(b.victim), b.kind.c_str(),
+                  static_cast<double>(b.ns) / 1e3);
+    out += buf;
+  }
+  if (!header) out += "  interference: none recorded\n";
   return out;
 }
 

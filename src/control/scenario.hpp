@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "control/autoscaler.hpp"
 #include "sim/time.hpp"
 
 namespace pd::control {
@@ -50,11 +51,18 @@ struct OverloadOptions {
   bool control = true;
   std::int64_t seconds = 3;
   std::uint64_t chaos_seed = 42;  ///< kChaos2x fault-plan seed
+  /// Shedding policy the edge controller applies once pressure engages
+  /// (only meaningful with control on): kBurnRate clamps every best-effort
+  /// tenant; kBlame targets the resource ledger's measured top aggressor
+  /// of the protected (shop) tenant.
+  ShedPolicy shed_policy = ShedPolicy::kBurnRate;
 };
 
 struct OverloadResult {
   std::string scenario;
   bool control = false;
+  /// "open" (control off), "burn-rate", or "blame".
+  std::string policy;
 
   struct SloRow {
     std::string name;
@@ -91,6 +99,32 @@ struct OverloadResult {
   std::uint64_t controller_events = 0;
   std::uint64_t replica_events = 0;
   std::uint64_t pressure_engagements = 0;
+
+  /// Per-tenant admission-gate outcomes (sorted by tenant id).
+  struct AdmissionRow {
+    std::string tenant;  ///< "shop" / "batch" / numeric label
+    std::uint64_t id = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t shed = 0;
+  };
+  std::vector<AdmissionRow> admission;
+
+  /// Resource-ledger interference matrix, aggregated per (kind, aggressor,
+  /// victim) and sorted by descending ns — "aggressor imposed ns of
+  /// queueing on victim at resources of this kind". Self-blame rows are
+  /// included so each victim's rows sum to its measured wait.
+  struct BlameRow {
+    std::string kind;
+    std::int64_t aggressor = 0;
+    std::int64_t victim = 0;
+    std::uint64_t ns = 0;
+  };
+  std::vector<BlameRow> blame;
+
+  /// The full resource-ledger report (obs::Ledger::to_json): per-resource
+  /// occupancy/wait/byte cells plus the blame matrix. Byte-identical
+  /// across thread counts; written by the driver's --ledger-json flag.
+  std::string ledger_json;
 
   /// Every request issued got an explicit answer: sent == completed+errors
   /// across all generators after the drain.

@@ -56,6 +56,7 @@ NetworkEngine::NetworkEngine(sim::Scheduler& sched, EngineKind kind,
 
   track_ = "node" + std::to_string(node().value()) +
            (kind_ == EngineKind::kCne ? "/cne" : "/dne");
+  ledger_queue_ = track_ + "/txq";
 
   rnic_.cq().set_notify([this] { kick_rx(); });
   rnic_.cq().set_coalescing(
@@ -78,6 +79,28 @@ NetworkEngine::NetworkEngine(sim::Scheduler& sched, EngineKind kind,
 
 mem::BufferPool& NetworkEngine::pool_of(const mem::BufferDescriptor& d) {
   return host_mem_.by_pool(d.pool).pool();
+}
+
+void NetworkEngine::ledger_queue_enter(TenantId tenant) {
+  auto* h = obs::hub();
+  if (h == nullptr || !h->ledger.enabled()) return;
+  h->ledger.queue_enter(obs::LedgerKind::kQueue, ledger_queue_,
+                        tenant.value(), sched_.now());
+}
+
+void NetworkEngine::ledger_queue_exit(TenantId tenant, bool serviced) {
+  auto* h = obs::hub();
+  if (h == nullptr || !h->ledger.enabled()) return;
+  const sim::TimePoint now = sched_.now();
+  h->ledger.queue_exit(obs::LedgerKind::kQueue, ledger_queue_, tenant.value(),
+                       now);
+  if (!serviced) return;  // teardown drain: no TX slice was spent
+  // The dequeued message's share of the TX slice, in engine-core time —
+  // the occupancy later waiters at this queue are blamed against.
+  const sim::Duration per_msg = engine_core_.scale(
+      cost::kDneSchedNs + cost::kDneTxStageNs + config_.extra_per_msg_ns);
+  h->ledger.occupy(obs::LedgerKind::kQueue, ledger_queue_, tenant.value(), now,
+                   now + per_msg);
 }
 
 // ---------------------------------------------------------------------------
@@ -120,6 +143,9 @@ std::size_t NetworkEngine::remove_tenant(TenantId tenant) {
   // for a remote submitter would otherwise re-enter the queue being torn
   // down — the guard in complete_with_error routes it to errors_dropped).
   std::vector<mem::BufferDescriptor> queued = dwrr_.drain_tenant(tenant);
+  for (const mem::BufferDescriptor& d : queued) {
+    ledger_queue_exit(d.tenant, /*serviced=*/false);
+  }
   tenants_.erase(it);
   recompute_credit_caps();
   for (const mem::BufferDescriptor& d : queued) complete_with_error(d);
@@ -236,6 +262,7 @@ void NetworkEngine::on_ingest(const mem::BufferDescriptor& d) {
   } else {
     fcfs_.enqueue(d.tenant, d);
   }
+  ledger_queue_enter(d.tenant);
   kick_tx();
 }
 
@@ -269,6 +296,7 @@ void NetworkEngine::tx_iteration() {
     for (std::size_t i = 0; i < avail; ++i) {
       auto item = config_.use_dwrr ? dwrr_.dequeue() : fcfs_.dequeue();
       PD_CHECK(item.has_value(), "TX iteration with empty queues");
+      ledger_queue_exit(item->tenant, /*serviced=*/true);
       if (kind_ == EngineKind::kDneOnPath) {
         // On-path: stage the payload through SoC memory first (slow DMA).
         const auto bytes = item->length;
@@ -647,11 +675,13 @@ void NetworkEngine::complete_with_error(const mem::BufferDescriptor& d) {
     if (config_.use_dwrr) {
       if (dwrr_.has_tenant(sized.tenant)) {
         dwrr_.enqueue(sized.tenant, sized);
+        ledger_queue_enter(sized.tenant);
         kick_tx();
         return;
       }
     } else {
       fcfs_.enqueue(sized.tenant, sized);
+      ledger_queue_enter(sized.tenant);
       kick_tx();
       return;
     }

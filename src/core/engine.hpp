@@ -291,6 +291,12 @@ class NetworkEngine : public DataPlane {
   std::uint64_t rbr_outstanding_lookup(TenantId t) const {
     return rbr_.outstanding(t);
   }
+  /// Resource-ledger queue-wait bracketing (ISSUE 10): enter when a message
+  /// joins the DWRR/FCFS scheduler, exit when it is dequeued for a TX slice
+  /// (serviced: also record the slice's service segment, the evidence later
+  /// waiters are blamed against) or drained by tenant teardown.
+  void ledger_queue_enter(TenantId tenant);
+  void ledger_queue_exit(TenantId tenant, bool serviced);
 
   mem::BufferPool& pool_of(const mem::BufferDescriptor& d);
 
@@ -319,6 +325,8 @@ class NetworkEngine : public DataPlane {
 
   /// Trace display row for this engine's spans, e.g. "node1/dne".
   std::string track_;
+  /// Ledger resource name of the TX scheduler queue, e.g. "node1/dne/txq".
+  std::string ledger_queue_;
 
   bool tx_busy_ = false;
   bool rx_busy_ = false;

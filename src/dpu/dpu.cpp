@@ -13,10 +13,14 @@ void SocDmaEngine::transfer(Bytes bytes, sim::EventFn done) {
       cost::kSocDmaBaseNs +
       static_cast<sim::Duration>(static_cast<double>(bytes) *
                                  cost::kSocDmaPerByteNs);
+  const sim::TimePoint now = sched_.now();
+  const sim::TimePoint begin = std::max(busy_until_, now);
   if (sim::BusyObserver* o = sim::busy_observer()) {
     o->on_busy(name_, sim::current_profile_frame(), op_ns);
+    o->on_busy_interval(name_, sim::current_profile_frame(), now, begin, op_ns,
+                        bytes);
   }
-  busy_until_ = std::max(busy_until_, sched_.now()) + op_ns;
+  busy_until_ = begin + op_ns;
   ++transfers_;
   bytes_moved_ += bytes;
   sched_.schedule_at(busy_until_, std::move(done));

@@ -1,8 +1,11 @@
 #include "fabric/fabric.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/check.hpp"
+#include "obs/hub.hpp"
+#include "sim/profile.hpp"
 
 namespace pd::fabric {
 
@@ -42,6 +45,8 @@ void Switch::attach(NodeId node, sim::Scheduler& sched) {
   p.rx = std::make_unique<Link>(sched, port_bandwidth_,
                                 cost::kFabricPropagationNs / 2);
   p.rng = port_fault_stream(node);
+  p.tx_res = "fabric/node" + std::to_string(node.value()) + "/tx";
+  p.rx_res = "fabric/node" + std::to_string(node.value()) + "/rx";
   ports_.emplace(node, std::move(p));
 }
 
@@ -104,12 +109,57 @@ std::uint64_t Switch::frames_dropped() const {
   return total;
 }
 
+void Switch::charge_tx(const Port& src, NodeId to, Bytes wire_bytes,
+                       sim::Duration backlog, std::int64_t tenant) {
+  auto* h = obs::hub();
+  if (h == nullptr || !h->ledger.enabled()) return;
+  obs::Ledger& led = h->ledger;
+  const sim::TimePoint now = src.sched->now();
+  const sim::Duration ser = sim::transfer_time(wire_bytes, port_bandwidth_);
+  if (backlog > 0) {
+    led.wait(obs::LedgerKind::kLink, src.tx_res, tenant, now, now + backlog);
+  }
+  led.occupy(obs::LedgerKind::kLink, src.tx_res, tenant, now + backlog,
+             now + backlog + ser, now);
+  led.add_bytes(obs::LedgerKind::kLink, src.tx_res, tenant, wire_bytes);
+  if (topo_ != nullptr) {
+    const sim::Duration up =
+        topo_->uplink_serialization(src.node, to, wire_bytes, port_bandwidth_);
+    if (up > 0) {
+      const std::string res = "fabric/uplink/l" +
+                              std::to_string(topo_->leaf_of(src.node)) + "-l" +
+                              std::to_string(topo_->leaf_of(to));
+      led.occupy(obs::LedgerKind::kUplink, res, tenant, now, now + up);
+      led.add_bytes(obs::LedgerKind::kUplink, res, tenant, wire_bytes);
+    }
+  }
+}
+
+void Switch::charge_rx(const Port& dst, Bytes wire_bytes,
+                       sim::Duration backlog, std::int64_t tenant) {
+  auto* h = obs::hub();
+  if (h == nullptr || !h->ledger.enabled()) return;
+  obs::Ledger& led = h->ledger;
+  const sim::TimePoint now = dst.sched->now();
+  const sim::Duration ser = sim::transfer_time(wire_bytes, port_bandwidth_);
+  if (backlog > 0) {
+    led.wait(obs::LedgerKind::kLink, dst.rx_res, tenant, now, now + backlog);
+  }
+  led.occupy(obs::LedgerKind::kLink, dst.rx_res, tenant, now + backlog,
+             now + backlog + ser, now);
+  led.add_bytes(obs::LedgerKind::kLink, dst.rx_res, tenant, wire_bytes);
+}
+
 void Switch::send(NodeId from, NodeId to, Bytes bytes,
                   sim::EventFn delivered) {
   PD_CHECK(from != to, "fabric send to self (use intra-node IPC)");
   Port& src = port(from);
   Port& dst = port(to);
   const Bytes wire_bytes = bytes + kWireOverheadBytes;
+  // Attribution tenant of this frame, carried by the sender's profile frame
+  // (the RNIC wraps its fabric sends in a "rnic"/"wire" scope); -1 when the
+  // send is unscoped control traffic.
+  const std::int64_t lt = sim::current_profile_frame().tenant;
   // Single cut-through hop within a leaf; cross-leaf frames additionally
   // pay the topology's spine detour (extra hops + inter-switch legs + the
   // oversubscribed uplink serialization). Zero extra reproduces the flat
@@ -130,12 +180,17 @@ void Switch::send(NodeId from, NodeId to, Bytes bytes,
     // shrink the remaining horizon to the switch hop alone and break the
     // epoch lookahead bound.
     const sim::TimePoint deliver = src.tx->delivery_time(wire_bytes);
+    const sim::Duration tx_backlog = src.tx->backlog();
     if (!src.tx->transmit(wire_bytes, [] {})) return;  // dropped at egress
+    charge_tx(src, to, wire_bytes, tx_backlog, lt);
     ++src.frames;
-    Link* rx = dst.rx.get();
     remote_post_(dst.node, deliver + hop,
-                 [rx, wire_bytes, done = std::move(delivered)]() mutable {
-                   rx->transmit(wire_bytes, std::move(done));
+                 [this, dstp = &dst, wire_bytes, lt,
+                  done = std::move(delivered)]() mutable {
+                   const sim::Duration rx_backlog = dstp->rx->backlog();
+                   if (dstp->rx->transmit(wire_bytes, std::move(done))) {
+                     charge_rx(*dstp, wire_bytes, rx_backlog, lt);
+                   }
                  });
     return;
   }
@@ -146,16 +201,25 @@ void Switch::send(NodeId from, NodeId to, Bytes bytes,
   // callback rides src.in_flight (FIFO, see Port) so the two relay events
   // stay small enough for EventFn's inline buffer.
   src.in_flight.push_back(std::move(delivered));
+  const sim::Duration tx_backlog = src.tx->backlog();
   const bool accepted =
-      src.tx->transmit(wire_bytes, [&sched, &src, &dst, wire_bytes, hop] {
-        sched.schedule_after(hop, [&src, &dst, wire_bytes] {
+      src.tx->transmit(wire_bytes, [this, &sched, &src, &dst, wire_bytes, hop,
+                                    lt] {
+        sched.schedule_after(hop, [this, &src, &dst, wire_bytes, lt] {
           PD_CHECK(!src.in_flight.empty(), "fabric relay with no callback");
           sim::EventFn done = std::move(src.in_flight.front());
           src.in_flight.pop_front();
-          dst.rx->transmit(wire_bytes, std::move(done));
+          const sim::Duration rx_backlog = dst.rx->backlog();
+          if (dst.rx->transmit(wire_bytes, std::move(done))) {
+            charge_rx(dst, wire_bytes, rx_backlog, lt);
+          }
         });
       });
-  if (!accepted) src.in_flight.pop_back();  // dropped at egress: unwind
+  if (!accepted) {
+    src.in_flight.pop_back();  // dropped at egress: unwind
+    return;
+  }
+  charge_tx(src, to, wire_bytes, tx_backlog, lt);
 }
 
 }  // namespace pd::fabric

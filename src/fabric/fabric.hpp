@@ -167,10 +167,24 @@ class Switch {
     /// from the switch-wide fault_rng_ in global event order).
     sim::Rng rng{0};
     std::uint64_t frames = 0;  ///< egress frames (sharded mode)
+    /// Resource-ledger names, e.g. "fabric/node1/tx" (cached: the ledger
+    /// charge sites run per frame).
+    std::string tx_res;
+    std::string rx_res;
   };
 
   Port& port(NodeId node);
   [[nodiscard]] sim::Rng port_fault_stream(NodeId node) const;
+  /// Resource-ledger charges (ISSUE 10): serialization occupancy + queue
+  /// wait + wire bytes on a port link, attributed to the tenant carried by
+  /// the sender's profile frame. `backlog` is the link's queue depth read
+  /// *before* the transmit that this frame was accepted by. The egress
+  /// variant also charges the oversubscribed spine-uplink serialization
+  /// for cross-leaf frames. No-ops without an enabled ledger.
+  void charge_tx(const Port& src, NodeId to, Bytes wire_bytes,
+                 sim::Duration backlog, std::int64_t tenant);
+  void charge_rx(const Port& dst, Bytes wire_bytes, sim::Duration backlog,
+                 std::int64_t tenant);
 
   sim::Scheduler& sched_;
   BitsPerSec port_bandwidth_;

@@ -38,6 +38,14 @@ sim::Duration Topology::extra_latency(NodeId a, NodeId b, Bytes wire_bytes,
          sim::transfer_time(wire_bytes, port_bandwidth / cfg_.oversubscription);
 }
 
+sim::Duration Topology::uplink_serialization(NodeId a, NodeId b,
+                                             Bytes wire_bytes,
+                                             BitsPerSec port_bandwidth) const {
+  if (!multi_switch() || leaf_of(a) == leaf_of(b)) return 0;
+  return sim::transfer_time(wire_bytes,
+                            port_bandwidth / cfg_.oversubscription);
+}
+
 sim::Duration Topology::min_extra_between_leaves(std::uint32_t a,
                                                  std::uint32_t b) const {
   if (!multi_switch() || a == b) return 0;

@@ -63,6 +63,12 @@ class Topology {
                                             Bytes wire_bytes,
                                             BitsPerSec port_bandwidth) const;
 
+  /// Just the oversubscribed-uplink serialization component of
+  /// extra_latency (0 within a leaf) — the resource ledger charges it to
+  /// the sending tenant as spine-uplink byte-ns.
+  [[nodiscard]] sim::Duration uplink_serialization(
+      NodeId a, NodeId b, Bytes wire_bytes, BitsPerSec port_bandwidth) const;
+
   /// Lower bound of extra_latency over all frame sizes (transfer_time
   /// rounds up to 1 ns) — the per-pair lookahead contribution.
   [[nodiscard]] sim::Duration min_extra_latency(NodeId a, NodeId b) const {

@@ -130,6 +130,23 @@ void PalladiumIngress::start_flight_probes() {
   }
 }
 
+void PalladiumIngress::attach_pool_clock() {
+  sim::Scheduler* s = &sched_;
+  mem_.set_clock([s] { return s->now(); });
+}
+
+void PalladiumIngress::collect_pool_slot_ns(obs::Ledger& led) {
+  if (!led.enabled()) return;
+  const sim::TimePoint now = sched_.now();
+  for (const auto& tm : mem_.pools()) {
+    const mem::BufferPool& pool = tm->pool();
+    led.add_slot_ns("node" + std::to_string(config_.node.value()) + "/pool/" +
+                        tm->file_prefix(),
+                    static_cast<std::int64_t>(pool.tenant().value()),
+                    pool.slot_ns(now), pool.footprint());
+  }
+}
+
 void PalladiumIngress::sample_tick() {
   // Per-second series for Fig. 14: active worker count (each pinned to a
   // full busy-polling core) and aggregate *useful* CPU seconds.

@@ -94,6 +94,13 @@ class PalladiumIngress : public IngressFrontend {
   /// recorder. No-op unless Cluster::start_flight_recorder() ran first.
   void start_flight_probes();
 
+  /// Resource-ledger wiring (ISSUE 10): attach the edge scheduler's clock
+  /// to the gateway's pools so slot-ns occupancy integrals accrue.
+  void attach_pool_clock();
+  /// Fold the gateway pools' slot-ns (through the edge's current simulated
+  /// time) into `led`. Call after the run drains.
+  void collect_pool_slot_ns(obs::Ledger& led);
+
   // Fault-model introspection.
   [[nodiscard]] std::uint64_t retries() const { return retries_; }
   /// Requests answered 504 after the deadline + retry budget ran out.

@@ -33,9 +33,18 @@ BufferPool::BufferPool(PoolId id, TenantId tenant, std::size_t buf_count,
   }
 }
 
+void BufferPool::account_usage() {
+  if (!clock_) return;
+  const sim::TimePoint now = clock_();
+  slot_ns_ += static_cast<std::uint64_t>(in_use()) *
+              static_cast<std::uint64_t>(now - last_change_);
+  last_change_ = now;
+}
+
 std::optional<BufferDescriptor> BufferPool::allocate(Actor owner) {
   PD_CHECK(owner.kind != ActorKind::kNone, "allocation needs an owner");
   if (free_.empty()) return std::nullopt;
+  account_usage();
   const std::uint32_t idx = free_.back();
   free_.pop_back();
   slots_[idx] = Slot{owner, true};
@@ -68,6 +77,7 @@ void BufferPool::release(const BufferDescriptor& d, Actor owner) {
                                  << to_string(owner.kind) << "/" << owner.id
                                  << "; owner is " << to_string(s.owner.kind)
                                  << "/" << s.owner.id);
+  account_usage();
   s = Slot{};
   free_.push_back(d.index);
 }

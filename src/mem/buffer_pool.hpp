@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <string>
@@ -17,6 +19,7 @@
 #include "common/ids.hpp"
 #include "common/units.hpp"
 #include "mem/descriptor.hpp"
+#include "sim/time.hpp"
 
 namespace pd::mem {
 
@@ -66,6 +69,21 @@ class BufferPool {
   /// Peak simultaneous in-use buffers (high-water mark, for sizing).
   [[nodiscard]] std::size_t high_water() const { return high_water_; }
 
+  /// Attach a simulated-time clock. While attached, the pool maintains an
+  /// exact running integral of in-use slots over time (slot-ns), updated at
+  /// every allocate/release — the resource ledger's kPool occupancy signal.
+  void set_clock(std::function<sim::TimePoint()> clock) {
+    clock_ = std::move(clock);
+    if (clock_) last_change_ = clock_();
+  }
+
+  /// Exact integral of in-use slots over simulated time through `now`
+  /// (slot-ns). Zero until a clock is attached.
+  [[nodiscard]] std::uint64_t slot_ns(sim::TimePoint now) const {
+    return slot_ns_ + static_cast<std::uint64_t>(in_use()) *
+                          static_cast<std::uint64_t>(now - last_change_);
+  }
+
  private:
   struct Slot {
     Actor owner{};   // kNone when free
@@ -74,6 +92,9 @@ class BufferPool {
 
   const Slot& checked_slot(const BufferDescriptor& d) const;
   Slot& checked_slot(const BufferDescriptor& d);
+  /// Fold the elapsed interval at the current in-use count into the slot-ns
+  /// integral. Called before every in_use() change.
+  void account_usage();
 
   PoolId id_;
   TenantId tenant_;
@@ -82,6 +103,9 @@ class BufferPool {
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_;  // LIFO freelist: hot buffers stay cached
   std::size_t high_water_ = 0;
+  std::function<sim::TimePoint()> clock_;  // null: slot-ns accounting off
+  std::uint64_t slot_ns_ = 0;
+  sim::TimePoint last_change_ = 0;
 };
 
 }  // namespace pd::mem

@@ -25,10 +25,16 @@ TenantMemory& MemoryDomain::create_tenant_pool(TenantId tenant,
                                             std::move(file_prefix), buf_count,
                                             buf_size);
   TenantMemory* raw = mem.get();
+  if (clock_) raw->pool().set_clock(clock_);
   pools_.push_back(std::move(mem));
   by_prefix_[raw->file_prefix()] = raw;
   by_tenant_[tenant] = raw;
   return *raw;
+}
+
+void MemoryDomain::set_clock(std::function<sim::TimePoint()> clock) {
+  clock_ = std::move(clock);
+  for (auto& p : pools_) p->pool().set_clock(clock_);
 }
 
 TenantMemory* MemoryDomain::attach(const std::string& file_prefix) {

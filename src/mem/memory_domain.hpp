@@ -68,8 +68,14 @@ class MemoryDomain {
   /// Total backing memory across tenants.
   [[nodiscard]] Bytes footprint() const;
 
+  /// Attach a simulated-time clock to every pool in the domain — existing
+  /// and future — enabling the exact slot-ns occupancy integral the
+  /// resource ledger collects (BufferPool::slot_ns).
+  void set_clock(std::function<sim::TimePoint()> clock);
+
  private:
   NodeId node_;
+  std::function<sim::TimePoint()> clock_;  // applied to pools created later
   std::vector<std::unique_ptr<TenantMemory>> pools_;
   std::unordered_map<std::string, TenantMemory*> by_prefix_;
   std::unordered_map<TenantId, TenantMemory*> by_tenant_;

@@ -13,6 +13,7 @@
 //   hub.tracer.write_chrome_json("trace.json");
 #pragma once
 
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/slo.hpp"
@@ -27,6 +28,7 @@ struct Hub {
   Profiler profiler;
   SloWatchdog slo{&registry};
   FlightRecorder timeseries;
+  Ledger ledger;
 };
 
 /// Currently installed hub, or nullptr when observability is off. A

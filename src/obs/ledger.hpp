@@ -1,0 +1,256 @@
+// Per-tenant resource-accounting ledger and cross-tenant interference
+// attribution (ISSUE 10 tentpole).
+//
+// The ledger attributes every occupancy interval on every shared resource
+// — core busy-ns, NIC serialization-ns, SoC DMA bytes, fabric link byte-ns
+// (including the oversubscribed spine uplinks), buffer-pool slot-ns, and
+// DWRR queue wait — to the owning tenant, with *exact conservation*: the
+// per-tenant sums equal the measured totals with zero residual, the same
+// discipline as critpath's exact-sum rule. Core and DMA intervals arrive
+// through the BusyObserver channel (on_busy_interval); the NIC, fabric,
+// queue, and pool sites call the primitives directly.
+//
+// On top of the occupancy timelines the ledger computes a cross-tenant
+// interference matrix: for each wait interval a tenant's message spends
+// queued at a shared resource, the blame is charged to the tenant(s) whose
+// occupancy segments overlap the wait window — "tenant A imposed X ns of
+// queueing on tenant B at resource R". Overlap is taken in event order and
+// capped at the wait's length; any uncovered remainder is self-blamed, so
+// for every (resource, victim) the blame row sums *exactly* to the
+// measured wait. All state is integer nanoseconds and merged in sorted-key
+// order, so reports are byte-identical across --threads 1/2/4.
+//
+// Like the profiler, the ledger only records — it never schedules events —
+// so enabling it can never perturb simulation results. It chains to a
+// `next` BusyObserver (the profiler) so both fold the same charge stream.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/profile.hpp"
+#include "sim/time.hpp"
+
+namespace pd::obs {
+
+class Registry;
+
+/// Resource classes the ledger accounts. Values index kind-rollup tables
+/// and name the `kind=` label of the ledger.* metrics.
+enum class LedgerKind : std::uint8_t {
+  kCore,    ///< CPU / DPU-Arm / engine cores (busy + queue wait)
+  kDma,     ///< SoC DMA engine (busy + wait + bytes staged)
+  kNic,     ///< RNIC WR/CQE serialization
+  kLink,    ///< fabric edge links, tx + rx (serialization + wait + bytes)
+  kUplink,  ///< oversubscribed leaf->spine uplinks (serialization + bytes)
+  kPool,    ///< buffer-pool slot occupancy (slot-ns, bytes = footprint)
+  kQueue,   ///< engine DWRR/FCFS scheduler queues (wait + service)
+};
+
+[[nodiscard]] const char* to_string(LedgerKind kind);
+inline constexpr std::size_t kLedgerKinds = 7;
+
+class Ledger final : public sim::BusyObserver {
+ public:
+  struct Totals {
+    std::uint64_t busy_ns = 0;
+    std::uint64_t wait_ns = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  /// One aggregated interference-matrix row: `aggressor` imposed `ns` of
+  /// queueing on `victim` at resources of class `kind`.
+  struct BlameRow {
+    LedgerKind kind;
+    std::int64_t aggressor;
+    std::int64_t victim;
+    std::uint64_t ns;
+  };
+
+  Ledger() = default;
+  Ledger(const Ledger&) = delete;
+  Ledger& operator=(const Ledger&) = delete;
+
+  /// Recording gate: every primitive is a no-op while disabled, so the
+  /// hook sites cost one predicted branch in non-ledger runs.
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Chain to the next BusyObserver (the profiler): on_busy forwards so a
+  /// single installed observer feeds both, and conservation tests can
+  /// compare ledger core sums against profile.busy_ns from the same
+  /// charge stream.
+  void set_next(sim::BusyObserver* next) { next_ = next; }
+
+  // --- BusyObserver ---------------------------------------------------------
+  void on_busy(std::string_view resource, const sim::ProfileFrame& frame,
+               sim::Duration scaled_ns) override;
+  void on_busy_interval(std::string_view resource,
+                        const sim::ProfileFrame& frame,
+                        sim::TimePoint submitted, sim::TimePoint begin,
+                        sim::Duration scaled_ns, std::uint64_t bytes) override;
+
+  // --- recording primitives -------------------------------------------------
+
+  /// `tenant` occupies `resource` during [begin, end): charges busy-ns and
+  /// appends an occupancy segment to the resource's timeline (the evidence
+  /// later wait intervals are blamed against). Tenant -1 is the unscoped
+  /// "system" bucket. `ref_now` is the simulation time of the recording
+  /// event — the earliest origin any future wait at this resource can have,
+  /// which is what bounds the timeline's memory; the two-argument form uses
+  /// `begin`, correct whenever the occupancy starts at the current event.
+  void occupy(LedgerKind kind, std::string_view resource, std::int64_t tenant,
+              sim::TimePoint begin, sim::TimePoint end, sim::TimePoint ref_now);
+  void occupy(LedgerKind kind, std::string_view resource, std::int64_t tenant,
+              sim::TimePoint begin, sim::TimePoint end) {
+    occupy(kind, resource, tenant, begin, end, begin);
+  }
+
+  /// Byte-denominated charge (DMA bytes staged, link wire bytes).
+  void add_bytes(LedgerKind kind, std::string_view resource,
+                 std::int64_t tenant, std::uint64_t bytes);
+
+  /// A message of `tenant` waited at `resource` during [begin, end). The
+  /// wait is charged to the tenant, and blame is distributed over the
+  /// occupancy segments overlapping the window, earliest first, capped at
+  /// the wait's length; the uncovered remainder is self-blamed. Exact:
+  /// sum_over_aggressors(blame) == end - begin, always.
+  void wait(LedgerKind kind, std::string_view resource, std::int64_t tenant,
+            sim::TimePoint begin, sim::TimePoint end);
+
+  /// FIFO wait bracketing for scheduler queues, where dequeue order across
+  /// tenants is not arrival order: enter at enqueue, exit at dequeue (or
+  /// teardown drain). Exit pops the tenant's oldest open entry and charges
+  /// the wait; exits without a matching entry (ledger enabled mid-run) are
+  /// ignored.
+  void queue_enter(LedgerKind kind, std::string_view resource,
+                   std::int64_t tenant, sim::TimePoint now);
+  void queue_exit(LedgerKind kind, std::string_view resource,
+                  std::int64_t tenant, sim::TimePoint now);
+
+  /// Buffer-pool slot occupancy, pre-integrated by the pool (slot-ns =
+  /// integral of in-use slots over time). `bytes` carries the pool's
+  /// byte-seconds numerator (slot-ns * buf_size collapses overflow; we
+  /// record the pool footprint once instead).
+  void add_slot_ns(std::string_view resource, std::int64_t tenant,
+                   std::uint64_t slot_ns, std::uint64_t footprint_bytes);
+
+  // --- queries --------------------------------------------------------------
+
+  [[nodiscard]] Totals totals() const;
+  [[nodiscard]] Totals totals(LedgerKind kind) const;
+  [[nodiscard]] std::uint64_t busy_ns(LedgerKind kind,
+                                      std::int64_t tenant) const;
+  [[nodiscard]] std::uint64_t wait_ns(LedgerKind kind,
+                                      std::int64_t tenant) const;
+  [[nodiscard]] std::uint64_t bytes(LedgerKind kind, std::int64_t tenant) const;
+
+  /// Total ns of queueing `aggressor` imposed on `victim`, over all
+  /// resources (self-blame included when aggressor == victim).
+  [[nodiscard]] std::uint64_t blame_ns(std::int64_t aggressor,
+                                       std::int64_t victim) const;
+
+  /// Interference matrix aggregated per (kind, aggressor, victim), sorted
+  /// by descending ns (ties by keys) — the before/after tables.
+  [[nodiscard]] std::vector<BlameRow> blame_rows() const;
+
+  /// The tenant that imposed the most queueing on `victim`, excluding the
+  /// victim itself and the unscoped -1 bucket; -1 when nobody did. This is
+  /// the signal the blame-driven shedding policy targets.
+  [[nodiscard]] std::int64_t top_aggressor(std::int64_t victim) const;
+
+  [[nodiscard]] bool empty() const { return cells_.empty() && blame_.empty(); }
+
+  // --- export ---------------------------------------------------------------
+
+  /// ledger.* rollup counters: busy/wait/bytes per (kind, tenant) and
+  /// blame per (aggressor, victim).
+  void export_metrics(Registry& registry) const;
+
+  /// Deterministic reports: integer-only JSON (totals, per-kind-tenant
+  /// rollups, per-resource cells, the full blame matrix) and a flat CSV.
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Human-readable blame table (top `max_rows` cross-tenant rows).
+  [[nodiscard]] std::string table(std::size_t max_rows = 12) const;
+
+  /// Merge another shard's totals into this ledger (sorted-key maps, so
+  /// the result is independent of merge order arity). Live timeline state
+  /// is not merged: shards only absorb after their run drained.
+  void absorb(const Ledger& other);
+
+  void reset();
+
+ private:
+  struct CellKey {
+    std::uint8_t kind;
+    std::string resource;
+    std::int64_t tenant;
+    bool operator<(const CellKey& o) const {
+      if (kind != o.kind) return kind < o.kind;
+      if (resource != o.resource) return resource < o.resource;
+      return tenant < o.tenant;
+    }
+  };
+  struct BlameKey {
+    std::uint8_t kind;
+    std::string resource;
+    std::int64_t aggressor;
+    std::int64_t victim;
+    bool operator<(const BlameKey& o) const {
+      if (kind != o.kind) return kind < o.kind;
+      if (resource != o.resource) return resource < o.resource;
+      if (aggressor != o.aggressor) return aggressor < o.aggressor;
+      return victim < o.victim;
+    }
+  };
+  struct Segment {
+    sim::TimePoint begin;
+    sim::TimePoint end;
+    std::int64_t tenant;
+  };
+  /// Transient per-resource evidence: the occupancy timeline waits are
+  /// blamed against, plus the open FIFO queue entries. Pruned as the
+  /// resource's event clock advances, so memory stays bounded by the
+  /// backlog window.
+  struct Live {
+    std::deque<Segment> segments;
+    std::map<std::int64_t, std::deque<sim::TimePoint>> open;
+    sim::TimePoint clock = 0;  ///< latest wait-origin seen at this resource
+  };
+
+  Totals& cell(LedgerKind kind, std::string_view resource,
+               std::int64_t tenant);
+  Live& live(LedgerKind kind, std::string_view resource);
+  void prune(Live& lv);
+
+  bool enabled_ = false;
+  sim::BusyObserver* next_ = nullptr;
+  std::map<CellKey, Totals> cells_;
+  std::map<BlameKey, std::uint64_t> blame_;
+  std::map<std::pair<std::uint8_t, std::string>, Live> live_;
+};
+
+/// RAII enable + install for serial (non-sharded) runs: enables the
+/// ledger, chains it in front of the previously installed busy observer
+/// (usually the profiler), and restores everything on destruction.
+/// Parallel runs use Cluster::enable_ledger(), which installs each
+/// shard's ledger through the shard enter/leave hooks instead.
+class LedgerSession {
+ public:
+  explicit LedgerSession(Ledger& ledger);
+  ~LedgerSession();
+  LedgerSession(const LedgerSession&) = delete;
+  LedgerSession& operator=(const LedgerSession&) = delete;
+
+ private:
+  Ledger& ledger_;
+  sim::BusyObserver* prev_;
+};
+
+}  // namespace pd::obs

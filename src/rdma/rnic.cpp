@@ -7,6 +7,7 @@
 #include "core/trace_hooks.hpp"
 #include "obs/hub.hpp"
 #include "proto/cost_model.hpp"
+#include "sim/profile.hpp"
 
 namespace pd::rdma {
 namespace {
@@ -242,8 +243,20 @@ void QueuePair::fail() {
 
 Rnic::Rnic(RdmaNetwork& net, NodeId node, mem::MemoryDomain& host_mem)
     : sched_(net.scheduler_for(node)), net_(net), node_(node),
-      host_mem_(host_mem) {
+      host_mem_(host_mem),
+      ledger_name_("node" + std::to_string(node.value()) + "/rnic") {
   net_.register_rnic(node, this);
+}
+
+void Rnic::ledger_nic(std::int64_t tenant, sim::Duration ns,
+                      std::uint64_t bytes) {
+  auto* h = obs::hub();
+  if (h == nullptr || !h->ledger.enabled()) return;
+  const sim::TimePoint now = sched_.now();
+  h->ledger.occupy(obs::LedgerKind::kNic, ledger_name_, tenant, now, now + ns);
+  if (bytes > 0) {
+    h->ledger.add_bytes(obs::LedgerKind::kNic, ledger_name_, tenant, bytes);
+  }
 }
 
 Rnic::~Rnic() { net_.unregister_rnic(node_); }
@@ -411,7 +424,13 @@ void Rnic::execute(QueuePair& qp, const WorkRequest& wr) {
       ++counters_.fetch_adds;
     }
     const sim::Duration local = wr_overhead();
-    sched_.schedule_after(local, [this, dest, from_qp = qp.id_, wr] {
+    ledger_nic(qp.tenant_.value(), local, 0);
+    sched_.schedule_after(local, [this, dest, from_qp = qp.id_,
+                                  tenant = qp.tenant_, wr] {
+      // The wire frame carries the posting tenant in the profile frame so
+      // the fabric can attribute link occupancy (ISSUE 10).
+      sim::ProfileScope wire{"rnic", "wire",
+                             static_cast<std::int64_t>(tenant.value())};
       net_.fabric().send(node_, dest, kAtomicWireBytes, [this, dest, from_qp, wr] {
         net_.rnic(dest).arrive_atomic(node_, from_qp, wr);
       });
@@ -427,7 +446,11 @@ void Rnic::execute(QueuePair& qp, const WorkRequest& wr) {
              "READ lands in unregistered pool " << wr.local.pool);
     ++counters_.reads;
     const sim::Duration local = wr_overhead();
-    sched_.schedule_after(local, [this, dest, from_qp = qp.id_, wr] {
+    ledger_nic(qp.tenant_.value(), local, 0);
+    sched_.schedule_after(local, [this, dest, from_qp = qp.id_,
+                                  tenant = qp.tenant_, wr] {
+      sim::ProfileScope wire{"rnic", "wire",
+                             static_cast<std::int64_t>(tenant.value())};
       net_.fabric().send(node_, dest, kAtomicWireBytes, [this, dest, from_qp, wr] {
         net_.rnic(dest).arrive_read(node_, from_qp, wr);
       });
@@ -471,6 +494,7 @@ void Rnic::execute(QueuePair& qp, const WorkRequest& wr) {
   const sim::Duration local_ns =
       wr_overhead() +
       static_cast<sim::Duration>(static_cast<double>(len) * cost::kRnicPerByteNs);
+  ledger_nic(qp.tenant_.value(), local_ns, len);
 
   sched_.schedule_after(local_ns, [this, &qp, wr, dest, len,
                                    payload = std::move(payload)]() mutable {
@@ -487,6 +511,8 @@ void Rnic::execute(QueuePair& qp, const WorkRequest& wr) {
     --qp.outstanding_;
     cq_.push(std::move(done));
 
+    sim::ProfileScope wire{"rnic", "wire",
+                           static_cast<std::int64_t>(qp.tenant_.value())};
     net_.fabric().send(
         node_, dest, len,
         [this, dest, from_qp = qp.id_, remote_qp = qp.remote_qp_,
@@ -552,6 +578,7 @@ void Rnic::deliver_into(mem::BufferDescriptor buffer, QpId dest_qp,
       cost::kRnicPerWrNs +
       static_cast<sim::Duration>(static_cast<double>(len) * cost::kRnicPerByteNs) +
       cost::kRnicCqeNs;
+  ledger_nic(tenant.value(), ns, len);
   sched_.schedule_after(ns, [this, dest_qp, tenant, buffer, len] {
     Completion c;
     c.opcode = Opcode::kSend;
@@ -592,6 +619,7 @@ void Rnic::arrive_write(NodeId from, QpId from_qp, const WorkRequest& wr,
   const sim::Duration ns =
       cost::kRnicPerWrNs +
       static_cast<sim::Duration>(static_cast<double>(len) * cost::kRnicPerByteNs);
+  ledger_nic(pool.tenant().value(), ns, len);
   sched_.schedule_after(ns, [this, target, len] {
     auto it = write_monitors_.find(target.pool);
     if (it != write_monitors_.end() && it->second) it->second(target, len);
@@ -634,8 +662,12 @@ void Rnic::arrive_read(NodeId from, QpId from_qp, WorkRequest wr) {
   const sim::Duration ns =
       cost::kRnicPerWrNs +
       static_cast<sim::Duration>(static_cast<double>(len) * cost::kRnicPerByteNs);
+  ledger_nic(pool.tenant().value(), ns, len);
   sched_.schedule_after(ns, [this, from, from_qp, wr, len,
+                             tenant = pool.tenant(),
                              payload = std::move(payload)]() mutable {
+    sim::ProfileScope wire{"rnic", "wire",
+                           static_cast<std::int64_t>(tenant.value())};
     net_.fabric().send(node_, from, len,
                        [this, from, from_qp, wr,
                         payload = std::move(payload)]() mutable {
@@ -661,6 +693,7 @@ void Rnic::complete_read(QpId qp_id, const WorkRequest& wr,
       cost::kRnicPerWrNs +
       static_cast<sim::Duration>(static_cast<double>(len) * cost::kRnicPerByteNs) +
       cost::kRnicCqeNs;
+  ledger_nic(qp(qp_id).tenant().value(), ns, len);
   sched_.schedule_after(ns, [this, qp_id, wr, sized, len] {
     QueuePair& q = qp(qp_id);
     --q.outstanding_;

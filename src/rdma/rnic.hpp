@@ -250,11 +250,18 @@ class Rnic {
   /// one-sided WR and release the SQ slot.
   void complete_error(QpId qp_id, const WorkRequest& wr, bool outstanding);
 
+  /// Resource-ledger charge for NIC serialization work (ISSUE 10): `ns` of
+  /// WR/CQE processing and `bytes` of payload DMA attributed to `tenant`.
+  /// One predicted branch when no enabled ledger is installed.
+  void ledger_nic(std::int64_t tenant, sim::Duration ns, std::uint64_t bytes);
+
   sim::Scheduler& sched_;
   RdmaNetwork& net_;
   NodeId node_;
   mem::MemoryDomain& host_mem_;
   CompletionQueue cq_;
+  /// Ledger resource name, e.g. "node1/rnic".
+  std::string ledger_name_;
 
   std::unordered_map<QpId, std::unique_ptr<QueuePair>> qps_;
   std::uint32_t next_qp_ = 1;

@@ -154,13 +154,22 @@ Cluster::Cluster(sim::ParallelSim& psim, ClusterConfig config)
   psim.set_shard_hooks(
       [this](std::size_t k) {
         obs::install_thread_hub(shard_hubs_[k].get());
-        if (shard_profiling_) {
+        if (ledger_enabled_) {
+          // The ledger fronts the busy-observer chain so it sees the exact
+          // interval stream; it forwards to the profiler so both fold the
+          // same charges (the conservation tests compare the two).
+          obs::Ledger& led = shard_hubs_[k]->ledger;
+          led.set_next(shard_profiling_ ? &shard_hubs_[k]->profiler : nullptr);
+          sim::install_thread_busy_observer(&led);
+        } else if (shard_profiling_) {
           sim::install_thread_busy_observer(&shard_hubs_[k]->profiler);
         }
       },
       [this](std::size_t) {
         obs::install_thread_hub(nullptr);
-        if (shard_profiling_) sim::install_thread_busy_observer(nullptr);
+        if (ledger_enabled_ || shard_profiling_) {
+          sim::install_thread_busy_observer(nullptr);
+        }
       });
 }
 
@@ -187,6 +196,44 @@ void Cluster::enable_shard_profiling() {
   shard_profiling_ = true;
 }
 
+void Cluster::enable_ledger() {
+  ledger_enabled_ = true;
+  // Pool clocks: each domain reads its own node's scheduler, so the slot-ns
+  // integral advances in the node's shard time (owner-shard-local).
+  for (auto& node : nodes_) {
+    sim::Scheduler* s = &node->scheduler();
+    node->memory().set_clock([s] { return s->now(); });
+  }
+  if (sharded()) {
+    for (auto& hub : shard_hubs_) hub->ledger.set_enabled(true);
+  }
+}
+
+void Cluster::collect_pool_slot_ns() {
+  if (!ledger_enabled_) return;
+  for (auto& node : nodes_) {
+    obs::Ledger* led = nullptr;
+    if (sharded()) {
+      led = &shard_hubs_[shard_of(node->id())]->ledger;
+    } else if (obs::Hub* hub = obs::hub()) {
+      led = &hub->ledger;
+    }
+    if (led == nullptr || !led->enabled()) continue;
+    const sim::TimePoint now = node->scheduler().now();
+    for (const auto& tm : node->memory().pools()) {
+      const mem::BufferPool& pool = tm->pool();
+      led->add_slot_ns(
+          "node" + std::to_string(node->id().value()) + "/pool/" +
+              tm->file_prefix(),
+          pool.tenant().value(), pool.slot_ns(now), pool.footprint());
+    }
+  }
+}
+
+obs::Hub* Cluster::edge_hub() {
+  return sharded() ? shard_hubs_[0].get() : obs::hub();
+}
+
 void Cluster::add_slo(obs::SloSpec spec) {
   // Requests are admitted and completed on the edge (shard 0 in parallel
   // mode), so that hub's watchdog sees every sample in one deterministic
@@ -210,11 +257,13 @@ void Cluster::merge_observability(obs::Hub& into) {
     into.registry.merge_from(hub.registry);
     into.tracer.absorb(hub.tracer);
     into.profiler.absorb(hub.profiler);
+    into.ledger.absorb(hub.ledger);
     into.slo.absorb(hub.slo);
     // Flight series fold in shard order; the donor recorder is emptied
     // (and its sampler stopped) so a second merge cannot double-count.
     into.timeseries.merge_from(hub.timeseries);
     hub.registry.reset();
+    hub.ledger.reset();
   }
   into.tracer.resolve_foreign_ends();
 }

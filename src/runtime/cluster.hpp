@@ -284,6 +284,25 @@ class Cluster {
   /// obs::Profiler, folded together by merge_observability. Call before
   /// the run starts.
   void enable_shard_profiling();
+  /// Enable the per-tenant resource ledger (ISSUE 10). Parallel mode: each
+  /// shard worker thread records occupancy / wait / blame into its own
+  /// obs::Ledger (chained in front of the shard profiler when profiling is
+  /// also on), folded together by merge_observability. Serial runs enable
+  /// the installed global hub's ledger via obs::LedgerSession instead. In
+  /// both modes this attaches simulated-time clocks to every buffer pool so
+  /// the exact slot-ns occupancy integrals accrue.
+  void enable_ledger();
+  [[nodiscard]] bool ledger_enabled() const { return ledger_enabled_; }
+  /// Fold every pool's slot-ns integral (through its node's final simulated
+  /// time) into the owning shard's ledger (parallel) or the installed global
+  /// hub's ledger (serial). Call once, after the run drains and before
+  /// merge_observability.
+  void collect_pool_slot_ns();
+  /// The hub observing the cluster edge: shard 0's hub in parallel mode,
+  /// the installed global hub otherwise (may be null). Requests are
+  /// admitted, completed, and blame-targeted on the edge, so this is where
+  /// the controllers' ledger lives.
+  [[nodiscard]] obs::Hub* edge_hub();
   /// Register a latency SLO with the watchdog that observes this cluster's
   /// requests (the edge shard's hub in parallel mode, the installed global
   /// hub otherwise).
@@ -378,6 +397,7 @@ class Cluster {
   std::unordered_map<NodeId, sim::Rng> node_jitter_;
   std::vector<std::unique_ptr<obs::Hub>> shard_hubs_;
   bool shard_profiling_ = false;
+  bool ledger_enabled_ = false;
 };
 
 }  // namespace pd::runtime

@@ -42,10 +42,13 @@ Duration Core::backlog() const {
 
 void Core::submit(Duration ref_work, EventFn done) {
   const Duration scaled = consume_scaled(ref_work);
+  const TimePoint now = sched_.now();
+  const TimePoint begin = std::max(free_at_, now);
   if (BusyObserver* o = busy_observer()) {
     o->on_busy(name_, current_profile_frame(), scaled);
+    o->on_busy_interval(name_, current_profile_frame(), now, begin, scaled, 0);
   }
-  free_at_ = std::max(free_at_, sched_.now()) + scaled;
+  free_at_ = begin + scaled;
   // Jobs complete FIFO (completion times are monotone and the scheduler
   // tie-breaks FIFO), so the event only needs `this`: the completion data
   // waits in jobs_ instead of bloating the scheduled callback.

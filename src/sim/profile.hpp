@@ -37,6 +37,25 @@ class BusyObserver {
   virtual ~BusyObserver() = default;
   virtual void on_busy(std::string_view resource, const ProfileFrame& frame,
                        Duration scaled_ns) = 0;
+  /// Interval-resolved companion to on_busy (ISSUE 10 ledger). FIFO
+  /// resources (cores, the SoC DMA engine) also report *when* the charged
+  /// work runs: it was submitted at `submitted`, starts at `begin`
+  /// (= max(free_at, now), so begin - submitted is the queue wait behind
+  /// earlier jobs), and occupies the resource for `scaled_ns`. `bytes` is
+  /// the payload size for byte-denominated resources (DMA), 0 otherwise.
+  /// Default no-op so observers that only fold totals (the profiler) pay
+  /// nothing.
+  virtual void on_busy_interval(std::string_view resource,
+                                const ProfileFrame& frame, TimePoint submitted,
+                                TimePoint begin, Duration scaled_ns,
+                                std::uint64_t bytes) {
+    (void)resource;
+    (void)frame;
+    (void)submitted;
+    (void)begin;
+    (void)scaled_ns;
+    (void)bytes;
+  }
 };
 
 /// Currently installed observer, or nullptr when profiling is off. A

@@ -23,6 +23,8 @@
 #                                       (for refreshing a committed baseline)
 #   tools/bench_gate.sh --record-scale  re-record the ISSUE 9 scale-point
 #                                       golden (tools/golden/pdes_scale.json)
+#   tools/bench_gate.sh --record-ledger re-record the ISSUE 10 resource-
+#                                       ledger golden (tools/golden/ledger.json)
 #   tools/bench_gate.sh BASELINE.json   gate against an explicit baseline
 set -e
 cd "$(dirname "$0")/.."
@@ -39,6 +41,12 @@ fi
 
 if [ "$1" = "--record-scale" ]; then
   exec "$GATE" --scale --json tools/golden/pdes_scale.json
+fi
+
+if [ "$1" = "--record-ledger" ]; then
+  exec build/bench/overload_scenarios --scenario noisy_neighbor \
+    --control both --policy blame --seconds 2 --threads 1 \
+    --ledger-json tools/golden/ledger.json
 fi
 
 if [ -n "$1" ]; then
@@ -103,6 +111,19 @@ if [ -x "$FIG12" ] && [ -f tools/golden/cart_store.json ] \
     --json build/cart_store_current.json > /dev/null || rc=1
   build/tools/report_diff tools/golden/cart_store.json \
     build/cart_store_current.json || rc=1
+fi
+# Resource-ledger gate (DESIGN.md §16): the noisy-neighbor blame matrix is
+# pure simulated time, so the ledger artifact is exactly reproducible on
+# any machine. Drift from the committed golden means tenant attribution or
+# the blame-driven shedding changed — which a performance PR must never do
+# silently; re-record deliberately with --record-ledger.
+if [ -x "$OVERLOAD" ] && [ -f tools/golden/ledger.json ] \
+   && [ -x build/tools/report_diff ]; then
+  "$OVERLOAD" --scenario noisy_neighbor --control both --policy blame \
+    --seconds 2 --threads 1 \
+    --ledger-json build/ledger_current.json > /dev/null || rc=1
+  build/tools/report_diff tools/golden/ledger.json \
+    build/ledger_current.json || rc=1
 fi
 # PDES scale-point gate (DESIGN.md §15): the 32-node leaf-sharded boutique's
 # simulated latencies and pdes_* protocol counters (epochs, skip-ahead,

@@ -25,6 +25,15 @@
 #                            per-tenant SLO artifacts differ across thread
 #                            counts, drift from the committed golden, or if
 #                            report_diff passes a perturbed artifact
+#   tools/run_all.sh ledger  build, run the ledger-labeled ctest suite
+#                            (blame conservation + merge/thread identity +
+#                            the blame-policy acceptance tests), then sweep
+#                            the noisy_neighbor scenario (control off AND
+#                            on, --policy blame) at --threads 1/2/4 into
+#                            ledger_report/; fails if the SLO or ledger
+#                            artifacts differ across thread counts, drift
+#                            from the committed golden, or if report_diff
+#                            passes a perturbed artifact
 #   tools/run_all.sh cartstore  build, run the onesided-labeled ctest suite
 #                            (one-sided verb semantics + cart-store accept-
 #                            ance), then sweep the RPC-vs-one-sided-READ cart
@@ -128,6 +137,58 @@ if [ "$1" = "overload" ]; then
   fi
   echo "report_diff: perturbed artifact rejected (as it must be)"
   echo "overload sweep passed: explicit shedding, SLOs held, deterministic"
+  exit 0
+fi
+
+if [ "$1" = "ledger" ]; then
+  cmake -B build -G Ninja
+  cmake --build build
+  ctest --test-dir build -L ledger --output-on-failure 2>&1 \
+    | tee ledger_output.txt
+  rm -rf ledger_report && mkdir -p ledger_report
+  # The noisy-neighbor scenario (control off then on, blame-driven
+  # shedding) per worker-thread count, emitting both the SLO artifact and
+  # the resource-ledger artifact (blame matrix included).
+  for t in 1 2 4; do
+    echo "=== overload_scenarios noisy_neighbor --policy blame --threads $t ==="
+    ./build/bench/overload_scenarios --scenario noisy_neighbor \
+      --control both --policy blame --seconds 2 --threads "$t" \
+      --json "ledger_report/t$t.json" \
+      --ledger-json "ledger_report/t${t}_ledger.json" | tail -16
+  done 2>&1 | tee -a ledger_output.txt
+  # Determinism gate: both artifacts must be byte-identical for every
+  # thread count — the ledger merges per-shard maps in sorted-key order,
+  # independent of how shards map to workers.
+  for t in 2 4; do
+    cmp ledger_report/t1.json "ledger_report/t$t.json"
+    cmp ledger_report/t1_ledger.json "ledger_report/t${t}_ledger.json"
+  done
+  echo "ledger_report/t*_ledger.json identical across --threads 1/2/4" \
+    | tee -a ledger_output.txt
+  # Run-diff gate: the ledger is fully deterministic (simulated time
+  # only), so any drift from the committed golden means attribution or
+  # control behavior changed and the golden must be re-recorded
+  # deliberately (tools/bench_gate.sh --record-ledger).
+  ./build/tools/report_diff tools/golden/ledger.json \
+    ledger_report/t1_ledger.json 2>&1 | tee -a ledger_output.txt
+  # ...and report_diff itself must fail loudly on a perturbed artifact.
+  sed 's/"busy_ns":/"busy_ns":9/' ledger_report/t1_ledger.json \
+    > ledger_report/perturbed.json
+  if ./build/tools/report_diff --quiet ledger_report/t1_ledger.json \
+      ledger_report/perturbed.json; then
+    echo "ledger sweep FAILED: report_diff passed a perturbed artifact" >&2
+    exit 1
+  fi
+  echo "report_diff: perturbed artifact rejected (as it must be)"
+  # The CLI path over the same artifact: the aggressor->victim matrix,
+  # loud failure on a non-ledger input.
+  ./build/tools/trace_inspect --interference ledger_report/t1_ledger.json
+  if ./build/tools/trace_inspect --interference ledger_report/t1.json \
+      2> /dev/null; then
+    echo "ledger sweep FAILED: --interference accepted a non-ledger file" >&2
+    exit 1
+  fi
+  echo "ledger sweep passed: attribution conserved, deterministic, blamed"
   exit 0
 fi
 

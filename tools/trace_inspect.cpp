@@ -10,6 +10,11 @@
 //                                                         # sparkline dashboard
 //                                                         # from a flight-
 //                                                         # recorder export
+//   $ tools/trace_inspect --interference boutique_ledger.json
+//                                                         # cross-tenant blame
+//                                                         # table from a
+//                                                         # resource-ledger
+//                                                         # export
 //
 // The summary groups spans by name (count / mean / p50 / p99 / max) so a
 // quick look answers "where does a request spend its time" without leaving
@@ -145,6 +150,113 @@ int timeline(const char* path, const char* filter) {
   return 0;
 }
 
+/// One ledger export: either a bare {"ledger": {...}} object (boutique_demo
+/// --ledger) or an element of the array overload_scenarios --ledger-json
+/// writes. Prints the cross-tenant blame matrix plus per-resource-kind rows.
+int interference_one(const pd::obs::JsonValue& root, std::size_t index) {
+  const auto* led = root.find("ledger");
+  if (led == nullptr || led->kind != pd::obs::JsonValue::Kind::kObject) {
+    return -1;
+  }
+  const auto* totals = led->find("totals");
+  std::printf("ledger[%zu]:", index);
+  if (totals != nullptr) {
+    const auto* busy = totals->find("busy_ns");
+    const auto* wait = totals->find("wait_ns");
+    const auto* bytes = totals->find("bytes");
+    if (busy != nullptr) std::printf(" busy %.3f ms", busy->number / 1e6);
+    if (wait != nullptr) std::printf(" wait %.3f ms", wait->number / 1e6);
+    if (bytes != nullptr) std::printf(" bytes %.0f", bytes->number);
+  }
+  std::printf("\n");
+
+  // Cross-tenant matrix (aggressor -> victim, self and unattributed rows
+  // skipped: only interference is interesting here).
+  struct Row {
+    std::int64_t aggressor, victim, ns;
+  };
+  std::vector<Row> rows;
+  const auto* matrix = led->find("blame_matrix");
+  if (matrix != nullptr && matrix->kind == pd::obs::JsonValue::Kind::kArray) {
+    for (const auto& cell : matrix->elements) {
+      const auto* a = cell.find("aggressor");
+      const auto* v = cell.find("victim");
+      const auto* ns = cell.find("ns");
+      if (a == nullptr || v == nullptr || ns == nullptr) continue;
+      const auto ai = static_cast<std::int64_t>(a->number);
+      const auto vi = static_cast<std::int64_t>(v->number);
+      if (ai < 0 || ai == vi) continue;
+      rows.push_back(Row{ai, vi, static_cast<std::int64_t>(ns->number)});
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.ns > b.ns; });
+  if (rows.empty()) {
+    std::printf("  (no cross-tenant interference recorded)\n");
+  } else {
+    std::printf("  %-10s %-10s %14s\n", "aggressor", "victim", "blame ms");
+    for (const auto& r : rows) {
+      std::printf("  %-10lld %-10lld %14.3f\n",
+                  static_cast<long long>(r.aggressor),
+                  static_cast<long long>(r.victim),
+                  static_cast<double>(r.ns) / 1e6);
+    }
+  }
+
+  // Per-resource-kind breakdown of the same cross-tenant charges, so "who"
+  // comes with "where" (queue wait vs. NIC vs. fabric link ...).
+  const auto* blame = led->find("blame");
+  if (blame != nullptr && blame->kind == pd::obs::JsonValue::Kind::kArray) {
+    std::map<std::string, std::int64_t> by_kind;
+    for (const auto& cell : blame->elements) {
+      const auto* kind = cell.find("kind");
+      const auto* a = cell.find("aggressor");
+      const auto* v = cell.find("victim");
+      const auto* ns = cell.find("ns");
+      if (kind == nullptr || a == nullptr || v == nullptr || ns == nullptr) {
+        continue;
+      }
+      const auto ai = static_cast<std::int64_t>(a->number);
+      if (ai < 0 || ai == static_cast<std::int64_t>(v->number)) continue;
+      by_kind[kind->string] += static_cast<std::int64_t>(ns->number);
+    }
+    for (const auto& [kind, ns] : by_kind) {
+      std::printf("    %-12s %14.3f ms\n", kind.c_str(),
+                  static_cast<double>(ns) / 1e6);
+    }
+  }
+  return static_cast<int>(rows.size());
+}
+
+/// Render the blame tables from a resource-ledger JSON export (single
+/// object or array of per-run objects).
+int interference(const char* path) {
+  pd::obs::JsonValue doc;
+  try {
+    doc = pd::obs::json_parse_file(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::printf("%s:\n", path);
+  std::size_t ledgers = 0;
+  if (doc.kind == pd::obs::JsonValue::Kind::kArray) {
+    for (std::size_t i = 0; i < doc.elements.size(); ++i) {
+      if (interference_one(doc.elements[i], i) >= 0) ++ledgers;
+    }
+  } else {
+    if (interference_one(doc, 0) >= 0) ++ledgers;
+  }
+  if (ledgers == 0) {
+    std::fprintf(stderr,
+                 "error: %s is not a resource-ledger export (no \"ledger\" "
+                 "object)\n",
+                 path);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -152,6 +264,7 @@ int main(int argc, char** argv) {
   bool as_json = false;
   bool as_csv = false;
   bool as_timeline = false;
+  bool as_interference = false;
   const char* path = nullptr;
   const char* trace_arg = nullptr;
   for (int i = 1; i < argc; ++i) {
@@ -159,6 +272,8 @@ int main(int argc, char** argv) {
       critpath = true;
     } else if (std::strcmp(argv[i], "--timeline") == 0) {
       as_timeline = true;
+    } else if (std::strcmp(argv[i], "--interference") == 0) {
+      as_interference = true;
     } else if (std::strcmp(argv[i], "--summary") == 0) {
       // default mode; accepted for explicitness
     } else if (std::strcmp(argv[i], "--json") == 0) {
@@ -175,11 +290,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s [--summary|--critpath] [--json|--csv] "
                  "<trace.json> [trace_id]\n"
-                 "       %s --timeline <timeseries.json> [filter]\n",
-                 argv[0], argv[0]);
+                 "       %s --timeline <timeseries.json> [filter]\n"
+                 "       %s --interference <ledger.json>\n",
+                 argv[0], argv[0], argv[0]);
     return 2;
   }
   if (as_timeline) return timeline(path, trace_arg);
+  if (as_interference) return interference(path);
 
   std::vector<ReadSpan> spans;
   try {
